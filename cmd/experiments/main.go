@@ -1,0 +1,95 @@
+// Command experiments regenerates every table and figure in the
+// paper's evaluation section and prints them in order. The output is
+// the data recorded in EXPERIMENTS.md.
+//
+//	experiments                 # everything at the default scale
+//	experiments -scale 0.5      # faster, shorter streams
+//	experiments -only fig4,fig5 # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"sdbp/internal/figures"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "stream length multiplier")
+	only := flag.String("only", "", "comma-separated subset: claim,fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,table1,table2,table3,table4,extensions,prefetch,victim,sweeps")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	run := func(key string) bool { return len(want) == 0 || want[key] }
+	section := func(name string, f func()) {
+		if !run(name) {
+			return
+		}
+		start := time.Now()
+		f()
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	section("table1", func() { fmt.Print(figures.RenderTable1()) })
+	section("table2", func() { fmt.Print(figures.RenderTable2()) })
+
+	var sc *figures.SingleCore
+	needSC := run("fig4") || run("fig5") || run("fig9") || run("claim")
+	if needSC {
+		sc = figures.RunSingleCore(*scale)
+	}
+	section("claim", func() { fmt.Print(sc.RenderClaim()) })
+	section("fig1", func() { fmt.Print(figures.RunFig1(*scale).Render()) })
+	section("fig4", func() {
+		fmt.Print(sc.RenderFig4())
+		labels, vals := sc.Fig4Summary()
+		fmt.Print(figures.SummaryChart("\nFigure 4 summary: amean misses normalized to LRU ('|' = LRU)", labels, vals))
+	})
+	section("fig5", func() {
+		fmt.Print(sc.RenderFig5())
+		labels, vals := sc.Fig5Summary()
+		fmt.Print(figures.SummaryChart("\nFigure 5 summary: gmean speedup over LRU ('|' = LRU)", labels, vals))
+	})
+	section("fig6", func() { fmt.Print(figures.RunAblation(*scale).Render()) })
+
+	var rb *figures.RandomBaseline
+	if run("fig7") || run("fig8") {
+		rb = figures.RunRandomBaseline(*scale)
+	}
+	section("fig7", func() { fmt.Print(rb.RenderFig7()) })
+	section("fig8", func() { fmt.Print(rb.RenderFig8()) })
+	section("fig9", func() { fmt.Print(sc.RenderFig9()) })
+
+	section("fig10", func() {
+		mc := figures.RunMulticoreFigure(figures.MulticorePolicies(), *scale)
+		fmt.Print(mc.Render("Figure 10(a): normalized weighted speedup, 8MB shared LLC, LRU default"))
+		fmt.Println()
+		mcr := figures.RunMulticoreFigure(figures.RandomPolicies(), *scale)
+		fmt.Print(mcr.Render("Figure 10(b): normalized weighted speedup, 8MB shared LLC, random default"))
+	})
+
+	section("table3", func() { fmt.Print(figures.RunTable3(*scale).Render()) })
+	section("table4", func() { fmt.Print(figures.RunTable4(*scale).Render()) })
+
+	section("extensions", func() { fmt.Print(figures.RunExtensions(*scale).Render()) })
+	section("prefetch", func() { fmt.Print(figures.RunPrefetchStudy(*scale).Render()) })
+	section("victim", func() { fmt.Print(figures.RunVictimStudy(*scale).Render()) })
+	section("sweeps", func() {
+		sets := []int{8, 16, 32, 64, 128}
+		fmt.Print(figures.RenderSweep(
+			"Sampler set count sweep (paper SIII-A: 32 is the trade-off point)",
+			"sampler sets", figures.SamplerSetsSweep(*scale, sets), sets))
+		fmt.Println()
+		thrs := []int{2, 4, 6, 8, 9}
+		fmt.Print(figures.RenderSweep(
+			"Confidence threshold sweep (paper SIII-E: 8 gives the best accuracy)",
+			"threshold", figures.ThresholdSweep(*scale, thrs), thrs))
+	})
+}

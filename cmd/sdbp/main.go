@@ -1,0 +1,213 @@
+// Command sdbp runs individual simulations from the command line: one
+// or more benchmarks (or quad-core mixes) against one or more LLC
+// management policies, printing MPKI, IPC, predictor accuracy and cache
+// efficiency.
+//
+// Examples:
+//
+//	sdbp -bench 456.hmmer -policy LRU,Sampler
+//	sdbp -bench subset -policy LRU,DIP,RRIP,TDBP,CDBP,Sampler,Optimal
+//	sdbp -mix mix1 -policy LRU,TADIP,Sampler
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"sdbp"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name, 'subset', or 'all'")
+	mix := flag.String("mix", "", "quad-core mix name ('mix1'..'mix10') or 'all'")
+	policies := flag.String("policy", "LRU,Sampler", "comma-separated policy list")
+	scale := flag.Float64("scale", 1.0, "stream length multiplier")
+	llcMB := flag.Int("llc", 0, "LLC capacity in MB (default 2 single-core, 8 mix)")
+	list := flag.Bool("list", false, "list benchmarks, mixes and policies")
+	diff := flag.Bool("diff", false, "lockstep-compare exactly two policies per benchmark (classifies every LLC access)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:", strings.Join(sdbp.Benchmarks(), " "))
+		fmt.Println("subset:    ", strings.Join(sdbp.SubsetBenchmarks(), " "))
+		fmt.Println("mixes:     ", strings.Join(sdbp.Mixes(), " "))
+		fmt.Println("policies:   LRU Random DIP TADIP RRIP Sampler TDBP CDBP",
+			"RandomSampler RandomCDBP Optimal PLRU NRU PLRUSampler NRUSampler",
+			"Bursts AIP SamplingCounting TimeBased DuelingSampler")
+		fmt.Println("variants:  ", strings.Join(sdbp.SamplerVariantNames(), " | "))
+		return
+	}
+	if *bench == "" && *mix == "" {
+		fmt.Fprintln(os.Stderr, "sdbp: need -bench or -mix (try -list)")
+		os.Exit(2)
+	}
+
+	opts := sdbp.Options{Scale: *scale, LLCMegabytes: *llcMB}
+	if *diff {
+		runDiff(*bench, splitList(*policies), opts)
+		return
+	}
+	if *mix != "" {
+		runMixes(*mix, splitList(*policies), opts)
+		return
+	}
+	runBenches(*bench, splitList(*policies), opts)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// lookupPolicy maps a CLI policy name to a facade Policy; the bool
+// distinguishes "Optimal" (which needs RunOptimal).
+func lookupPolicy(name string) (sdbp.Policy, bool, error) {
+	switch name {
+	case "LRU":
+		return sdbp.LRU(), false, nil
+	case "Random":
+		return sdbp.Random(), false, nil
+	case "DIP":
+		return sdbp.DIP(), false, nil
+	case "TADIP":
+		return sdbp.TADIP(), false, nil
+	case "RRIP":
+		return sdbp.RRIP(), false, nil
+	case "Sampler":
+		return sdbp.SamplerDBRB(), false, nil
+	case "TDBP":
+		return sdbp.TDBP(), false, nil
+	case "CDBP":
+		return sdbp.CDBP(), false, nil
+	case "RandomSampler":
+		return sdbp.SamplerDBRBRandom(), false, nil
+	case "RandomCDBP":
+		return sdbp.CDBPRandom(), false, nil
+	case "Optimal":
+		return sdbp.Policy{}, true, nil
+	case "PLRU":
+		return sdbp.PLRU(), false, nil
+	case "NRU":
+		return sdbp.NRU(), false, nil
+	case "PLRUSampler":
+		return sdbp.SamplerDBRBPLRU(), false, nil
+	case "NRUSampler":
+		return sdbp.SamplerDBRBNRU(), false, nil
+	case "Bursts":
+		return sdbp.BurstsDBRB(), false, nil
+	case "AIP":
+		return sdbp.AIPDBRB(), false, nil
+	case "SamplingCounting":
+		return sdbp.SamplingCountingDBRB(), false, nil
+	case "TimeBased":
+		return sdbp.TimeBasedDBRB(), false, nil
+	case "DuelingSampler":
+		return sdbp.DuelingSamplerDBRB(), false, nil
+	}
+	if p, err := sdbp.SamplerVariant(name); err == nil {
+		return p, false, nil
+	}
+	return sdbp.Policy{}, false, fmt.Errorf("unknown policy %q", name)
+}
+
+func runBenches(bench string, policies []string, opts sdbp.Options) {
+	var names []string
+	switch bench {
+	case "all":
+		names = sdbp.Benchmarks()
+	case "subset":
+		names = sdbp.SubsetBenchmarks()
+	default:
+		names = splitList(bench)
+	}
+
+	fmt.Printf("%-16s %-28s %9s %7s %7s %7s %7s\n",
+		"benchmark", "policy", "MPKI", "IPC", "eff%", "cov%", "fp%")
+	for _, b := range names {
+		for _, pname := range policies {
+			p, isOptimal, err := lookupPolicy(pname)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sdbp:", err)
+				os.Exit(2)
+			}
+			var r sdbp.Result
+			if isOptimal {
+				r = sdbp.RunOptimal(b, opts)
+			} else {
+				r = sdbp.Run(b, p, opts)
+			}
+			fmt.Printf("%-16s %-28s %9.3f %7.3f %7.1f %7s %7s\n",
+				b, r.Policy, r.MPKI, r.IPC, r.Efficiency*100,
+				pct(r.Coverage), pct(r.FalsePositiveRate))
+		}
+	}
+}
+
+func runMixes(mix string, policies []string, opts sdbp.Options) {
+	var names []string
+	if mix == "all" {
+		names = sdbp.Mixes()
+	} else {
+		names = splitList(mix)
+	}
+
+	fmt.Printf("%-8s %-28s %9s %10s   %s\n", "mix", "policy", "MPKI", "wspeedup", "per-core IPC")
+	for _, m := range names {
+		for _, pname := range policies {
+			p, isOptimal, err := lookupPolicy(pname)
+			if err != nil || isOptimal {
+				fmt.Fprintf(os.Stderr, "sdbp: policy %q not available for mixes\n", pname)
+				os.Exit(2)
+			}
+			r := sdbp.RunMix(m, p, opts)
+			fmt.Printf("%-8s %-28s %9.3f %10.4f   %.3f %.3f %.3f %.3f\n",
+				m, r.Policy, r.MPKI, r.WeightedSpeedup,
+				r.IPC[0], r.IPC[1], r.IPC[2], r.IPC[3])
+		}
+	}
+}
+
+func pct(x float64) string {
+	if math.IsNaN(x) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", x*100)
+}
+
+func runDiff(bench string, policies []string, opts sdbp.Options) {
+	if len(policies) != 2 {
+		fmt.Fprintln(os.Stderr, "sdbp: -diff needs exactly two policies")
+		os.Exit(2)
+	}
+	pa, optA, errA := lookupPolicy(policies[0])
+	pb, optB, errB := lookupPolicy(policies[1])
+	if errA != nil || errB != nil || optA || optB {
+		fmt.Fprintln(os.Stderr, "sdbp: -diff needs two simulatable policies")
+		os.Exit(2)
+	}
+	var names []string
+	switch bench {
+	case "all":
+		names = sdbp.Benchmarks()
+	case "subset":
+		names = sdbp.SubsetBenchmarks()
+	default:
+		names = splitList(bench)
+	}
+	fmt.Printf("%-16s %10s %10s %10s %10s %8s %8s\n",
+		"benchmark", "bothHit", "only"+policies[0], "only"+policies[1], "bothMiss", "damage%", "gain%")
+	for _, b := range names {
+		d := sdbp.Compare(b, pa, pb, opts)
+		fmt.Printf("%-16s %10d %10d %10d %10d %8.2f %8.2f\n",
+			b, d.BothHit, d.OnlyAHit, d.OnlyBHit, d.BothMiss,
+			d.DamageRate()*100, d.GainRate()*100)
+	}
+}

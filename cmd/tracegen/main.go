@@ -1,0 +1,145 @@
+// Command tracegen generates and inspects the suite's synthetic memory
+// reference traces. It can print a human-readable head of a trace,
+// summarize its statistical properties (footprint, code sites, gap
+// distribution, write fraction), or export it as CSV for external
+// tools.
+//
+//	tracegen -bench 456.hmmer -summary
+//	tracegen -bench 429.mcf -head 20
+//	tracegen -bench 462.libquantum -csv > libquantum.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"sdbp/internal/mem"
+	"sdbp/internal/trace"
+	"sdbp/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "456.hmmer", "benchmark to generate")
+	scale := flag.Float64("scale", 0.05, "stream length multiplier")
+	head := flag.Int("head", 0, "print the first N accesses")
+	csv := flag.Bool("csv", false, "dump the whole trace as CSV (pc,addr,write,dep,gap)")
+	summary := flag.Bool("summary", true, "print trace statistics")
+	outFile := flag.String("out", "", "write the trace in sdbp binary format to this file")
+	inFile := flag.String("in", "", "read a binary trace file instead of generating")
+	flag.Parse()
+
+	var gen trace.Generator
+	var name, class string
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(2)
+		}
+		gen, name, class = r, *inFile, "trace file"
+	} else {
+		w, err := workloads.ByName(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(2)
+		}
+		gen, name, class = w.Generator(*scale), w.Name, w.Class
+	}
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(2)
+		}
+		n, err := trace.Write(f, gen)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d accesses to %s\n", n, *outFile)
+		gen.Reset()
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	if *csv {
+		fmt.Fprintln(out, "pc,addr,write,dependent,gap")
+		for {
+			a, ok := gen.Next()
+			if !ok {
+				return
+			}
+			fmt.Fprintf(out, "%#x,%#x,%t,%t,%d\n", a.PC, a.Addr, a.Write, a.DependentLoad, a.Gap)
+		}
+	}
+
+	if *head > 0 {
+		fmt.Fprintf(out, "%-18s %-18s %-5s %-4s %s\n", "pc", "addr", "write", "dep", "gap")
+		for i := 0; i < *head; i++ {
+			a, ok := gen.Next()
+			if !ok {
+				break
+			}
+			fmt.Fprintf(out, "%#-18x %#-18x %-5t %-4t %d\n", a.PC, a.Addr, a.Write, a.DependentLoad, a.Gap)
+		}
+		gen.Reset()
+	}
+
+	if !*summary {
+		return
+	}
+	var (
+		accesses, writes, deps uint64
+		instructions           uint64
+		blocks                 = map[uint64]uint64{}
+		pcs                    = map[uint64]uint64{}
+	)
+	for {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		accesses++
+		instructions += uint64(a.Gap) + 1
+		if a.Write {
+			writes++
+		}
+		if a.DependentLoad {
+			deps++
+		}
+		blocks[mem.BlockNumber(a.Addr)]++
+		pcs[a.PC]++
+	}
+	if accesses == 0 {
+		fmt.Fprintln(out, "empty trace")
+		return
+	}
+	var maxTouch uint64
+	for _, n := range blocks {
+		if n > maxTouch {
+			maxTouch = n
+		}
+	}
+	fmt.Fprintf(out, "benchmark:      %s (%s)\n", name, class)
+	fmt.Fprintf(out, "accesses:       %d (%d instructions, %.1f%% memory)\n",
+		accesses, instructions, float64(accesses)/float64(instructions)*100)
+	fmt.Fprintf(out, "footprint:      %d blocks (%.2f MB)\n",
+		len(blocks), float64(len(blocks))*mem.BlockSize/(1<<20))
+	fmt.Fprintf(out, "code sites:     %d\n", len(pcs))
+	fmt.Fprintf(out, "writes:         %.1f%%\n", float64(writes)/float64(accesses)*100)
+	fmt.Fprintf(out, "dependent:      %.1f%%\n", float64(deps)/float64(accesses)*100)
+	fmt.Fprintf(out, "touches/block:  mean %.2f, max %d\n",
+		float64(accesses)/float64(len(blocks)), maxTouch)
+}

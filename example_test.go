@@ -1,0 +1,56 @@
+package sdbp_test
+
+import (
+	"fmt"
+
+	"sdbp"
+)
+
+// The simplest use: run one benchmark under two policies and compare.
+func ExampleRun() {
+	base := sdbp.Run("456.hmmer", sdbp.LRU(), sdbp.Options{Scale: 0.25})
+	samp := sdbp.Run("456.hmmer", sdbp.SamplerDBRB(), sdbp.Options{Scale: 0.25})
+	fmt.Printf("sampler reduces misses: %v\n", samp.MPKI < base.MPKI)
+	fmt.Printf("sampler improves IPC:   %v\n", samp.IPC > base.IPC)
+	// Output:
+	// sampler reduces misses: true
+	// sampler improves IPC:   true
+}
+
+// Belady's MIN with optimal bypass bounds every realizable policy.
+func ExampleRunOptimal() {
+	lru := sdbp.Run("462.libquantum", sdbp.LRU(), sdbp.Options{Scale: 0.05})
+	opt := sdbp.RunOptimal("462.libquantum", sdbp.Options{Scale: 0.05})
+	fmt.Printf("optimal is a lower bound: %v\n", opt.MPKI <= lru.MPKI)
+	// Output:
+	// optimal is a lower bound: true
+}
+
+// Quad-core mixes share an 8MB LLC; weighted speedup is normalized by
+// each benchmark's solo IPC.
+func ExampleRunMix() {
+	r := sdbp.RunMix("mix1", sdbp.SamplerDBRB(), sdbp.Options{Scale: 0.02})
+	fmt.Printf("mix: %s, co-runners: %d\n", r.Mix, len(r.Benchmarks))
+	fmt.Printf("weighted speedup is positive: %v\n", r.WeightedSpeedup > 0)
+	// Output:
+	// mix: mix1, co-runners: 4
+	// weighted speedup is positive: true
+}
+
+// Compare classifies every LLC access under two policies in lockstep.
+func ExampleCompare() {
+	d := sdbp.Compare("456.hmmer", sdbp.LRU(), sdbp.SamplerDBRB(), sdbp.Options{Scale: 0.25})
+	fmt.Printf("%s vs %s\n", d.PolicyA, d.PolicyB)
+	fmt.Printf("sampler gains more than it damages: %v\n", d.GainRate() > d.DamageRate())
+	// Output:
+	// LRU vs Sampler
+	// sampler gains more than it damages: true
+}
+
+// SamplerVariant exposes the paper's Figure 6 ablation configurations.
+func ExampleSamplerVariant() {
+	p, err := sdbp.SamplerVariant("DBRB alone")
+	fmt.Println(p.Name(), err)
+	// Output:
+	// DBRB alone <nil>
+}

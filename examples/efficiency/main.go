@@ -1,0 +1,68 @@
+// Command efficiency reproduces the paper's Figure 1: it renders a
+// cache's per-line live-time ratios as an ASCII greyscale map, under
+// LRU and under sampler-driven dead block replacement and bypass.
+// Darker characters are lines that spent more of their residency dead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"sdbp"
+)
+
+func main() {
+	bench := flag.String("bench", "456.hmmer", "benchmark to visualize")
+	llcMB := flag.Int("llc", 1, "LLC capacity in MB (the paper's Figure 1 uses 1MB)")
+	scale := flag.Float64("scale", 0.25, "stream length multiplier")
+	flag.Parse()
+
+	opts := sdbp.Options{Scale: *scale, LLCMegabytes: *llcMB, KeepLineEfficiencies: true}
+	lru := sdbp.Run(*bench, sdbp.LRU(), opts)
+	smp := sdbp.Run(*bench, sdbp.SamplerDBRB(), opts)
+
+	fmt.Printf("%s, %dMB 16-way LLC\n\n", *bench, *llcMB)
+	fmt.Printf("(a) LRU: efficiency %.0f%%\n", lru.Efficiency*100)
+	fmt.Println(render(lru.LineEfficiencies))
+	fmt.Printf("(b) sampler dead block replacement & bypass: efficiency %.0f%%\n", smp.Efficiency*100)
+	fmt.Println(render(smp.LineEfficiencies))
+	fmt.Println("darker = dead longer; each column is a cache way, rows are set groups")
+}
+
+// render downsamples the sets x ways efficiency matrix to 16 rows of
+// greyscale characters.
+func render(m [][]float64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	shades := []byte(" .:-=+*%#")
+	const rows = 16
+	group := (len(m) + rows - 1) / rows
+	ways := len(m[0])
+	var sb strings.Builder
+	for r := 0; r < rows; r++ {
+		sb.WriteString("    ")
+		for w := 0; w < ways; w++ {
+			sum, n := 0.0, 0
+			for s := r * group; s < (r+1)*group && s < len(m); s++ {
+				sum += m[s][w]
+				n++
+			}
+			eff := 0.0
+			if n > 0 {
+				eff = sum / float64(n)
+			}
+			idx := int((1 - eff) * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			sb.WriteByte(shades[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

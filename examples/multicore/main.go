@@ -1,0 +1,37 @@
+// Command multicore reproduces a slice of the paper's Figure 10: four
+// benchmarks share an 8MB LLC, and the shared-cache management
+// techniques are compared by weighted speedup normalized to LRU.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"sdbp"
+)
+
+func main() {
+	mix := flag.String("mix", "mix1", "workload mix (mix1..mix10)")
+	scale := flag.Float64("scale", 0.25, "stream length multiplier")
+	flag.Parse()
+
+	policies := []sdbp.Policy{
+		sdbp.LRU(), sdbp.TDBP(), sdbp.CDBP(), sdbp.TADIP(), sdbp.RRIP(), sdbp.SamplerDBRB(),
+	}
+
+	var baseline float64
+	fmt.Printf("mix %s, 8MB shared LLC, quad core\n\n", *mix)
+	fmt.Printf("%-10s %10s %10s   %s\n", "policy", "wspeedup", "vs LRU", "per-core IPC")
+	for _, p := range policies {
+		r := sdbp.RunMix(*mix, p, sdbp.Options{Scale: *scale})
+		if p.Name() == "LRU" {
+			baseline = r.WeightedSpeedup
+		}
+		fmt.Printf("%-10s %10.4f %9.1f%%   %.3f %.3f %.3f %.3f\n",
+			r.Policy, r.WeightedSpeedup, (r.WeightedSpeedup/baseline-1)*100,
+			r.IPC[0], r.IPC[1], r.IPC[2], r.IPC[3])
+	}
+
+	r := sdbp.RunMix(*mix, sdbp.LRU(), sdbp.Options{Scale: *scale})
+	fmt.Printf("\nco-runners: %v\n", r.Benchmarks)
+}

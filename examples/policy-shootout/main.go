@@ -1,0 +1,63 @@
+// Command policy-shootout compares every LLC management technique the
+// paper evaluates on a few representative benchmarks of the
+// memory-intensive subset, printing misses and speedups normalized to
+// the LRU baseline — a compact version of the paper's Figures 4 and 5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"strings"
+
+	"sdbp"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "stream length multiplier")
+	benchList := flag.String("bench", "456.hmmer,429.mcf,462.libquantum,482.sphinx3,473.astar",
+		"comma-separated benchmarks ('subset' for all 19)")
+	flag.Parse()
+
+	var benches []string
+	if *benchList == "subset" {
+		benches = sdbp.SubsetBenchmarks()
+	} else {
+		benches = strings.Split(*benchList, ",")
+	}
+
+	policies := []sdbp.Policy{
+		sdbp.TDBP(), sdbp.CDBP(), sdbp.DIP(), sdbp.RRIP(), sdbp.SamplerDBRB(),
+	}
+
+	fmt.Printf("%-16s", "benchmark")
+	for _, p := range policies {
+		fmt.Printf("  %8s", p.Name())
+	}
+	fmt.Printf("  %8s\n", "Optimal")
+
+	geo := make([]float64, len(policies))
+	for i := range geo {
+		geo[i] = 1
+	}
+	for _, b := range benches {
+		base := sdbp.Run(b, sdbp.LRU(), sdbp.Options{Scale: *scale})
+		fmt.Printf("%-16s", b)
+		for i, p := range policies {
+			r := sdbp.Run(b, p, sdbp.Options{Scale: *scale})
+			norm := r.MPKI / base.MPKI
+			geo[i] *= r.IPC / base.IPC
+			fmt.Printf("  %8.3f", norm)
+		}
+		opt := sdbp.RunOptimal(b, sdbp.Options{Scale: *scale})
+		fmt.Printf("  %8.3f\n", opt.MPKI/base.MPKI)
+	}
+
+	fmt.Printf("\n%-16s", "gmean speedup")
+	n := float64(len(benches))
+	for i := range policies {
+		fmt.Printf("  %7.2f%%", (math.Pow(geo[i], 1/n)-1)*100)
+	}
+	fmt.Println()
+	fmt.Println("\n(normalized MPKI per benchmark; < 1.000 beats LRU)")
+}

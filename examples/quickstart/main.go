@@ -1,0 +1,28 @@
+// Command quickstart is the smallest useful sdbp program: it runs one
+// benchmark through the paper's hierarchy twice — once with the baseline
+// LRU last-level cache and once with the sampling dead block predictor
+// driving replacement and bypass — and prints the miss and performance
+// deltas.
+package main
+
+import (
+	"fmt"
+
+	"sdbp"
+)
+
+func main() {
+	bench := "456.hmmer"
+
+	base := sdbp.Run(bench, sdbp.LRU(), sdbp.Options{})
+	samp := sdbp.Run(bench, sdbp.SamplerDBRB(), sdbp.Options{})
+
+	fmt.Printf("benchmark: %s\n", bench)
+	fmt.Printf("%-24s %10s %10s %10s\n", "policy", "MPKI", "IPC", "efficiency")
+	for _, r := range []sdbp.Result{base, samp} {
+		fmt.Printf("%-24s %10.3f %10.3f %9.1f%%\n",
+			r.Policy, r.MPKI, r.IPC, r.Efficiency*100)
+	}
+	fmt.Printf("\nmiss reduction: %.1f%%   speedup: %.2fx\n",
+		(1-samp.MPKI/base.MPKI)*100, samp.IPC/base.IPC)
+}

@@ -1,0 +1,71 @@
+package sdbp
+
+import "testing"
+
+func TestExtensionPolicyNames(t *testing.T) {
+	for _, c := range []struct {
+		p    Policy
+		want string
+	}{
+		{PLRU(), "PLRU"}, {NRU(), "NRU"},
+		{SamplerDBRBPLRU(), "PLRU Sampler"}, {SamplerDBRBNRU(), "NRU Sampler"},
+		{BurstsDBRB(), "Bursts"}, {AIPDBRB(), "AIP"},
+		{SamplingCountingDBRB(), "SamplingCounting"},
+	} {
+		if c.p.Name() != c.want {
+			t.Errorf("name = %q, want %q", c.p.Name(), c.want)
+		}
+	}
+}
+
+func TestExtensionPoliciesRun(t *testing.T) {
+	for _, p := range []Policy{
+		PLRU(), NRU(), SamplerDBRBPLRU(), BurstsDBRB(), AIPDBRB(), SamplingCountingDBRB(),
+	} {
+		r := Run("456.hmmer", p, Options{Scale: 0.01})
+		if r.MPKI <= 0 || r.IPC <= 0 {
+			t.Errorf("%s: result = %+v", p.Name(), r)
+		}
+	}
+}
+
+func TestSamplerOverPLRUMatchesOverLRU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	// The paper's decoupling argument: the sampler's gains do not
+	// depend on the LLC's own replacement policy.
+	lru := Run("456.hmmer", SamplerDBRB(), Options{Scale: 0.1})
+	plru := Run("456.hmmer", SamplerDBRBPLRU(), Options{Scale: 0.1})
+	if plru.MPKI > lru.MPKI*1.05 {
+		t.Errorf("sampler over PLRU MPKI %.2f far above over-LRU %.2f", plru.MPKI, lru.MPKI)
+	}
+}
+
+func TestRunPrefetchFacade(t *testing.T) {
+	base := RunPrefetch("462.libquantum", SamplerDBRB(), 0, Options{Scale: 0.02})
+	pf := RunPrefetch("462.libquantum", SamplerDBRB(), 4, Options{Scale: 0.02})
+	if pf.DemandMPKI >= base.DemandMPKI {
+		t.Errorf("prefetch MPKI %.2f not below base %.2f", pf.DemandMPKI, base.DemandMPKI)
+	}
+	if pf.Accuracy() < 0 || pf.Accuracy() > 1 {
+		t.Errorf("accuracy = %v", pf.Accuracy())
+	}
+	if base.Issued != 0 {
+		t.Error("degree 0 issued prefetches")
+	}
+}
+
+func TestRunVictimCacheFacade(t *testing.T) {
+	r := RunVictimCache("437.leslie3d", 64, true, Options{Scale: 0.05})
+	if r.Config != "dead-filtered" {
+		t.Errorf("config = %q", r.Config)
+	}
+	if r.MPKI <= 0 || r.IPC <= 0 {
+		t.Errorf("result = %+v", r)
+	}
+	unf := RunVictimCache("437.leslie3d", 64, false, Options{Scale: 0.05})
+	if unf.Inserts < r.Inserts {
+		t.Error("filtering increased insertions")
+	}
+}

@@ -1,0 +1,3 @@
+module sdbp
+
+go 1.22

@@ -1,0 +1,366 @@
+// Package cache implements the set-associative cache model underlying
+// every experiment in the reproduction: lookup, fill, eviction,
+// write-back/write-allocate semantics, pluggable replacement policies,
+// and the live/dead-time accounting behind the paper's cache-efficiency
+// results (Figure 1 and the "blocks are dead 86% of the time" claim).
+package cache
+
+import (
+	"fmt"
+
+	"sdbp/internal/mem"
+)
+
+// Config describes a cache's geometry.
+type Config struct {
+	// Name labels the cache in reports ("L1D", "LLC", ...).
+	Name string
+	// SizeBytes is the total data capacity. It must be a power-of-two
+	// multiple of Ways*mem.BlockSize.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * mem.BlockSize) }
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %q: size and ways must be positive", c.Name)
+	}
+	if c.SizeBytes%(c.Ways*mem.BlockSize) != 0 {
+		return fmt.Errorf("cache %q: size %d not divisible by ways*blocksize", c.Name, c.SizeBytes)
+	}
+	if !mem.IsPow2(c.Sets()) {
+		return fmt.Errorf("cache %q: %d sets is not a power of two", c.Name, c.Sets())
+	}
+	return nil
+}
+
+// line is one cache block's bookkeeping.
+type line struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool // placed by a prefetch and not yet demanded
+
+	// Efficiency accounting, in units of the cache's access clock.
+	filledAt  uint64
+	lastHitAt uint64
+}
+
+// Result reports what a single access did.
+type Result struct {
+	// Hit is true when the block was present.
+	Hit bool
+	// Bypassed is true when the miss was not filled (policy bypass).
+	Bypassed bool
+	// Evicted is true when a valid block was evicted to make room.
+	Evicted bool
+	// EvictedAddr is the evicted block's address; valid when Evicted.
+	EvictedAddr uint64
+	// WritebackAddr is the block address written back when the evicted
+	// block was dirty; valid only when EvictedDirty.
+	WritebackAddr uint64
+	// EvictedDirty is true when the evicted block was dirty.
+	EvictedDirty bool
+}
+
+// Cache is a set-associative cache with a pluggable management policy.
+type Cache struct {
+	cfg     Config
+	sets    int
+	setBits int
+	ways    int
+	lines   []line // sets*ways, row-major by set
+	policy  Policy
+
+	clock uint64 // accesses so far; drives efficiency accounting
+	stats Stats
+	eff   efficiency
+}
+
+// New builds a cache. It panics on an invalid configuration because
+// geometry errors are programming mistakes, not runtime conditions.
+func New(cfg Config, p Policy) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    cfg.Sets(),
+		setBits: mem.Log2(cfg.Sets()),
+		ways:    cfg.Ways,
+		lines:   make([]line, cfg.Sets()*cfg.Ways),
+		policy:  p,
+	}
+	p.Reset(c.sets, c.ways)
+	c.eff.reset(c.sets, c.ways)
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Policy returns the management policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Stats returns a snapshot of the access statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) line(set uint32, way int) *line {
+	return &c.lines[int(set)*c.ways+way]
+}
+
+// Access performs one reference. On a miss the block is filled
+// (write-allocate) unless the policy bypasses it; dirty victims report a
+// write-back address.
+func (c *Cache) Access(a mem.Access) Result {
+	c.clock++
+	c.stats.Accesses++
+	if a.Write {
+		c.stats.Writes++
+	}
+	set := mem.SetIndex(a.Addr, c.sets)
+	tag := mem.Tag(a.Addr, c.setBits)
+
+	c.policy.OnAccess(set, a)
+
+	// Lookup.
+	for w := 0; w < c.ways; w++ {
+		ln := c.line(set, w)
+		if ln.valid && ln.tag == tag {
+			c.stats.Hits++
+			if ln.prefetched {
+				ln.prefetched = false
+				c.stats.UsefulPrefetches++
+			}
+			ln.lastHitAt = c.clock
+			if a.Write {
+				ln.dirty = true
+			}
+			c.policy.OnHit(set, w, a)
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss.
+	c.stats.Misses++
+	if c.policy.Bypass(set, a) {
+		c.stats.Bypasses++
+		return Result{Bypassed: true}
+	}
+
+	// Prefer an invalid way.
+	victim := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.line(set, w).valid {
+			victim = w
+			break
+		}
+	}
+	res := Result{}
+	if victim < 0 {
+		victim = c.policy.Victim(set, a)
+		if victim < 0 || victim >= c.ways {
+			panic(fmt.Sprintf("cache %q: policy %s returned victim way %d of %d",
+				c.cfg.Name, c.policy.Name(), victim, c.ways))
+		}
+		ln := c.line(set, victim)
+		c.stats.Evictions++
+		res.Evicted = true
+		res.EvictedAddr = c.blockAddr(set, ln.tag)
+		if ln.dirty {
+			res.EvictedDirty = true
+			res.WritebackAddr = c.blockAddr(set, ln.tag)
+			c.stats.Writebacks++
+		}
+		c.eff.account(set, victim, ln, c.clock)
+		c.policy.OnEvict(set, victim)
+	}
+
+	ln := c.line(set, victim)
+	ln.tag = tag
+	ln.valid = true
+	ln.dirty = a.Write
+	ln.prefetched = false
+	ln.filledAt = c.clock
+	ln.lastHitAt = c.clock
+	c.policy.OnFill(set, victim, a)
+	return res
+}
+
+// PrefetchPlacer is implemented by policies that can name a way a
+// prefetch may overwrite. The dead-block replacement policy names a
+// predicted-dead way (or refuses), so prefetches never displace live
+// data — the Lai et al. prefetch-into-dead-blocks application.
+type PrefetchPlacer interface {
+	PrefetchVictim(set uint32) (way int, ok bool)
+}
+
+// InsertPrefetch places the block for a without counting a demand
+// access. Invalid ways are used first; otherwise the policy must
+// implement PrefetchPlacer and name a victim, or the prefetch is
+// dropped. It reports whether the block was placed (false also when it
+// was already resident).
+func (c *Cache) InsertPrefetch(a mem.Access) bool {
+	set := mem.SetIndex(a.Addr, c.sets)
+	tag := mem.Tag(a.Addr, c.setBits)
+	for w := 0; w < c.ways; w++ {
+		ln := c.line(set, w)
+		if ln.valid && ln.tag == tag {
+			return false // already resident
+		}
+	}
+	victim := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.line(set, w).valid {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		placer, ok := c.policy.(PrefetchPlacer)
+		if !ok {
+			return false
+		}
+		v, ok := placer.PrefetchVictim(set)
+		if !ok {
+			return false
+		}
+		victim = v
+		ln := c.line(set, victim)
+		c.stats.Evictions++
+		if ln.dirty {
+			c.stats.Writebacks++
+		}
+		c.clock++ // prefetch fills advance residency time like accesses
+		c.eff.account(set, victim, ln, c.clock)
+		c.policy.OnEvict(set, victim)
+	}
+	ln := c.line(set, victim)
+	ln.tag = tag
+	ln.valid = true
+	ln.dirty = false
+	ln.prefetched = true
+	ln.filledAt = c.clock
+	ln.lastHitAt = c.clock
+	c.stats.Prefetches++
+	c.policy.OnFill(set, victim, a)
+	return true
+}
+
+// blockAddr reconstructs a block address from a set index and tag.
+func (c *Cache) blockAddr(set uint32, tag uint64) uint64 {
+	return (tag<<uint(c.setBits) | uint64(set)) << mem.BlockBits
+}
+
+// Contains reports whether the block holding addr is present. It does
+// not perturb policy or statistics state; tests and the hierarchy's
+// inclusion checks use it.
+func (c *Cache) Contains(addr uint64) bool {
+	set := mem.SetIndex(addr, c.sets)
+	tag := mem.Tag(addr, c.setBits)
+	for w := 0; w < c.ways; w++ {
+		ln := c.line(set, w)
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidCount returns the number of valid lines (for occupancy tests).
+func (c *Cache) ValidCount() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Finish closes the efficiency accounting epoch by accounting all
+// still-resident lines as if evicted now. Call it once, after the last
+// access, before reading Efficiency or LineEfficiencies.
+func (c *Cache) Finish() {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			ln := c.line(uint32(s), w)
+			if ln.valid {
+				c.eff.account(uint32(s), w, ln, c.clock)
+				ln.filledAt = c.clock
+				ln.lastHitAt = c.clock
+			}
+		}
+	}
+}
+
+// Efficiency returns the cache's aggregate efficiency: the fraction of
+// block-resident time during which blocks were live (between fill and
+// last hit). The paper reports 1-efficiency as dead time (86.2% average
+// for a 2MB LRU LLC). Returns 0 when nothing was ever cached.
+func (c *Cache) Efficiency() float64 {
+	return c.eff.aggregate()
+}
+
+// LineEfficiencies returns a sets×ways matrix of per-line efficiency in
+// [0,1] — the data behind the paper's Figure 1 greyscale maps.
+func (c *Cache) LineEfficiencies() [][]float64 {
+	return c.eff.perLine(c.sets, c.ways)
+}
+
+// efficiency accumulates live/total resident time per line slot.
+type efficiency struct {
+	live  []uint64
+	total []uint64
+	ways  int
+}
+
+func (e *efficiency) reset(sets, ways int) {
+	e.live = make([]uint64, sets*ways)
+	e.total = make([]uint64, sets*ways)
+	e.ways = ways
+}
+
+func (e *efficiency) account(set uint32, way int, ln *line, now uint64) {
+	i := int(set)*e.ways + way
+	e.live[i] += ln.lastHitAt - ln.filledAt
+	e.total[i] += now - ln.filledAt
+}
+
+func (e *efficiency) aggregate() float64 {
+	var live, total uint64
+	for i := range e.total {
+		live += e.live[i]
+		total += e.total[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(live) / float64(total)
+}
+
+func (e *efficiency) perLine(sets, ways int) [][]float64 {
+	out := make([][]float64, sets)
+	for s := 0; s < sets; s++ {
+		row := make([]float64, ways)
+		for w := 0; w < ways; w++ {
+			i := s*ways + w
+			if e.total[i] > 0 {
+				row[w] = float64(e.live[i]) / float64(e.total[i])
+			}
+		}
+		out[s] = row
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package cache
+
+import "sdbp/internal/mem"
+
+// Policy is the pluggable block-management interface: it owns victim
+// selection, insertion/promotion bookkeeping, and the bypass decision.
+// The cache calls it with (set, way) coordinates; policies that need
+// per-line state keep it in parallel arrays sized by Reset.
+//
+// Call protocol, per (*Cache).Access:
+//
+//  1. OnAccess(set, a) — always, before the lookup is resolved. This is
+//     the hook the sampling predictor uses: its sampler tag array is
+//     maintained for every access to a sampled set, hit or miss.
+//  2. On a hit: OnHit(set, way, a).
+//  3. On a miss: Bypass(set, a); if true the block is not placed.
+//     Otherwise the cache fills an invalid way if one exists, else calls
+//     Victim(set, a) and evicts that way (OnEvict, then OnFill).
+type Policy interface {
+	// Name identifies the policy in reports ("LRU", "Sampler", ...).
+	Name() string
+
+	// Reset sizes per-line state for a cache of sets×ways lines and
+	// clears any learned state. It is called once by cache.New and may
+	// be called again to reuse a policy across runs.
+	Reset(sets, ways int)
+
+	// OnAccess observes every access to the cache before hit/miss
+	// resolution.
+	OnAccess(set uint32, a mem.Access)
+
+	// Bypass reports whether the missing block for access a should not
+	// be placed in the cache at all.
+	Bypass(set uint32, a mem.Access) bool
+
+	// Victim returns the way to evict in a full set. It must return a
+	// way in [0, ways).
+	Victim(set uint32, a mem.Access) int
+
+	// OnHit notifies that access a hit way in set.
+	OnHit(set uint32, way int, a mem.Access)
+
+	// OnFill notifies that the block for access a was placed in way.
+	OnFill(set uint32, way int, a mem.Access)
+
+	// OnEvict notifies that the valid line at (set, way) is being
+	// evicted, before the new block overwrites it.
+	OnEvict(set uint32, way int)
+}
+
+// Base is an embeddable no-op implementation of the optional Policy
+// hooks. Policies embed it and override what they need.
+type Base struct{}
+
+// OnAccess implements Policy with a no-op.
+func (Base) OnAccess(uint32, mem.Access) {}
+
+// Bypass implements Policy; the base never bypasses.
+func (Base) Bypass(uint32, mem.Access) bool { return false }
+
+// OnEvict implements Policy with a no-op.
+func (Base) OnEvict(uint32, int) {}

@@ -1,0 +1,20 @@
+package cache
+
+import (
+	"testing"
+
+	"sdbp/internal/mem"
+)
+
+func TestInsertPrefetchDroppedWithoutPlacer(t *testing.T) {
+	// fifoPolicy does not implement PrefetchPlacer: full sets refuse.
+	c := smallCache(&fifoPolicy{})
+	c.Access(mem.Access{Addr: 0})
+	c.Access(mem.Access{Addr: 4 * 64})
+	if c.InsertPrefetch(mem.Access{Addr: 8 * 64}) {
+		t.Error("prefetch placed despite no PrefetchPlacer")
+	}
+	if c.Stats().Prefetches != 0 {
+		t.Error("dropped prefetch counted as placed")
+	}
+}

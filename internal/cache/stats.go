@@ -1,0 +1,56 @@
+package cache
+
+// Stats counts the events a cache observed.
+type Stats struct {
+	// Accesses is the total number of references.
+	Accesses uint64
+	// Writes is the number of store references.
+	Writes uint64
+	// Hits is the number of references that found their block.
+	Hits uint64
+	// Misses is the number of references that did not (including
+	// bypassed misses).
+	Misses uint64
+	// Bypasses is the number of misses the policy declined to fill.
+	Bypasses uint64
+	// Evictions is the number of valid blocks displaced by fills.
+	Evictions uint64
+	// Writebacks is the number of dirty blocks evicted.
+	Writebacks uint64
+	// Prefetches is the number of blocks placed by InsertPrefetch.
+	Prefetches uint64
+	// UsefulPrefetches is the number of prefetched blocks that were
+	// subsequently demanded before eviction.
+	UsefulPrefetches uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 with no accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// HitRate returns Hits/Accesses, or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Add accumulates other into s and returns the sum.
+func (s Stats) Add(other Stats) Stats {
+	return Stats{
+		Accesses:         s.Accesses + other.Accesses,
+		Writes:           s.Writes + other.Writes,
+		Hits:             s.Hits + other.Hits,
+		Misses:           s.Misses + other.Misses,
+		Bypasses:         s.Bypasses + other.Bypasses,
+		Evictions:        s.Evictions + other.Evictions,
+		Writebacks:       s.Writebacks + other.Writebacks,
+		Prefetches:       s.Prefetches + other.Prefetches,
+		UsefulPrefetches: s.UsefulPrefetches + other.UsefulPrefetches,
+	}
+}

@@ -1,0 +1,162 @@
+// Package cpu implements the trace-driven out-of-order core timing
+// model the reproduction substitutes for CMP$im: a 4-wide, 8-stage
+// pipeline with a 128-entry instruction window. Independent misses
+// overlap inside the window (memory-level parallelism); dependent loads
+// serialize; retirement is in order. The model turns the cache
+// hierarchy's per-access latencies into cycles, hence IPC.
+package cpu
+
+// Config sets the core's microarchitectural parameters. The defaults
+// (via DefaultConfig) model the paper's Intel Core i7 (Nehalem)-like
+// core.
+type Config struct {
+	// Width is the fetch/retire width in instructions per cycle.
+	Width int
+	// WindowSize is the instruction window (ROB) capacity.
+	WindowSize int
+	// PipelineDepth is the front-end depth in cycles; it contributes a
+	// fixed startup cost.
+	PipelineDepth int
+	// DRAMInterval is the minimum spacing, in cycles, between memory
+	// accesses that miss all caches — the off-chip bandwidth limit that
+	// keeps unlimited memory-level parallelism from hiding every miss.
+	DRAMInterval int
+}
+
+// DefaultConfig returns the paper's core: 4-wide, 8-stage, 128-entry
+// window, with one off-chip line transfer per 16 cycles.
+func DefaultConfig() Config {
+	return Config{Width: 4, WindowSize: 128, PipelineDepth: 8, DRAMInterval: 16}
+}
+
+// Latencies for the memory hierarchy levels, in cycles. These follow
+// the Nehalem-class parameters common to the cache papers the
+// reproduction compares with.
+const (
+	LatL1  = 2   // L1 hit
+	LatL2  = 12  // L2 hit
+	LatLLC = 30  // LLC hit
+	LatMem = 200 // memory access
+)
+
+// memOp tracks one in-flight memory instruction for the window
+// occupancy constraint.
+type memOp struct {
+	instr  uint64 // global instruction index of the op
+	retire float64
+}
+
+// Core accumulates timing for one hardware thread's instruction stream.
+type Core struct {
+	cfg Config
+
+	instructions uint64  // total instructions fetched (gap + memory ops)
+	fetch        float64 // cycle the fetch frontier has reached
+	lastRetire   float64 // retire time of the newest retired-order op
+
+	// window holds memory ops younger than WindowSize instructions; the
+	// head's retire time gates fetch when the window wraps.
+	window      []memOp
+	windowHead  int
+	gatedRetire float64 // retire time of the newest op fallen out of the window
+
+	depReady float64 // completion time of the last load (dependence chain)
+	dramFree float64 // cycle the off-chip channel next frees up
+}
+
+// New returns a core timing model.
+func New(cfg Config) *Core {
+	if cfg.Width < 1 || cfg.WindowSize < 1 {
+		panic("cpu: invalid core configuration")
+	}
+	return &Core{cfg: cfg, fetch: float64(cfg.PipelineDepth)}
+}
+
+// Record accounts one memory instruction preceded by gap non-memory
+// instructions. latency is the access's completion latency in cycles
+// (LatL1..LatMem); dependent marks a load whose address depends on the
+// previous load.
+func (c *Core) Record(gap uint32, latency int, dependent bool) {
+	w := float64(c.cfg.Width)
+
+	// Fetch the gap instructions and the memory op itself.
+	c.instructions += uint64(gap) + 1
+	c.fetch += (float64(gap) + 1) / w
+
+	// Window constraint: the op cannot be fetched until the instruction
+	// WindowSize older has retired. Pop ops that have fallen out of the
+	// window, remembering the newest popped retire time.
+	for c.windowHead < len(c.window) &&
+		c.window[c.windowHead].instr+uint64(c.cfg.WindowSize) <= c.instructions {
+		c.gatedRetire = c.window[c.windowHead].retire
+		c.windowHead++
+	}
+	if c.gatedRetire > c.fetch {
+		c.fetch = c.gatedRetire
+	}
+
+	issue := c.fetch
+	if dependent && c.depReady > issue {
+		issue = c.depReady
+	}
+	if latency >= LatMem {
+		// Off-chip accesses contend for DRAM bandwidth.
+		if c.dramFree > issue {
+			issue = c.dramFree
+		}
+		c.dramFree = issue + float64(c.cfg.DRAMInterval)
+	}
+	complete := issue + float64(latency)
+	c.depReady = complete
+
+	// In-order retirement.
+	retire := complete
+	if c.lastRetire > retire {
+		retire = c.lastRetire
+	}
+	c.lastRetire = retire
+
+	c.window = append(c.window, memOp{instr: c.instructions, retire: retire})
+	// Compact the slice occasionally so it does not grow with the trace.
+	if c.windowHead > 4096 {
+		c.window = append(c.window[:0], c.window[c.windowHead:]...)
+		c.windowHead = 0
+	}
+}
+
+// ChargeDRAM consumes one line transfer of off-chip bandwidth without
+// retiring an instruction — the cost of a prefetch fill.
+func (c *Core) ChargeDRAM() {
+	start := c.dramFree
+	if c.fetch > start {
+		start = c.fetch
+	}
+	c.dramFree = start + float64(c.cfg.DRAMInterval)
+}
+
+// Tail accounts trailing non-memory instructions after the last access.
+func (c *Core) Tail(gap uint32) {
+	c.instructions += uint64(gap)
+	c.fetch += float64(gap) / float64(c.cfg.Width)
+}
+
+// Instructions returns the number of instructions accounted so far.
+func (c *Core) Instructions() uint64 { return c.instructions }
+
+// Cycles returns the cycles elapsed: the later of the fetch frontier
+// and the last retirement.
+func (c *Core) Cycles() float64 {
+	if c.lastRetire > c.fetch {
+		return c.lastRetire
+	}
+	return c.fetch
+}
+
+// IPC returns instructions per cycle so far (0 before any instruction).
+func (c *Core) IPC() float64 {
+	cy := c.Cycles()
+	if cy == 0 {
+		return 0
+	}
+	return float64(c.instructions) / cy
+}

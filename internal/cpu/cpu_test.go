@@ -1,0 +1,148 @@
+package cpu
+
+import (
+	"testing"
+)
+
+func newCore() *Core { return New(DefaultConfig()) }
+
+func TestIPCBoundedByWidth(t *testing.T) {
+	c := newCore()
+	for i := 0; i < 10000; i++ {
+		c.Record(3, LatL1, false)
+	}
+	if ipc := c.IPC(); ipc > 4.0 {
+		t.Errorf("IPC %.2f exceeds the 4-wide front end", ipc)
+	}
+}
+
+func TestL1HitsApproachWidth(t *testing.T) {
+	c := newCore()
+	for i := 0; i < 100000; i++ {
+		c.Record(7, LatL1, false)
+	}
+	if ipc := c.IPC(); ipc < 3.5 {
+		t.Errorf("IPC %.2f with pure L1 hits; want near 4", ipc)
+	}
+}
+
+func TestMissesReduceIPC(t *testing.T) {
+	fast, slow := newCore(), newCore()
+	for i := 0; i < 10000; i++ {
+		fast.Record(3, LatL1, false)
+		slow.Record(3, LatMem, false)
+	}
+	if slow.IPC() >= fast.IPC() {
+		t.Errorf("memory-bound IPC %.3f >= L1-bound IPC %.3f", slow.IPC(), fast.IPC())
+	}
+}
+
+func TestDependentLoadsSerialize(t *testing.T) {
+	indep, dep := newCore(), newCore()
+	for i := 0; i < 5000; i++ {
+		indep.Record(0, LatMem, false)
+		dep.Record(0, LatMem, true)
+	}
+	// Dependent misses cannot overlap: each pays the full latency.
+	if dep.IPC() >= indep.IPC()/2 {
+		t.Errorf("dependent IPC %.4f not clearly below independent IPC %.4f",
+			dep.IPC(), indep.IPC())
+	}
+	// A dependent chain retires one access per LatMem cycles at best.
+	maxIPC := 1.0 / float64(LatMem)
+	if got := dep.IPC(); got > maxIPC*1.05 {
+		t.Errorf("dependent-chain IPC %.5f above the serialization bound %.5f", got, maxIPC)
+	}
+}
+
+func TestWindowLimitsOverlap(t *testing.T) {
+	// With a tiny window, independent misses cannot all overlap, so a
+	// large window must be faster.
+	small := New(Config{Width: 4, WindowSize: 8, PipelineDepth: 8, DRAMInterval: 0})
+	big := New(Config{Width: 4, WindowSize: 512, PipelineDepth: 8, DRAMInterval: 0})
+	for i := 0; i < 20000; i++ {
+		small.Record(0, LatMem, false)
+		big.Record(0, LatMem, false)
+	}
+	if big.IPC() <= small.IPC()*1.2 {
+		t.Errorf("window 512 IPC %.4f not clearly above window 8 IPC %.4f",
+			big.IPC(), small.IPC())
+	}
+}
+
+func TestDRAMBandwidthBoundsMissRate(t *testing.T) {
+	c := newCore()
+	n := 20000
+	for i := 0; i < n; i++ {
+		c.Record(0, LatMem, false)
+	}
+	// Misses cannot complete faster than one per DRAMInterval cycles.
+	minCycles := float64(n * DefaultConfig().DRAMInterval)
+	if got := c.Cycles(); got < minCycles {
+		t.Errorf("cycles %.0f below the DRAM bandwidth floor %.0f", got, minCycles)
+	}
+}
+
+func TestInstructionsAccounting(t *testing.T) {
+	c := newCore()
+	c.Record(9, LatL1, false)
+	c.Record(0, LatL2, false)
+	c.Tail(5)
+	if got := c.Instructions(); got != 9+1+0+1+5 {
+		t.Errorf("instructions = %d, want 16", got)
+	}
+}
+
+func TestCyclesMonotone(t *testing.T) {
+	c := newCore()
+	last := c.Cycles()
+	for i := 0; i < 1000; i++ {
+		c.Record(uint32(i%7), LatLLC, i%3 == 0)
+		if cy := c.Cycles(); cy < last {
+			t.Fatalf("cycles went backward: %.2f -> %.2f", last, cy)
+		} else {
+			last = cy
+		}
+	}
+}
+
+func TestZeroInstructionIPC(t *testing.T) {
+	c := newCore()
+	if c.IPC() != 0 {
+		t.Error("IPC before any instruction should be 0")
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero-width core")
+		}
+	}()
+	New(Config{Width: 0, WindowSize: 128})
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	if !(LatL1 < LatL2 && LatL2 < LatLLC && LatLLC < LatMem) {
+		t.Error("latency constants are not ordered by hierarchy level")
+	}
+}
+
+func TestWindowCompactionPreservesTiming(t *testing.T) {
+	// Run long enough to trigger the internal slice compaction and
+	// compare against a fresh identical run (determinism check).
+	run := func() float64 {
+		c := newCore()
+		for i := 0; i < 300000; i++ {
+			lat := LatL1
+			if i%17 == 0 {
+				lat = LatMem
+			}
+			c.Record(2, lat, false)
+		}
+		return c.Cycles()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("timing not deterministic: %.2f vs %.2f", a, b)
+	}
+}

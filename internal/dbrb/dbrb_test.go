@@ -1,0 +1,159 @@
+package dbrb
+
+import (
+	"testing"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/mem"
+	"sdbp/internal/policy"
+	"sdbp/internal/power"
+)
+
+// scriptedPredictor predicts dead exactly for one PC.
+type scriptedPredictor struct {
+	deadPC uint64
+}
+
+func (p *scriptedPredictor) Name() string                { return "scripted" }
+func (p *scriptedPredictor) Reset(int, int)              {}
+func (p *scriptedPredictor) OnAccess(uint32, mem.Access) {}
+func (p *scriptedPredictor) OnEvict(uint32, int)         {}
+func (p *scriptedPredictor) Storage() []power.Structure  { return nil }
+func (p *scriptedPredictor) pred(a mem.Access) bool      { return a.PC == p.deadPC }
+func (p *scriptedPredictor) PredictArriving(_ uint32, a mem.Access) bool {
+	return p.pred(a)
+}
+func (p *scriptedPredictor) OnHit(_ uint32, _ int, a mem.Access) bool  { return p.pred(a) }
+func (p *scriptedPredictor) OnFill(_ uint32, _ int, a mem.Access) bool { return p.pred(a) }
+
+const deadPC = 0xD00D
+
+func newTestCache() (*cache.Cache, *Policy) {
+	pol := New(policy.NewLRU(), &scriptedPredictor{deadPC: deadPC})
+	// 1 set x 4 ways.
+	c := cache.New(cache.Config{Name: "t", SizeBytes: 4 * mem.BlockSize, Ways: 4}, pol)
+	return c, pol
+}
+
+func addr(i int) uint64 { return uint64(i) * mem.BlockSize }
+
+func TestBypassOnDeadArrival(t *testing.T) {
+	c, pol := newTestCache()
+	r := c.Access(mem.Access{PC: deadPC, Addr: addr(1)})
+	if !r.Bypassed {
+		t.Fatal("dead-on-arrival block was placed")
+	}
+	if pol.Accuracy().Positives != 1 {
+		t.Errorf("positives = %d, want 1", pol.Accuracy().Positives)
+	}
+}
+
+func TestDeadBlockVictimizedFirst(t *testing.T) {
+	c, _ := newTestCache()
+	// Fill the set with live blocks, touch one at the dead PC, then
+	// miss: the dead-marked block must be the victim even though it is
+	// the MRU.
+	for i := 0; i < 4; i++ {
+		c.Access(mem.Access{PC: 0x1, Addr: addr(i)})
+	}
+	c.Access(mem.Access{PC: deadPC, Addr: addr(2)}) // hit; marked dead; MRU
+	c.Access(mem.Access{PC: 0x1, Addr: addr(9)})    // miss; needs a victim
+	if c.Contains(addr(2)) {
+		t.Error("dead-marked block survived a replacement")
+	}
+	if !c.Contains(addr(0)) {
+		t.Error("LRU live block was evicted instead of the dead block")
+	}
+}
+
+func TestDeadClosestToLRUWins(t *testing.T) {
+	c, _ := newTestCache()
+	for i := 0; i < 4; i++ {
+		c.Access(mem.Access{PC: 0x1, Addr: addr(i)})
+	}
+	// Mark blocks 1 and 3 dead; block 1 is older (closer to LRU).
+	c.Access(mem.Access{PC: deadPC, Addr: addr(1)})
+	c.Access(mem.Access{PC: deadPC, Addr: addr(3)})
+	c.Access(mem.Access{PC: 0x1, Addr: addr(9)})
+	if c.Contains(addr(1)) {
+		t.Error("dead block closest to LRU not chosen")
+	}
+	if !c.Contains(addr(3)) {
+		t.Error("the MRU-side dead block was chosen instead")
+	}
+}
+
+func TestFallbackToBasePolicy(t *testing.T) {
+	c, _ := newTestCache()
+	for i := 0; i < 4; i++ {
+		c.Access(mem.Access{PC: 0x1, Addr: addr(i)})
+	}
+	// No dead blocks: the base LRU victim (block 0) must go.
+	c.Access(mem.Access{PC: 0x1, Addr: addr(9)})
+	if c.Contains(addr(0)) {
+		t.Error("base LRU victim not evicted")
+	}
+}
+
+func TestFalsePositiveAccounting(t *testing.T) {
+	c, pol := newTestCache()
+	c.Access(mem.Access{PC: deadPC, Addr: addr(1)}) // bypassed (miss)
+	c.Access(mem.Access{PC: 0x1, Addr: addr(1)})    // placed
+	c.Access(mem.Access{PC: deadPC, Addr: addr(1)}) // hit; marked dead
+	c.Access(mem.Access{PC: 0x1, Addr: addr(1)})    // hit on dead mark: FP
+	acc := pol.Accuracy()
+	if acc.FalsePositives != 1 {
+		t.Errorf("false positives = %d, want 1", acc.FalsePositives)
+	}
+	if acc.Predictions != 4 {
+		t.Errorf("predictions = %d, want 4", acc.Predictions)
+	}
+}
+
+func TestAccuracyRates(t *testing.T) {
+	a := Accuracy{Predictions: 200, Positives: 50, FalsePositives: 10}
+	if a.Coverage() != 0.25 {
+		t.Errorf("coverage = %v", a.Coverage())
+	}
+	if a.FalsePositiveRate() != 0.05 {
+		t.Errorf("fp rate = %v", a.FalsePositiveRate())
+	}
+	var zero Accuracy
+	if zero.Coverage() != 0 || zero.FalsePositiveRate() != 0 {
+		t.Error("zero accuracy should have zero rates")
+	}
+}
+
+func TestDeadBitsClearOnEviction(t *testing.T) {
+	c, pol := newTestCache()
+	for i := 0; i < 4; i++ {
+		c.Access(mem.Access{PC: 0x1, Addr: addr(i)})
+	}
+	c.Access(mem.Access{PC: deadPC, Addr: addr(2)})
+	c.Access(mem.Access{PC: 0x1, Addr: addr(9)}) // evicts dead block 2
+	if n := pol.DeadCount(); n != 0 {
+		t.Errorf("dead bits after eviction = %d, want 0", n)
+	}
+}
+
+func TestPolicyName(t *testing.T) {
+	pol := New(policy.NewLRU(), &scriptedPredictor{})
+	if pol.Name() != "scripted DBRB/LRU" {
+		t.Errorf("name = %q", pol.Name())
+	}
+}
+
+func TestRandomBaseHasNoRankPreference(t *testing.T) {
+	// Over a random base, any dead block may be chosen; the policy must
+	// still pick a dead one.
+	pol := New(policy.NewRandom(1), &scriptedPredictor{deadPC: deadPC})
+	c := cache.New(cache.Config{Name: "t", SizeBytes: 4 * mem.BlockSize, Ways: 4}, pol)
+	for i := 0; i < 4; i++ {
+		c.Access(mem.Access{PC: 0x1, Addr: addr(i)})
+	}
+	c.Access(mem.Access{PC: deadPC, Addr: addr(2)})
+	c.Access(mem.Access{PC: 0x1, Addr: addr(9)})
+	if c.Contains(addr(2)) {
+		t.Error("dead block not victimized over random base")
+	}
+}

@@ -1,0 +1,82 @@
+package dbrb
+
+import (
+	"testing"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/mem"
+	"sdbp/internal/policy"
+)
+
+// hostilePredictor predicts everything dead — maximal damage for the
+// duel to contain.
+type hostilePredictor struct{ scriptedPredictor }
+
+func (p *hostilePredictor) pred(mem.Access) bool                    { return true }
+func (p *hostilePredictor) PredictArriving(uint32, mem.Access) bool { return true }
+func (p *hostilePredictor) OnHit(uint32, int, mem.Access) bool      { return true }
+func (p *hostilePredictor) OnFill(uint32, int, mem.Access) bool     { return true }
+
+// reuseTrace drives a cache with a fitting, heavily reused working set
+// and returns the hit count.
+func reuseTrace(c *cache.Cache, blocks, laps int) uint64 {
+	for l := 0; l < laps; l++ {
+		for b := 0; b < blocks; b++ {
+			c.Access(mem.Access{Addr: uint64(b) * mem.BlockSize})
+		}
+	}
+	return c.Stats().Hits
+}
+
+func TestDuelingContainsHostilePredictor(t *testing.T) {
+	cfg := cache.Config{Name: "t", SizeBytes: 256 << 10, Ways: 16} // 4096 blocks
+	const blocks, laps = 2048, 30                                  // fits comfortably
+
+	lruHits := reuseTrace(cache.New(cfg, policy.NewLRU()), blocks, laps)
+	plainHits := reuseTrace(cache.New(cfg, New(policy.NewLRU(), &hostilePredictor{})), blocks, laps)
+	dueledHits := reuseTrace(cache.New(cfg, NewDueling(policy.NewLRU(), &hostilePredictor{})), blocks, laps)
+
+	// The hostile predictor bypasses everything: plain DBRB collapses
+	// to (almost) no hits.
+	if plainHits > lruHits/10 {
+		t.Fatalf("hostile predictor not hostile enough: %d vs LRU %d", plainHits, lruHits)
+	}
+	// The duel must recover most of the LRU hits.
+	if dueledHits < lruHits*8/10 {
+		t.Errorf("dueled hits %d below 80%% of LRU hits %d", dueledHits, lruHits)
+	}
+}
+
+func TestDuelingKeepsGoodPredictorWins(t *testing.T) {
+	// With the scripted (accurate) predictor, dueling must not destroy
+	// the dead-block wins: a stream of one-touch blocks at the dead PC
+	// bypasses under both plain and dueled DBRB.
+	cfg := cache.Config{Name: "t", SizeBytes: 64 << 10, Ways: 16}
+	run := func(pol cache.Policy) uint64 {
+		c := cache.New(cfg, pol)
+		// Hot fitting set, interleaved with one-shot junk at deadPC.
+		junk := uint64(1) << 40
+		for l := 0; l < 40; l++ {
+			for b := 0; b < 512; b++ {
+				c.Access(mem.Access{PC: 0x1, Addr: uint64(b) * mem.BlockSize})
+			}
+			for j := 0; j < 1024; j++ {
+				c.Access(mem.Access{PC: deadPC, Addr: junk})
+				junk += mem.BlockSize
+			}
+		}
+		return c.Stats().Hits
+	}
+	lru := run(policy.NewLRU())
+	dueled := run(NewDueling(policy.NewLRU(), &scriptedPredictor{deadPC: deadPC}))
+	if dueled <= lru {
+		t.Errorf("dueled DBRB hits %d not above LRU %d with an accurate predictor", dueled, lru)
+	}
+}
+
+func TestDuelingName(t *testing.T) {
+	p := NewDueling(policy.NewLRU(), &scriptedPredictor{})
+	if p.Name() != "Dueling scripted DBRB/LRU" {
+		t.Errorf("name = %q", p.Name())
+	}
+}

@@ -1,0 +1,65 @@
+package figures
+
+import (
+	"fmt"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/dbrb"
+	"sdbp/internal/policy"
+	"sdbp/internal/predictor"
+	"sdbp/internal/sim"
+	"sdbp/internal/stats"
+	"sdbp/internal/workloads"
+)
+
+// AblationOrder is the paper's Figure 6 bar order.
+var AblationOrder = []string{
+	"DBRB alone",
+	"DBRB+3 tables",
+	"DBRB+sampler",
+	"DBRB+sampler+3 tables",
+	"DBRB+sampler+12-way",
+	"DBRB+sampler+3 tables+12-way",
+}
+
+// Ablation holds the Figure 6 component-contribution study: geometric
+// mean speedup over LRU for every feasible combination of the sampler,
+// reduced sampler associativity, and the skewed table organization.
+type Ablation struct {
+	Speedup map[string]float64 // variant -> gmean speedup over LRU
+}
+
+// RunAblation performs the Figure 6 sweep.
+func RunAblation(scale float64) *Ablation {
+	benches := sortedNames(workloads.Subset())
+	specs := []PolicySpec{LRUSpec()}
+	cfgs := predictor.AblationConfigs()
+	for _, name := range AblationOrder {
+		cfg := cfgs[name]
+		specs = append(specs, PolicySpec{name, func(int) cache.Policy {
+			return dbrb.New(policy.NewLRU(), predictor.NewSampler(cfg))
+		}})
+	}
+	m := RunMatrix(benches, specs, sim.SingleOptions{Scale: scale})
+
+	lru := m.Series("LRU", func(r sim.SingleResult) float64 { return r.IPC })
+	ab := &Ablation{Speedup: make(map[string]float64)}
+	for _, name := range AblationOrder {
+		var sp []float64
+		for i, b := range m.Benchmarks {
+			sp = append(sp, m.Get(b, name).IPC/lru[i])
+		}
+		ab.Speedup[name] = stats.GeoMean(sp)
+	}
+	return ab
+}
+
+// Render prints the Figure 6 bars: gmean speedup per variant.
+func (ab *Ablation) Render() string {
+	header := []string{"variant", "gmean speedup"}
+	var rows [][]string
+	for _, name := range AblationOrder {
+		rows = append(rows, []string{name, fmt.Sprintf("%.3f", ab.Speedup[name])})
+	}
+	return renderTable("Figure 6: contribution of sampling, reduced associativity, and skewed prediction", header, rows)
+}

@@ -1,0 +1,99 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders a horizontal ASCII bar chart — the harness's stand-in
+// for the paper's bar figures. Values are scaled to the chart width;
+// an optional reference line (e.g. the LRU baseline at 1.0) is marked
+// with '|'.
+type BarChart struct {
+	// Title is printed above the chart.
+	Title string
+	// Width is the bar area width in characters (default 50).
+	Width int
+	// Reference, when nonzero, draws a vertical marker at that value
+	// (useful for normalized charts where 1.0 is the baseline).
+	Reference float64
+
+	labels []string
+	values []float64
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+}
+
+// Render draws the chart.
+func (c *BarChart) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	labelW := 0
+	for i, v := range c.values {
+		if v > max {
+			max = v
+		}
+		if len(c.labels[i]) > labelW {
+			labelW = len(c.labels[i])
+		}
+	}
+	if c.Reference > max {
+		max = c.Reference
+	}
+	if max == 0 {
+		max = 1
+	}
+
+	refCol := -1
+	if c.Reference > 0 {
+		refCol = int(c.Reference / max * float64(width-1))
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	for i, v := range c.values {
+		fill := int(v / max * float64(width-1))
+		if v > 0 && fill == 0 {
+			fill = 1
+		}
+		bar := make([]byte, width)
+		for j := range bar {
+			switch {
+			case j < fill:
+				bar[j] = '#'
+			case j == refCol:
+				bar[j] = '|'
+			default:
+				bar[j] = ' '
+			}
+		}
+		if refCol >= 0 && refCol < fill {
+			bar[refCol] = '|'
+		}
+		fmt.Fprintf(&sb, "  %-*s %s %.3f\n", labelW, c.labels[i], string(bar), v)
+	}
+	return sb.String()
+}
+
+// SummaryChart builds a normalized-to-baseline bar chart from parallel
+// label/value slices with the baseline marked at 1.0.
+func SummaryChart(title string, labels []string, values []float64) string {
+	if len(labels) != len(values) {
+		panic("figures: label/value length mismatch")
+	}
+	c := &BarChart{Title: title, Reference: 1.0}
+	for i := range labels {
+		c.Add(labels[i], values[i])
+	}
+	return c.Render()
+}

@@ -1,0 +1,62 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartRendersAllBars(t *testing.T) {
+	c := &BarChart{Title: "t", Width: 20}
+	c.Add("alpha", 1)
+	c.Add("beta", 2)
+	out := c.Render()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Errorf("missing labels:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // title + 2 bars
+		t.Errorf("lines = %d", len(lines))
+	}
+	// beta's bar must be about twice alpha's.
+	a := strings.Count(lines[1], "#")
+	b := strings.Count(lines[2], "#")
+	if b < a*3/2 {
+		t.Errorf("bar proportions wrong: %d vs %d", a, b)
+	}
+}
+
+func TestBarChartReferenceMarker(t *testing.T) {
+	c := &BarChart{Width: 40, Reference: 1.0}
+	c.Add("under", 0.5)
+	c.Add("over", 1.5)
+	out := c.Render()
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.Contains(line, "|") {
+			t.Errorf("reference marker missing in %q", line)
+		}
+	}
+}
+
+func TestBarChartZeroSafe(t *testing.T) {
+	c := &BarChart{}
+	c.Add("zero", 0)
+	if out := c.Render(); !strings.Contains(out, "zero") {
+		t.Error("zero-value chart broke")
+	}
+}
+
+func TestSummaryChart(t *testing.T) {
+	out := SummaryChart("s", []string{"a", "b"}, []float64{0.9, 1.1})
+	if !strings.Contains(out, "0.900") || !strings.Contains(out, "1.100") {
+		t.Errorf("values missing:\n%s", out)
+	}
+}
+
+func TestSummaryChartPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	SummaryChart("s", []string{"a"}, nil)
+}

@@ -1,0 +1,143 @@
+package figures
+
+import (
+	"fmt"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/dbrb"
+	"sdbp/internal/policy"
+	"sdbp/internal/predictor"
+	"sdbp/internal/sim"
+	"sdbp/internal/stats"
+	"sdbp/internal/workloads"
+)
+
+// The extension experiments go beyond the paper's figures: the
+// related-work predictors it discusses but does not plot (cache bursts,
+// AIP), its stated future work (the sampling counting predictor), the
+// pseudo-LRU/NRU base policies real LLCs use, and design-space sweeps
+// over the sampler's set count and prediction threshold.
+
+// ExtensionPolicies returns the extension comparison set.
+func ExtensionPolicies() []PolicySpec {
+	return []PolicySpec{
+		{"Bursts", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewBursts()) }},
+		{"AIP", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewAIP()) }},
+		{"SmpCount", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewSamplingCounting()) }},
+		{"TimeBased", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewTimeBased()) }},
+		{"DuelSmp", func(int) cache.Policy {
+			return dbrb.NewDueling(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+		}},
+		{"PLRU", func(int) cache.Policy { return policy.NewPLRU() }},
+		{"PLRU+S", func(int) cache.Policy {
+			return dbrb.New(policy.NewPLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+		}},
+		{"Sampler", func(int) cache.Policy {
+			return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+		}},
+	}
+}
+
+// Extensions holds the extension comparison over the subset.
+type Extensions struct {
+	Matrix *Matrix
+	LRU    *Matrix
+}
+
+// RunExtensions sweeps the extension policies over the subset.
+func RunExtensions(scale float64) *Extensions {
+	benches := sortedNames(workloads.Subset())
+	return &Extensions{
+		Matrix: RunMatrix(benches, ExtensionPolicies(), sim.SingleOptions{Scale: scale}),
+		LRU:    RunMatrix(benches, []PolicySpec{LRUSpec()}, sim.SingleOptions{Scale: scale}),
+	}
+}
+
+// Render prints normalized misses and gmean speedup for the extension
+// policies.
+func (e *Extensions) Render() string {
+	pols := e.Matrix.Policies
+	header := append([]string{"benchmark"}, pols...)
+	var rows [][]string
+	mpki := map[string][]float64{}
+	speed := map[string][]float64{}
+	lruM := e.LRU.Series("LRU", func(r sim.SingleResult) float64 { return r.MPKI })
+	lruI := e.LRU.Series("LRU", func(r sim.SingleResult) float64 { return r.IPC })
+	for i, b := range e.Matrix.Benchmarks {
+		row := []string{b}
+		for _, p := range pols {
+			r := e.Matrix.Get(b, p)
+			m := r.MPKI / lruM[i]
+			mpki[p] = append(mpki[p], m)
+			speed[p] = append(speed[p], r.IPC/lruI[i])
+			row = append(row, fmt.Sprintf("%.3f", m))
+		}
+		rows = append(rows, row)
+	}
+	amean := []string{"amean MPKI"}
+	gmean := []string{"gmean speedup"}
+	for _, p := range pols {
+		amean = append(amean, fmt.Sprintf("%.3f", stats.Mean(mpki[p])))
+		gmean = append(gmean, fmt.Sprintf("%.3f", stats.GeoMean(speed[p])))
+	}
+	rows = append(rows, amean, gmean)
+	return renderTable("Extensions: related-work predictors, future work, and PLRU bases (misses normalized to LRU)", header, rows)
+}
+
+// SamplerSetsSweep measures the design decision of Section III-A: "32
+// sets provide a good trade-off between accuracy and efficiency". It
+// returns gmean speedup over LRU per sampler set count.
+func SamplerSetsSweep(scale float64, setCounts []int) map[int]float64 {
+	benches := sortedNames(workloads.Subset())
+	specs := []PolicySpec{LRUSpec()}
+	for _, n := range setCounts {
+		cfg := predictor.DefaultSamplerConfig()
+		cfg.SamplerSets = n
+		specs = append(specs, PolicySpec{fmt.Sprintf("sets-%d", n), func(int) cache.Policy {
+			return dbrb.New(policy.NewLRU(), predictor.NewSampler(cfg))
+		}})
+	}
+	m := RunMatrix(benches, specs, sim.SingleOptions{Scale: scale})
+	lru := m.Series("LRU", func(r sim.SingleResult) float64 { return r.IPC })
+	out := make(map[int]float64, len(setCounts))
+	for _, n := range setCounts {
+		sp := stats.Normalize(m.Series(fmt.Sprintf("sets-%d", n),
+			func(r sim.SingleResult) float64 { return r.IPC }), lru)
+		out[n] = stats.GeoMean(sp)
+	}
+	return out
+}
+
+// ThresholdSweep measures the design decision of Section III-E: "a
+// threshold of eight gives the best accuracy". It returns gmean speedup
+// over LRU per confidence threshold.
+func ThresholdSweep(scale float64, thresholds []int) map[int]float64 {
+	benches := sortedNames(workloads.Subset())
+	specs := []PolicySpec{LRUSpec()}
+	for _, th := range thresholds {
+		cfg := predictor.DefaultSamplerConfig()
+		cfg.Threshold = th
+		specs = append(specs, PolicySpec{fmt.Sprintf("thr-%d", th), func(int) cache.Policy {
+			return dbrb.New(policy.NewLRU(), predictor.NewSampler(cfg))
+		}})
+	}
+	m := RunMatrix(benches, specs, sim.SingleOptions{Scale: scale})
+	lru := m.Series("LRU", func(r sim.SingleResult) float64 { return r.IPC })
+	out := make(map[int]float64, len(thresholds))
+	for _, th := range thresholds {
+		sp := stats.Normalize(m.Series(fmt.Sprintf("thr-%d", th),
+			func(r sim.SingleResult) float64 { return r.IPC }), lru)
+		out[th] = stats.GeoMean(sp)
+	}
+	return out
+}
+
+// RenderSweep formats a parameter sweep result in ascending key order.
+func RenderSweep(title, keyName string, result map[int]float64, keys []int) string {
+	header := []string{keyName, "gmean speedup"}
+	var rows [][]string
+	for _, k := range keys {
+		rows = append(rows, []string{fmt.Sprintf("%d", k), fmt.Sprintf("%.3f", result[k])})
+	}
+	return renderTable(title, header, rows)
+}

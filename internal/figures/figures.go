@@ -1,0 +1,194 @@
+// Package figures regenerates every table and figure in the paper's
+// evaluation: the policy comparison figures (4, 5, 7, 8), the predictor
+// accuracy figure (9), the component ablation (6), the multicore
+// weighted speedups (10a, 10b), the storage and power tables (I, II),
+// the benchmark characterization table (III), the workload mixes and
+// cache sensitivity curves (IV), and the cache-efficiency illustration
+// (Figure 1).
+//
+// Each figure has a Run function that performs the sweep and a Render
+// method that prints the same rows/series the paper reports.
+package figures
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/dbrb"
+	"sdbp/internal/hier"
+	"sdbp/internal/policy"
+	"sdbp/internal/predictor"
+	"sdbp/internal/sim"
+	"sdbp/internal/workloads"
+)
+
+// PolicySpec names a policy and builds fresh instances of it, one per
+// simulation (policies hold mutable state and must never be shared
+// across runs).
+type PolicySpec struct {
+	// Name is the paper's abbreviation for the technique (Table V).
+	Name string
+	// Make builds a fresh policy for a cache shared by threads threads.
+	Make func(threads int) cache.Policy
+}
+
+// LRUSpec is the baseline.
+func LRUSpec() PolicySpec {
+	return PolicySpec{"LRU", func(int) cache.Policy { return policy.NewLRU() }}
+}
+
+// StandardPolicies returns the paper's LRU-baseline comparison set in
+// presentation order: TDBP, CDBP, DIP, RRIP, Sampler.
+func StandardPolicies() []PolicySpec {
+	return []PolicySpec{
+		{"TDBP", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewRefTrace()) }},
+		{"CDBP", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewCounting()) }},
+		{"DIP", func(int) cache.Policy { return policy.NewDIP(2) }},
+		{"RRIP", func(threads int) cache.Policy { return policy.NewDRRIP(threads, 4) }},
+		{"Sampler", func(int) cache.Policy {
+			return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+		}},
+	}
+}
+
+// RandomPolicies returns the random-baseline comparison set of Figures
+// 7 and 8: Random, Random CDBP, Random Sampler.
+func RandomPolicies() []PolicySpec {
+	return []PolicySpec{
+		{"Random", func(int) cache.Policy { return policy.NewRandom(1) }},
+		{"Random CDBP", func(int) cache.Policy { return dbrb.New(policy.NewRandom(1), predictor.NewCounting()) }},
+		{"Random Sampler", func(int) cache.Policy {
+			return dbrb.New(policy.NewRandom(1), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+		}},
+	}
+}
+
+// MulticorePolicies returns the shared-cache comparison set of Figure
+// 10(a): TDBP, CDBP, TADIP, RRIP, Sampler.
+func MulticorePolicies() []PolicySpec {
+	specs := []PolicySpec{
+		{"TDBP", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewRefTrace()) }},
+		{"CDBP", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewCounting()) }},
+		{"TADIP", func(threads int) cache.Policy { return policy.NewTADIP(threads, 3) }},
+		{"RRIP", func(threads int) cache.Policy { return policy.NewDRRIP(threads, 4) }},
+		{"Sampler", func(int) cache.Policy {
+			return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+		}},
+	}
+	return specs
+}
+
+// cell identifies one (benchmark, policy) run in a matrix sweep.
+type cell struct {
+	bench  string
+	policy string
+}
+
+// Matrix holds the results of a benchmarks × policies sweep.
+type Matrix struct {
+	Benchmarks []string
+	Policies   []string
+	Results    map[cell]sim.SingleResult
+}
+
+// Get returns one run's result.
+func (m *Matrix) Get(bench, pol string) sim.SingleResult {
+	return m.Results[cell{bench, pol}]
+}
+
+// Series returns one policy's values over the benchmark list, computed
+// by f.
+func (m *Matrix) Series(pol string, f func(sim.SingleResult) float64) []float64 {
+	out := make([]float64, len(m.Benchmarks))
+	for i, b := range m.Benchmarks {
+		out[i] = f(m.Get(b, pol))
+	}
+	return out
+}
+
+// RunMatrix sweeps every benchmark against every policy in parallel.
+func RunMatrix(benches []workloads.Workload, specs []PolicySpec, opts sim.SingleOptions) *Matrix {
+	m := &Matrix{Results: make(map[cell]sim.SingleResult)}
+	for _, b := range benches {
+		m.Benchmarks = append(m.Benchmarks, b.Name)
+	}
+	for _, s := range specs {
+		m.Policies = append(m.Policies, s.Name)
+	}
+
+	type job struct {
+		w    workloads.Workload
+		spec PolicySpec
+	}
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < runtime.NumCPU(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r := sim.RunSingle(j.w, j.spec.Make(1), opts)
+				mu.Lock()
+				m.Results[cell{j.w.Name, j.spec.Name}] = r
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, w := range benches {
+		for _, s := range specs {
+			jobs <- job{w, s}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return m
+}
+
+// renderTable prints a header row and aligned numeric rows.
+func renderTable(title string, header []string, rows [][]string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i == 0 {
+				fmt.Fprintf(&sb, "%-*s", widths[i]+2, c)
+			} else {
+				fmt.Fprintf(&sb, "%*s", widths[i]+2, c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// defaultLLC returns the paper's single-core LLC geometry.
+func defaultLLC() cache.Config { return hier.LLCConfig(1) }
+
+// sortedNames returns names sorted lexically (benchmark order in the
+// paper's figures).
+func sortedNames(ws []workloads.Workload) []workloads.Workload {
+	out := make([]workloads.Workload, len(ws))
+	copy(out, ws)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,148 @@
+package figures
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/hier"
+	"sdbp/internal/policy"
+	"sdbp/internal/sim"
+	"sdbp/internal/stats"
+	"sdbp/internal/workloads"
+)
+
+// Multicore holds the Figure 10 runs: ten quad-core mixes sharing an
+// 8MB LLC, under the LRU-baseline policies (10a) and random-baseline
+// policies (10b), all normalized to the shared-LRU configuration.
+type Multicore struct {
+	Mixes    []string
+	Policies []string
+	// WeightedSpeedup[policy][mix] is normalized to the LRU policy.
+	WeightedSpeedup map[string]map[string]float64
+	// NormMPKI[policy] is the mix-average LLC MPKI normalized to LRU
+	// (the Section VII-D text numbers).
+	NormMPKI map[string]float64
+}
+
+// RunMulticoreFigure performs one Figure 10 panel's sweep: the given
+// policies plus the LRU baseline over all ten mixes.
+func RunMulticoreFigure(specs []PolicySpec, scale float64) *Multicore {
+	mixes := workloads.Mixes()
+	llcCfg := hier.LLCConfig(4)
+
+	// Single-run IPCs (denominators of weighted speedup): one per
+	// distinct benchmark, shared across mixes and policies.
+	singles := map[string]float64{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	seen := map[string]bool{}
+	sem := make(chan struct{}, runtime.NumCPU())
+	for _, mix := range mixes {
+		for _, name := range mix.Members {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				ipc := sim.SingleIPC(name, llcCfg, scale,
+					func() cache.Policy { return policy.NewLRU() })
+				mu.Lock()
+				singles[name] = ipc
+				mu.Unlock()
+			}(name)
+		}
+	}
+	wg.Wait()
+
+	all := append([]PolicySpec{LRUSpec()}, specs...)
+	type key struct{ mix, pol string }
+	raw := map[key]sim.MulticoreResult{}
+	for _, mix := range mixes {
+		for _, spec := range all {
+			wg.Add(1)
+			go func(mix workloads.Mix, spec PolicySpec) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				r := sim.RunMulticore(mix, spec.Make(4), sim.MulticoreOptions{Scale: scale, LLC: llcCfg})
+				mu.Lock()
+				raw[key{mix.Name, spec.Name}] = r
+				mu.Unlock()
+			}(mix, spec)
+		}
+	}
+	wg.Wait()
+
+	mc := &Multicore{
+		WeightedSpeedup: make(map[string]map[string]float64),
+		NormMPKI:        make(map[string]float64),
+	}
+	for _, mix := range mixes {
+		mc.Mixes = append(mc.Mixes, mix.Name)
+	}
+	for _, spec := range specs {
+		mc.Policies = append(mc.Policies, spec.Name)
+	}
+
+	ws := func(mix workloads.Mix, pol string) float64 {
+		r := raw[key{mix.Name, pol}]
+		var ipcs, sing []float64
+		for i, name := range mix.Members {
+			ipcs = append(ipcs, r.IPC[i])
+			sing = append(sing, singles[name])
+		}
+		return stats.WeightedSpeedup(ipcs, sing)
+	}
+	for _, spec := range all {
+		mc.WeightedSpeedup[spec.Name] = make(map[string]float64)
+		var mpkis []float64
+		for _, mix := range mixes {
+			norm := ws(mix, spec.Name) / ws(mix, "LRU")
+			mc.WeightedSpeedup[spec.Name][mix.Name] = norm
+			lruM := raw[key{mix.Name, "LRU"}].MPKI
+			if lruM > 0 {
+				mpkis = append(mpkis, raw[key{mix.Name, spec.Name}].MPKI/lruM)
+			}
+		}
+		mc.NormMPKI[spec.Name] = stats.Mean(mpkis)
+	}
+	return mc
+}
+
+// Render prints one Figure 10 panel: normalized weighted speedup per
+// mix per policy with the geometric mean the paper reports, plus the
+// Section VII-D normalized MPKI line.
+func (mc *Multicore) Render(title string) string {
+	header := append([]string{"mix"}, mc.Policies...)
+	var rows [][]string
+	series := map[string][]float64{}
+	for _, mix := range mc.Mixes {
+		row := []string{mix}
+		for _, p := range mc.Policies {
+			v := mc.WeightedSpeedup[p][mix]
+			series[p] = append(series[p], v)
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		rows = append(rows, row)
+	}
+	mean := []string{"gmean"}
+	for _, p := range mc.Policies {
+		mean = append(mean, fmt.Sprintf("%.3f", stats.GeoMean(series[p])))
+	}
+	rows = append(rows, mean)
+	out := renderTable(title, header, rows)
+	out += "normalized MPKI (mix average): "
+	for i, p := range mc.Policies {
+		if i > 0 {
+			out += "  "
+		}
+		out += fmt.Sprintf("%s=%.2f", p, mc.NormMPKI[p])
+	}
+	return out + "\n"
+}

@@ -1,0 +1,119 @@
+package figures
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/dbrb"
+	"sdbp/internal/policy"
+	"sdbp/internal/predictor"
+	"sdbp/internal/prefetch"
+	"sdbp/internal/stats"
+	"sdbp/internal/workloads"
+)
+
+// PrefetchStudy compares sequential LLC prefetching under three
+// placement regimes: none, polluting (prefetches displace the LRU
+// block), and dead-block-directed (prefetches may only displace
+// predicted-dead blocks — the application that introduced dead block
+// prediction).
+type PrefetchStudy struct {
+	Benchmarks []string
+	// Results[config][bench]; configs are "LRU", "LRU+PF", "Sampler",
+	// "Sampler+PF".
+	Results map[string]map[string]prefetch.Result
+}
+
+// prefetchConfigs enumerates the study's configurations.
+func prefetchConfigs() []struct {
+	name   string
+	pol    func() cache.Policy
+	degree int
+} {
+	sampler := func() cache.Policy {
+		return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+	}
+	lru := func() cache.Policy { return policy.NewLRU() }
+	return []struct {
+		name   string
+		pol    func() cache.Policy
+		degree int
+	}{
+		{"LRU", lru, 0},
+		{"LRU+PF", lru, 4},
+		{"Sampler", sampler, 0},
+		{"Sampler+PF", sampler, 4},
+	}
+}
+
+// RunPrefetchStudy performs the prefetch comparison over the subset.
+func RunPrefetchStudy(scale float64) *PrefetchStudy {
+	benches := sortedNames(workloads.Subset())
+	st := &PrefetchStudy{Results: map[string]map[string]prefetch.Result{}}
+	for _, b := range benches {
+		st.Benchmarks = append(st.Benchmarks, b.Name)
+	}
+	cfgs := prefetchConfigs()
+	for _, c := range cfgs {
+		st.Results[c.name] = map[string]prefetch.Result{}
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for _, w := range benches {
+		for _, c := range cfgs {
+			wg.Add(1)
+			go func(w workloads.Workload, c struct {
+				name   string
+				pol    func() cache.Policy
+				degree int
+			}) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				r := prefetch.Run(w, c.pol(), prefetch.Config{Degree: c.degree}, scale)
+				mu.Lock()
+				st.Results[c.name][w.Name] = r
+				mu.Unlock()
+			}(w, c)
+		}
+	}
+	wg.Wait()
+	return st
+}
+
+// Render prints demand MPKI normalized to plain LRU, plus prefetch
+// accuracy per placement regime.
+func (st *PrefetchStudy) Render() string {
+	header := []string{"benchmark", "LRU+PF", "Sampler", "Sampler+PF", "acc(LRU+PF)%", "acc(S+PF)%"}
+	var rows [][]string
+	norm := map[string][]float64{}
+	var accPol, accDead []float64
+	for _, b := range st.Benchmarks {
+		base := st.Results["LRU"][b].DemandMPKI
+		row := []string{b}
+		for _, cfg := range []string{"LRU+PF", "Sampler", "Sampler+PF"} {
+			v := st.Results[cfg][b].DemandMPKI / base
+			norm[cfg] = append(norm[cfg], v)
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		ap := st.Results["LRU+PF"][b].Accuracy()
+		ad := st.Results["Sampler+PF"][b].Accuracy()
+		accPol = append(accPol, ap)
+		accDead = append(accDead, ad)
+		row = append(row, fmt.Sprintf("%.1f", ap*100), fmt.Sprintf("%.1f", ad*100))
+		rows = append(rows, row)
+	}
+	mean := []string{"amean"}
+	for _, cfg := range []string{"LRU+PF", "Sampler", "Sampler+PF"} {
+		mean = append(mean, fmt.Sprintf("%.3f", stats.Mean(norm[cfg])))
+	}
+	mean = append(mean,
+		fmt.Sprintf("%.1f", stats.Mean(accPol)*100),
+		fmt.Sprintf("%.1f", stats.Mean(accDead)*100))
+	rows = append(rows, mean)
+	return renderTable("Prefetch study: demand MPKI normalized to LRU; degree-4 sequential prefetcher", header, rows)
+}

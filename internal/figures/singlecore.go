@@ -1,0 +1,257 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"sdbp/internal/optimal"
+	"sdbp/internal/policy"
+	"sdbp/internal/sim"
+	"sdbp/internal/stats"
+	"sdbp/internal/workloads"
+)
+
+// SingleCore holds the runs behind Figures 4, 5 and 9 and the paper's
+// dead-time claim: the memory-intensive subset against the LRU baseline
+// and the five comparison policies, plus the optimal policy's misses.
+type SingleCore struct {
+	Matrix      *Matrix
+	OptimalMPKI map[string]float64
+	Scale       float64
+}
+
+// RunSingleCore performs the Figure 4/5/9 sweep at the given stream
+// scale (1.0 = the suite's default length).
+func RunSingleCore(scale float64) *SingleCore {
+	benches := sortedNames(workloads.Subset())
+	specs := append([]PolicySpec{LRUSpec()}, StandardPolicies()...)
+	sc := &SingleCore{
+		Matrix:      RunMatrix(benches, specs, sim.SingleOptions{Scale: scale}),
+		OptimalMPKI: make(map[string]float64),
+		Scale:       scale,
+	}
+
+	// Optimal replacement-and-bypass over each benchmark's captured LLC
+	// stream. Streams are large, so cap concurrent captures.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 4)
+	for _, w := range benches {
+		wg.Add(1)
+		go func(w workloads.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mpki := OptimalMPKI(w, scale)
+			mu.Lock()
+			sc.OptimalMPKI[w.Name] = mpki
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return sc
+}
+
+// OptimalMPKI runs Belady MIN with optimal bypass over a benchmark's
+// captured LLC stream and returns misses per kilo-instruction.
+func OptimalMPKI(w workloads.Workload, scale float64) float64 {
+	cap := sim.RunSingle(w, policy.NewLRU(), sim.SingleOptions{Scale: scale, CaptureStream: true})
+	cfg := defaultLLC()
+	min := optimal.Simulate(cap.Stream, cfg.Sets(), cfg.Ways)
+	if cap.Instructions == 0 {
+		return 0
+	}
+	return float64(min.Misses) / (float64(cap.Instructions) / 1000)
+}
+
+// RenderFig4 prints LLC misses normalized to LRU per benchmark
+// (Figure 4), with the arithmetic mean row the paper reports.
+func (sc *SingleCore) RenderFig4() string {
+	pols := []string{"TDBP", "CDBP", "DIP", "RRIP", "Sampler"}
+	header := append([]string{"benchmark"}, pols...)
+	header = append(header, "Optimal")
+	var rows [][]string
+	norm := map[string][]float64{}
+	var optNorm []float64
+	lru := sc.Matrix.Series("LRU", func(r sim.SingleResult) float64 { return r.MPKI })
+	for i, b := range sc.Matrix.Benchmarks {
+		row := []string{b}
+		for _, p := range pols {
+			v := sc.Matrix.Get(b, p).MPKI / lru[i]
+			norm[p] = append(norm[p], v)
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		ov := sc.OptimalMPKI[b] / lru[i]
+		optNorm = append(optNorm, ov)
+		row = append(row, fmt.Sprintf("%.3f", ov))
+		rows = append(rows, row)
+	}
+	mean := []string{"amean"}
+	for _, p := range pols {
+		mean = append(mean, fmt.Sprintf("%.3f", stats.Mean(norm[p])))
+	}
+	mean = append(mean, fmt.Sprintf("%.3f", stats.Mean(optNorm)))
+	rows = append(rows, mean)
+	return renderTable("Figure 4: LLC misses normalized to LRU (2MB LLC)", header, rows)
+}
+
+// RenderFig5 prints speedup over LRU per benchmark (Figure 5), with the
+// geometric mean row the paper reports.
+func (sc *SingleCore) RenderFig5() string {
+	pols := []string{"TDBP", "CDBP", "DIP", "RRIP", "Sampler"}
+	header := append([]string{"benchmark"}, pols...)
+	var rows [][]string
+	speed := map[string][]float64{}
+	lru := sc.Matrix.Series("LRU", func(r sim.SingleResult) float64 { return r.IPC })
+	for i, b := range sc.Matrix.Benchmarks {
+		row := []string{b}
+		for _, p := range pols {
+			v := sc.Matrix.Get(b, p).IPC / lru[i]
+			speed[p] = append(speed[p], v)
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		rows = append(rows, row)
+	}
+	mean := []string{"gmean"}
+	for _, p := range pols {
+		mean = append(mean, fmt.Sprintf("%.3f", stats.GeoMean(speed[p])))
+	}
+	rows = append(rows, mean)
+	return renderTable("Figure 5: speedup over LRU (2MB LLC)", header, rows)
+}
+
+// Fig4Summary returns the Figure 4 policy labels and amean normalized
+// misses (for the summary chart).
+func (sc *SingleCore) Fig4Summary() ([]string, []float64) {
+	pols := []string{"TDBP", "CDBP", "DIP", "RRIP", "Sampler"}
+	lru := sc.Matrix.Series("LRU", func(r sim.SingleResult) float64 { return r.MPKI })
+	var vals []float64
+	for _, p := range pols {
+		norm := stats.Normalize(sc.Matrix.Series(p, func(r sim.SingleResult) float64 { return r.MPKI }), lru)
+		vals = append(vals, stats.Mean(norm))
+	}
+	return pols, vals
+}
+
+// Fig5Summary returns the Figure 5 policy labels and gmean speedups.
+func (sc *SingleCore) Fig5Summary() ([]string, []float64) {
+	pols := []string{"TDBP", "CDBP", "DIP", "RRIP", "Sampler"}
+	lru := sc.Matrix.Series("LRU", func(r sim.SingleResult) float64 { return r.IPC })
+	var vals []float64
+	for _, p := range pols {
+		sp := stats.Normalize(sc.Matrix.Series(p, func(r sim.SingleResult) float64 { return r.IPC }), lru)
+		vals = append(vals, stats.GeoMean(sp))
+	}
+	return pols, vals
+}
+
+// RenderFig9 prints each dead block predictor's coverage and false
+// positive rate as a percentage of LLC accesses (Figure 9).
+func (sc *SingleCore) RenderFig9() string {
+	pols := []string{"TDBP", "CDBP", "Sampler"}
+	labels := map[string]string{
+		"TDBP": "reftrace", "CDBP": "counting", "Sampler": "sampling",
+	}
+	header := []string{"benchmark"}
+	for _, p := range pols {
+		header = append(header, labels[p]+" cov%", labels[p]+" fp%")
+	}
+	var rows [][]string
+	sums := make(map[string][2]float64)
+	for _, b := range sc.Matrix.Benchmarks {
+		row := []string{b}
+		for _, p := range pols {
+			r := sc.Matrix.Get(b, p)
+			cov, fp := 0.0, 0.0
+			if r.Accuracy != nil {
+				cov, fp = r.Accuracy.Coverage(), r.Accuracy.FalsePositiveRate()
+			}
+			s := sums[p]
+			s[0] += cov
+			s[1] += fp
+			sums[p] = s
+			row = append(row, fmt.Sprintf("%.1f", cov*100), fmt.Sprintf("%.1f", fp*100))
+		}
+		rows = append(rows, row)
+	}
+	n := float64(len(sc.Matrix.Benchmarks))
+	mean := []string{"amean"}
+	for _, p := range pols {
+		mean = append(mean, fmt.Sprintf("%.1f", sums[p][0]/n*100), fmt.Sprintf("%.1f", sums[p][1]/n*100))
+	}
+	rows = append(rows, mean)
+	return renderTable("Figure 9: predictor coverage and false positive rates (% of LLC accesses)", header, rows)
+}
+
+// DeadTimeClaim returns the average fraction of block-resident time
+// that blocks spend dead in the LRU baseline (the paper's 86.2% claim).
+func (sc *SingleCore) DeadTimeClaim() float64 {
+	var dead []float64
+	for _, b := range sc.Matrix.Benchmarks {
+		dead = append(dead, 1-sc.Matrix.Get(b, "LRU").Efficiency)
+	}
+	return stats.Mean(dead)
+}
+
+// RenderClaim prints the dead-time claim comparison.
+func (sc *SingleCore) RenderClaim() string {
+	return fmt.Sprintf(
+		"Section I claim: average dead time in a 2MB LRU LLC\n  paper: 86.2%%   measured: %.1f%%\n",
+		sc.DeadTimeClaim()*100)
+}
+
+// RandomBaseline holds the Figure 7/8 runs: the subset against random
+// replacement and the dead-block policies over it.
+type RandomBaseline struct {
+	Matrix *Matrix
+	LRU    *Matrix
+}
+
+// RunRandomBaseline performs the Figure 7/8 sweep. Values remain
+// normalized to the LRU baseline, as in the paper.
+func RunRandomBaseline(scale float64) *RandomBaseline {
+	benches := sortedNames(workloads.Subset())
+	return &RandomBaseline{
+		Matrix: RunMatrix(benches, RandomPolicies(), sim.SingleOptions{Scale: scale}),
+		LRU:    RunMatrix(benches, []PolicySpec{LRUSpec()}, sim.SingleOptions{Scale: scale}),
+	}
+}
+
+// RenderFig7 prints misses normalized to the LRU baseline (Figure 7).
+func (rb *RandomBaseline) RenderFig7() string {
+	return rb.render("Figure 7: LLC misses normalized to LRU, default random replacement",
+		func(r sim.SingleResult) float64 { return r.MPKI }, stats.Mean, "amean")
+}
+
+// RenderFig8 prints speedup over the LRU baseline (Figure 8).
+func (rb *RandomBaseline) RenderFig8() string {
+	return rb.render("Figure 8: speedup over LRU, default random replacement",
+		func(r sim.SingleResult) float64 { return r.IPC }, stats.GeoMean, "gmean")
+}
+
+func (rb *RandomBaseline) render(title string, f func(sim.SingleResult) float64,
+	agg func([]float64) float64, aggName string) string {
+	pols := rb.Matrix.Policies
+	header := append([]string{"benchmark"}, pols...)
+	var rows [][]string
+	series := map[string][]float64{}
+	lru := rb.LRU.Series("LRU", f)
+	for i, b := range rb.Matrix.Benchmarks {
+		row := []string{b}
+		for _, p := range pols {
+			v := f(rb.Matrix.Get(b, p)) / lru[i]
+			series[p] = append(series[p], v)
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		rows = append(rows, row)
+	}
+	mean := []string{aggName}
+	for _, p := range pols {
+		mean = append(mean, fmt.Sprintf("%.3f", agg(series[p])))
+	}
+	rows = append(rows, mean)
+	var sb strings.Builder
+	sb.WriteString(renderTable(title, header, rows))
+	return sb.String()
+}

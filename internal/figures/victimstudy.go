@@ -1,0 +1,87 @@
+package figures
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sdbp/internal/dbrb"
+	"sdbp/internal/policy"
+	"sdbp/internal/predictor"
+	"sdbp/internal/stats"
+	"sdbp/internal/victim"
+	"sdbp/internal/workloads"
+)
+
+// VictimStudy compares an unfiltered victim cache against one that
+// admits only victims the sampling predictor considers live (the Hu et
+// al. application).
+type VictimStudy struct {
+	Benchmarks []string
+	// Results[config][bench]; configs are "unfiltered", "dead-filtered".
+	Results map[string]map[string]victim.Result
+}
+
+// RunVictimStudy performs the comparison over the subset with a
+// 64-entry victim buffer.
+func RunVictimStudy(scale float64) *VictimStudy {
+	benches := sortedNames(workloads.Subset())
+	st := &VictimStudy{Results: map[string]map[string]victim.Result{
+		"unfiltered":    {},
+		"dead-filtered": {},
+	}}
+	for _, b := range benches {
+		st.Benchmarks = append(st.Benchmarks, b.Name)
+	}
+	mk := func() *dbrb.Policy {
+		return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for _, w := range benches {
+		for _, filtered := range []bool{false, true} {
+			wg.Add(1)
+			go func(w workloads.Workload, filtered bool) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				r := victim.Run(w, mk, 64, filtered, scale)
+				mu.Lock()
+				st.Results[r.Config][w.Name] = r
+				mu.Unlock()
+			}(w, filtered)
+		}
+	}
+	wg.Wait()
+	return st
+}
+
+// Render prints each variant's victim-buffer yield (hits per insert)
+// and the filtered variant's insertion reduction.
+func (st *VictimStudy) Render() string {
+	header := []string{"benchmark", "unfilt hits/ins", "filt hits/ins", "inserts kept %"}
+	var rows [][]string
+	var yu, yf, kept []float64
+	for _, b := range st.Benchmarks {
+		u := st.Results["unfiltered"][b]
+		f := st.Results["dead-filtered"][b]
+		k := 0.0
+		if u.VCInserts > 0 {
+			k = float64(f.VCInserts) / float64(u.VCInserts)
+		}
+		yu = append(yu, u.HitsPerInsert())
+		yf = append(yf, f.HitsPerInsert())
+		kept = append(kept, k)
+		rows = append(rows, []string{b,
+			fmt.Sprintf("%.4f", u.HitsPerInsert()),
+			fmt.Sprintf("%.4f", f.HitsPerInsert()),
+			fmt.Sprintf("%.1f", k*100)})
+	}
+	rows = append(rows, []string{"amean",
+		fmt.Sprintf("%.4f", stats.Mean(yu)),
+		fmt.Sprintf("%.4f", stats.Mean(yf)),
+		fmt.Sprintf("%.1f", stats.Mean(kept)*100)})
+	return renderTable("Victim cache study: 64-entry buffer, dead-block filtering of insertions", header, rows)
+}

@@ -1,0 +1,148 @@
+package hier
+
+import (
+	"testing"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/mem"
+	"sdbp/internal/policy"
+)
+
+func newTestCore() *Core {
+	llc := cache.New(LLCConfig(1), policy.NewLRU())
+	return NewCore(DefaultConfig(), llc)
+}
+
+func TestDefaultGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.L1.SizeBytes != 32<<10 || cfg.L1.Ways != 8 {
+		t.Errorf("L1 = %+v", cfg.L1)
+	}
+	if cfg.L2.SizeBytes != 256<<10 || cfg.L2.Ways != 8 {
+		t.Errorf("L2 = %+v", cfg.L2)
+	}
+	if llc := LLCConfig(1); llc.SizeBytes != 2<<20 || llc.Ways != 16 {
+		t.Errorf("LLC(1) = %+v", llc)
+	}
+	if llc := LLCConfig(4); llc.SizeBytes != 8<<20 {
+		t.Errorf("LLC(4) = %+v", llc)
+	}
+}
+
+func TestMissFillsAllLevels(t *testing.T) {
+	c := newTestCore()
+	a := mem.Access{Addr: 0x10000}
+	if lvl := c.Access(a); lvl != LevelMemory {
+		t.Fatalf("cold access satisfied at %v", lvl)
+	}
+	if !c.L1.Contains(a.Addr) || !c.L2.Contains(a.Addr) || !c.LLC.Contains(a.Addr) {
+		t.Error("miss did not allocate at every level")
+	}
+	if lvl := c.Access(a); lvl != LevelL1 {
+		t.Errorf("second access satisfied at %v, want L1", lvl)
+	}
+}
+
+func TestLevelsReportedByResidence(t *testing.T) {
+	c := newTestCore()
+	a := mem.Access{Addr: 0x40}
+	c.Access(a)
+	// Evict from L1 by filling its set (L1: 64 sets, 8 ways; stride
+	// 64 sets * 64B = 4KB keeps the same L1 set).
+	for i := 1; i <= 8; i++ {
+		c.Access(mem.Access{Addr: a.Addr + uint64(i)*4096})
+	}
+	if c.L1.Contains(a.Addr) {
+		t.Fatal("block still in L1 after conflict fills")
+	}
+	if lvl := c.Access(a); lvl != LevelL2 {
+		t.Errorf("access satisfied at %v, want L2", lvl)
+	}
+}
+
+func TestL2FiltersLLCTraffic(t *testing.T) {
+	c := newTestCore()
+	// A working set fitting the L2 but not the L1: after warmup the
+	// LLC sees no more traffic.
+	blocks := 2048 // 128KB: half the L2, 4x the L1
+	for lap := 0; lap < 3; lap++ {
+		for b := 0; b < blocks; b++ {
+			c.Access(mem.Access{Addr: uint64(b) * mem.BlockSize})
+		}
+	}
+	llcAccesses := c.LLC.Stats().Accesses
+	if llcAccesses != uint64(blocks) {
+		t.Errorf("LLC saw %d accesses, want %d (cold fills only)", llcAccesses, blocks)
+	}
+}
+
+func TestCaptureGapAccounting(t *testing.T) {
+	c := newTestCore()
+	var captured []mem.Access
+	c.CaptureLLC(func(a mem.Access) { captured = append(captured, a) })
+
+	// First access: gap 4 -> LLC access with gap 4 (instructions before
+	// it: 4 non-memory).
+	c.Access(mem.Access{Addr: 0, Gap: 4})
+	// Two L1 hits (gap 2 and 3) then a new block (gap 1): the captured
+	// gap covers everything since the last LLC access: 2+1 + 3+1 + 1.
+	c.Access(mem.Access{Addr: 0, Gap: 2})
+	c.Access(mem.Access{Addr: 8, Gap: 3})
+	c.Access(mem.Access{Addr: 4096 * 64, Gap: 1})
+
+	if len(captured) != 2 {
+		t.Fatalf("captured %d LLC accesses, want 2", len(captured))
+	}
+	if captured[0].Gap != 4 {
+		t.Errorf("first captured gap = %d, want 4", captured[0].Gap)
+	}
+	if captured[1].Gap != 8 {
+		t.Errorf("second captured gap = %d, want 8 (2+1+3+1+1)", captured[1].Gap)
+	}
+}
+
+func TestCaptureMatchesLLCAccessCount(t *testing.T) {
+	c := newTestCore()
+	n := 0
+	c.CaptureLLC(func(mem.Access) { n++ })
+	r := mem.NewRand(1)
+	for i := 0; i < 20000; i++ {
+		c.Access(mem.Access{Addr: uint64(r.Intn(1 << 16))})
+	}
+	if uint64(n) != c.LLC.Stats().Accesses {
+		t.Errorf("captured %d, LLC counted %d", n, c.LLC.Stats().Accesses)
+	}
+}
+
+func TestSharedLLCAcrossCores(t *testing.T) {
+	llc := cache.New(LLCConfig(4), policy.NewLRU())
+	c1 := NewCore(DefaultConfig(), llc)
+	c2 := NewCore(DefaultConfig(), llc)
+	a := mem.Access{Addr: 0xABCDE0}
+	c1.Access(a)
+	// Core 2 misses its private levels but hits the shared LLC.
+	if lvl := c2.Access(a); lvl != LevelLLC {
+		t.Errorf("core 2 satisfied at %v, want shared LLC", lvl)
+	}
+}
+
+func TestLevelLatenciesAndStrings(t *testing.T) {
+	levels := []Level{LevelL1, LevelL2, LevelLLC, LevelMemory}
+	last := 0
+	for _, l := range levels {
+		if l.Latency() <= last {
+			t.Errorf("latency not increasing at %v", l)
+		}
+		last = l.Latency()
+		if l.String() == "" {
+			t.Errorf("empty name for level %d", l)
+		}
+	}
+}
+
+func TestNilLLCIsCaptureOnly(t *testing.T) {
+	c := NewCore(DefaultConfig(), nil)
+	if lvl := c.Access(mem.Access{Addr: 0}); lvl != LevelMemory {
+		t.Errorf("nil-LLC miss reported %v", lvl)
+	}
+}

@@ -1,0 +1,198 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockAddr(t *testing.T) {
+	cases := []struct{ addr, want uint64 }{
+		{0, 0},
+		{63, 0},
+		{64, 64},
+		{65, 64},
+		{0xFFFF, 0xFFC0},
+	}
+	for _, c := range cases {
+		if got := BlockAddr(c.addr); got != c.want {
+			t.Errorf("BlockAddr(%#x) = %#x, want %#x", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestBlockNumber(t *testing.T) {
+	if got := BlockNumber(128); got != 2 {
+		t.Errorf("BlockNumber(128) = %d, want 2", got)
+	}
+	if got := BlockNumber(127); got != 1 {
+		t.Errorf("BlockNumber(127) = %d, want 1", got)
+	}
+}
+
+func TestSetIndexAndTagRoundTrip(t *testing.T) {
+	// Set index and tag must partition the block number: reassembling
+	// them gives back the block number for any address and geometry.
+	f := func(addr uint64, setsExp uint8) bool {
+		sets := 1 << (setsExp % 12)
+		setBits := Log2(sets)
+		set := SetIndex(addr, sets)
+		tag := Tag(addr, setBits)
+		return tag<<uint(setBits)|uint64(set) == BlockNumber(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetIndexRange(t *testing.T) {
+	f := func(addr uint64) bool {
+		return SetIndex(addr, 2048) < 2048
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {1024, 10}, {2048, 11},
+	}
+	for _, c := range cases {
+		if got := Log2(c.n); got != c.want {
+			t.Errorf("Log2(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestLog2PanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Log2(0) did not panic")
+		}
+	}()
+	Log2(0)
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -1, 3, 6, 1023} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between differently seeded streams", same)
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+	}
+}
+
+func TestRandIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v", v)
+		}
+	}
+}
+
+func TestRandChanceExtremes(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 100; i++ {
+		if r.Chance(0) {
+			t.Fatal("Chance(0) returned true")
+		}
+		if !r.Chance(1) {
+			t.Fatal("Chance(1) returned false")
+		}
+	}
+}
+
+func TestRandChanceApproximatesProbability(t *testing.T) {
+	r := NewRand(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Chance(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.23 || frac > 0.27 {
+		t.Errorf("Chance(0.25) frequency = %.4f", frac)
+	}
+}
+
+func TestRandUniformity(t *testing.T) {
+	// A crude chi-square-ish check that Intn spreads across buckets.
+	r := NewRand(5)
+	const buckets = 16
+	counts := make([]int, buckets)
+	const n = 160000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := n / buckets
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d count %d far from %d", b, c, want)
+		}
+	}
+}
+
+func TestMix64Distinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i)
+		if seen[h] {
+			t.Fatalf("Mix64 collision at %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestSeedZeroIsUsable(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced a degenerate stream")
+	}
+}

@@ -1,0 +1,75 @@
+package mem
+
+// Rand is a small, fast, deterministic pseudo-random number generator
+// (xorshift64* seeded through SplitMix64). The simulator cannot use
+// math/rand's global source because experiments must be bit-reproducible
+// across runs and across policies: the random replacement policy, BIP's
+// insertion dice and the synthetic workload generators all draw from
+// independently seeded instances of this type.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded from seed. Two generators with the
+// same seed produce identical streams.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator. The seed is diffused through SplitMix64 so
+// that small consecutive seeds (0, 1, 2, ...) yield uncorrelated streams.
+func (r *Rand) Seed(seed uint64) {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	r.state = z
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("mem.Rand.Intn: n must be positive")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Chance returns true with probability p (clamped to [0,1]).
+func (r *Rand) Chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Mix64 diffuses the bits of x with the SplitMix64 finalizer. It is the
+// hash primitive used by predictor index functions and by workload
+// generators that need a stateless, high-quality address scrambler.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

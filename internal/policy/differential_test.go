@@ -1,0 +1,126 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/mem"
+)
+
+// refCache is an executable specification of a set-associative LRU
+// cache: per set, an ordered slice of resident block numbers, MRU
+// first. The production cache plus policy.LRU must agree with it on
+// every access's hit/miss outcome.
+type refCache struct {
+	sets, ways int
+	content    [][]uint64
+}
+
+func newRefCache(sets, ways int) *refCache {
+	return &refCache{sets: sets, ways: ways, content: make([][]uint64, sets)}
+}
+
+// access returns whether the reference model hits, updating its state.
+func (r *refCache) access(addr uint64) bool {
+	b := mem.BlockNumber(addr)
+	s := mem.SetIndex(addr, r.sets)
+	set := r.content[s]
+	for i, e := range set {
+		if e == b {
+			copy(set[1:i+1], set[:i])
+			set[0] = b
+			return true
+		}
+	}
+	if len(set) >= r.ways {
+		set = set[:r.ways-1]
+	}
+	r.content[s] = append([]uint64{b}, set...)
+	return false
+}
+
+func TestLRUCacheMatchesExecutableSpec(t *testing.T) {
+	const sets, ways = 8, 4
+	f := func(addrs []uint16, seed uint64) bool {
+		c := cache.New(cache.Config{Name: "d", SizeBytes: sets * ways * mem.BlockSize, Ways: ways}, NewLRU())
+		ref := newRefCache(sets, ways)
+		rng := mem.NewRand(seed)
+		for _, a16 := range addrs {
+			// Mix deterministic fuzz addresses with random ones to
+			// stress both clustered and scattered patterns.
+			addr := uint64(a16) * mem.BlockSize
+			if rng.Chance(0.3) {
+				addr = uint64(rng.Intn(sets*ways*4)) * mem.BlockSize
+			}
+			got := c.Access(mem.Access{Addr: addr}).Hit
+			want := ref.access(addr)
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUCacheMatchesSpecLongRun(t *testing.T) {
+	const sets, ways = 64, 16
+	c := cache.New(cache.Config{Name: "d", SizeBytes: sets * ways * mem.BlockSize, Ways: ways}, NewLRU())
+	ref := newRefCache(sets, ways)
+	rng := mem.NewRand(99)
+	for i := 0; i < 300000; i++ {
+		addr := uint64(rng.Intn(sets*ways*3)) * mem.BlockSize
+		if c.Access(mem.Access{Addr: addr}).Hit != ref.access(addr) {
+			t.Fatalf("divergence from the executable spec at access %d", i)
+		}
+	}
+}
+
+func TestInsertPrefetchBasics(t *testing.T) {
+	c := cache.New(cache.Config{Name: "p", SizeBytes: 4 * mem.BlockSize, Ways: 4}, NewLRU())
+	if !c.InsertPrefetch(mem.Access{Addr: 0x40}) {
+		t.Fatal("prefetch into an empty set failed")
+	}
+	if !c.Contains(0x40) {
+		t.Fatal("prefetched block not resident")
+	}
+	// Re-prefetching a resident block is a no-op.
+	if c.InsertPrefetch(mem.Access{Addr: 0x40}) {
+		t.Error("duplicate prefetch placed")
+	}
+	// A demand hit on the prefetched block counts as useful.
+	c.Access(mem.Access{Addr: 0x40})
+	s := c.Stats()
+	if s.Prefetches != 1 || s.UsefulPrefetches != 1 {
+		t.Errorf("prefetch stats = %d/%d", s.Prefetches, s.UsefulPrefetches)
+	}
+}
+
+func TestInsertPrefetchUsesPolicyVictim(t *testing.T) {
+	c := cache.New(cache.Config{Name: "p", SizeBytes: 2 * mem.BlockSize, Ways: 2}, NewLRU())
+	c.Access(mem.Access{Addr: 0 * mem.BlockSize})
+	c.Access(mem.Access{Addr: 1 * 2 * mem.BlockSize}) // same single set
+	// Full set: LRU implements PrefetchPlacer, so the prefetch evicts
+	// the LRU block.
+	if !c.InsertPrefetch(mem.Access{Addr: 2 * 2 * mem.BlockSize}) {
+		t.Fatal("prefetch into a full set with a placer policy failed")
+	}
+	if c.Contains(0) {
+		t.Error("LRU block survived the prefetch placement")
+	}
+}
+
+func TestPrefetchedEvictionIsNotUseful(t *testing.T) {
+	c := cache.New(cache.Config{Name: "p", SizeBytes: 2 * mem.BlockSize, Ways: 2}, NewLRU())
+	c.InsertPrefetch(mem.Access{Addr: 0})
+	// Evict it with demand fills before any demand touch.
+	c.Access(mem.Access{Addr: 1 * 2 * mem.BlockSize})
+	c.Access(mem.Access{Addr: 2 * 2 * mem.BlockSize})
+	c.Access(mem.Access{Addr: 3 * 2 * mem.BlockSize})
+	if c.Stats().UsefulPrefetches != 0 {
+		t.Error("unused prefetch counted as useful")
+	}
+}

@@ -1,0 +1,123 @@
+package policy
+
+import (
+	"sdbp/internal/cache"
+	"sdbp/internal/mem"
+)
+
+// bipEpsilon is the BIP probability of inserting at MRU (1/32 in the DIP
+// paper); all other BIP insertions go to the LRU position.
+const bipEpsilon = 1.0 / 32
+
+// DIP is the Dynamic Insertion Policy (Qureshi et al., ISCA 2007): set
+// dueling between traditional LRU insertion (MRU position) and Bimodal
+// Insertion (BIP: LRU position, promoted to MRU with probability 1/32).
+// Under thrashing working sets BIP retains a fraction of the set and
+// wins the duel; under LRU-friendly behavior the traditional insertion
+// wins.
+type DIP struct {
+	cache.Base
+	lru  LRU
+	d    duel
+	rng  *mem.Rand
+	seed uint64
+}
+
+// NewDIP returns a DIP policy with a deterministic BIP dice stream.
+func NewDIP(seed uint64) *DIP {
+	return &DIP{seed: seed, rng: mem.NewRand(seed)}
+}
+
+// Name implements cache.Policy.
+func (p *DIP) Name() string { return "DIP" }
+
+// Reset implements cache.Policy.
+func (p *DIP) Reset(sets, ways int) {
+	p.lru.Reset(sets, ways)
+	p.d = newDuel(sets, 32, 0x0d1b)
+	p.rng.Seed(p.seed)
+}
+
+// OnHit implements cache.Policy: hits always promote, as in LRU.
+func (p *DIP) OnHit(set uint32, way int, a mem.Access) { p.lru.OnHit(set, way, a) }
+
+// OnFill implements cache.Policy. Fills happen exactly once per miss
+// (DIP never bypasses), so this hook also updates the duel's PSEL.
+func (p *DIP) OnFill(set uint32, way int, _ mem.Access) {
+	p.d.onMiss(set)
+	useBIP := p.d.choose(set)
+	if useBIP && !p.rng.Chance(bipEpsilon) {
+		p.lru.demote(set, way)
+	} else {
+		p.lru.promote(set, way)
+	}
+}
+
+// Victim implements cache.Policy: the LRU way, as in the DIP paper.
+func (p *DIP) Victim(set uint32, a mem.Access) int { return p.lru.Victim(set, a) }
+
+// Rank implements Ranked via the underlying recency stack.
+func (p *DIP) Rank(set uint32, way int) int { return p.lru.Rank(set, way) }
+
+// TADIP is the Thread-Aware Dynamic Insertion Policy (Jaleel et al.,
+// PACT 2008): one duel per hardware thread, each with its own leader
+// sets and PSEL, so a thrashing thread can switch to BIP while a
+// cache-friendly co-runner keeps MRU insertion.
+type TADIP struct {
+	cache.Base
+	lru     LRU
+	duels   []duel
+	rng     *mem.Rand
+	seed    uint64
+	threads int
+}
+
+// NewTADIP returns a TADIP policy for up to threads hardware threads.
+func NewTADIP(threads int, seed uint64) *TADIP {
+	if threads < 1 {
+		threads = 1
+	}
+	return &TADIP{threads: threads, seed: seed, rng: mem.NewRand(seed)}
+}
+
+// Name implements cache.Policy.
+func (p *TADIP) Name() string { return "TADIP" }
+
+// Reset implements cache.Policy.
+func (p *TADIP) Reset(sets, ways int) {
+	p.lru.Reset(sets, ways)
+	p.duels = make([]duel, p.threads)
+	for t := range p.duels {
+		p.duels[t] = newDuel(sets, 32, 0x7AD1+uint64(t)*0x9e37)
+	}
+	p.rng.Seed(p.seed)
+}
+
+func (p *TADIP) duelFor(a mem.Access) *duel {
+	t := int(a.Thread)
+	if t >= len(p.duels) {
+		t = 0
+	}
+	return &p.duels[t]
+}
+
+// OnHit implements cache.Policy.
+func (p *TADIP) OnHit(set uint32, way int, a mem.Access) { p.lru.OnHit(set, way, a) }
+
+// OnFill implements cache.Policy; see DIP.OnFill for why PSEL updates
+// here.
+func (p *TADIP) OnFill(set uint32, way int, a mem.Access) {
+	d := p.duelFor(a)
+	d.onMiss(set)
+	if d.choose(set) && !p.rng.Chance(bipEpsilon) {
+		p.lru.demote(set, way)
+	} else {
+		p.lru.promote(set, way)
+	}
+}
+
+// Victim implements cache.Policy.
+func (p *TADIP) Victim(set uint32, a mem.Access) int { return p.lru.Victim(set, a) }
+
+// Rank implements Ranked via the underlying recency stack.
+func (p *TADIP) Rank(set uint32, way int) int { return p.lru.Rank(set, way) }

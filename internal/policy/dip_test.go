@@ -1,0 +1,131 @@
+package policy
+
+import (
+	"testing"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/mem"
+)
+
+// thrash drives a cache with a cyclic working set bigger than its
+// capacity and returns the hit count.
+func thrash(c *cache.Cache, blocks, laps int) uint64 {
+	for l := 0; l < laps; l++ {
+		for b := 0; b < blocks; b++ {
+			c.Access(mem.Access{Addr: uint64(b) * mem.BlockSize})
+		}
+	}
+	return c.Stats().Hits
+}
+
+func TestDIPBeatsLRUOnThrash(t *testing.T) {
+	cfg := cache.Config{Name: "t", SizeBytes: 64 << 10, Ways: 16} // 1024 blocks
+	const blocks, laps = 1536, 20                                 // 1.5x capacity
+
+	lruHits := thrash(cache.New(cfg, NewLRU()), blocks, laps)
+	dipHits := thrash(cache.New(cfg, NewDIP(1)), blocks, laps)
+	if lruHits != 0 {
+		t.Errorf("LRU hits on cyclic thrash = %d, want 0", lruHits)
+	}
+	if dipHits == 0 {
+		t.Error("DIP gained no hits on cyclic thrash")
+	}
+}
+
+func TestDIPFollowsLRUOnFriendlyPattern(t *testing.T) {
+	// A working set that fits: DIP must not do (much) worse than LRU.
+	cfg := cache.Config{Name: "t", SizeBytes: 64 << 10, Ways: 16}
+	const blocks, laps = 512, 20
+	lruHits := thrash(cache.New(cfg, NewLRU()), blocks, laps)
+	dipHits := thrash(cache.New(cfg, NewDIP(1)), blocks, laps)
+	if float64(dipHits) < 0.90*float64(lruHits) {
+		t.Errorf("DIP hits %d far below LRU hits %d on a fitting set", dipHits, lruHits)
+	}
+}
+
+func TestDuelRolesArePartition(t *testing.T) {
+	d := newDuel(2048, 32, 0x123)
+	counts := map[int]int{}
+	for s := 0; s < 2048; s++ {
+		counts[d.role(uint32(s))]++
+	}
+	if counts[duelLeaderA] != 32 || counts[duelLeaderB] != 32 {
+		t.Errorf("leader counts A=%d B=%d, want 32 each", counts[duelLeaderA], counts[duelLeaderB])
+	}
+	if counts[duelFollower] != 2048-64 {
+		t.Errorf("followers = %d", counts[duelFollower])
+	}
+}
+
+func TestDuelPSELSteering(t *testing.T) {
+	d := newDuel(2048, 32, 0)
+	var leaderA uint32
+	for s := uint32(0); s < 2048; s++ {
+		if d.role(s) == duelLeaderA {
+			leaderA = s
+			break
+		}
+	}
+	// Misses in A-leaders argue for B.
+	for i := 0; i < pselMax; i++ {
+		d.onMiss(leaderA)
+	}
+	if !d.useB() {
+		t.Error("PSEL saturated against A but followers still use A")
+	}
+	// Leaders always play their own policy.
+	if d.choose(leaderA) {
+		t.Error("A-leader asked to play B")
+	}
+}
+
+func TestDuelPSELSaturates(t *testing.T) {
+	d := newDuel(64, 4, 0)
+	var leaderA uint32
+	for s := uint32(0); s < 64; s++ {
+		if d.role(s) == duelLeaderA {
+			leaderA = s
+			break
+		}
+	}
+	for i := 0; i < 10*pselMax; i++ {
+		d.onMiss(leaderA)
+	}
+	if d.psel != pselMax {
+		t.Errorf("psel = %d, want saturated %d", d.psel, pselMax)
+	}
+}
+
+func TestTADIPPerThreadDuels(t *testing.T) {
+	p := NewTADIP(4, 1)
+	p.Reset(2048, 16)
+	if len(p.duels) != 4 {
+		t.Fatalf("duels = %d, want 4", len(p.duels))
+	}
+	// Thread indexes beyond the configured count fall back to thread 0.
+	if got := p.duelFor(mem.Access{Thread: 9}); got != &p.duels[0] {
+		t.Error("out-of-range thread did not fall back to duel 0")
+	}
+}
+
+func TestTADIPBeatsLRUWhenOneThreadThrashes(t *testing.T) {
+	cfg := cache.Config{Name: "t", SizeBytes: 64 << 10, Ways: 16}
+	run := func(p cache.Policy) (hits uint64) {
+		c := cache.New(cfg, p)
+		// Thread 0: fitting hot set; thread 1: cyclic thrash.
+		for l := 0; l < 30; l++ {
+			for b := 0; b < 256; b++ {
+				c.Access(mem.Access{Addr: uint64(b) * mem.BlockSize, Thread: 0})
+			}
+			for b := 0; b < 1400; b++ {
+				c.Access(mem.Access{Addr: 1<<32 + uint64(b)*mem.BlockSize, Thread: 1})
+			}
+		}
+		return c.Stats().Hits
+	}
+	lru := run(NewLRU())
+	tadip := run(NewTADIP(2, 1))
+	if tadip <= lru {
+		t.Errorf("TADIP hits %d <= LRU hits %d under asymmetric threads", tadip, lru)
+	}
+}

@@ -1,0 +1,118 @@
+package policy
+
+import "sdbp/internal/mem"
+
+// Set dueling (Qureshi et al., ISCA 2007) dedicates a few leader sets to
+// each of two competing policies and steers the remaining follower sets
+// by a saturating policy-selection counter (PSEL) updated on leader-set
+// misses. DIP, TADIP and DRRIP all share this engine.
+
+// duelLeaderA and duelLeaderB classify a set's role in a duel.
+const (
+	duelFollower = iota
+	duelLeaderA
+	duelLeaderB
+)
+
+// pselBits is the PSEL width from the DIP paper.
+const pselBits = 10
+
+const pselMax = 1<<pselBits - 1
+
+// duel is one two-policy set-dueling instance.
+type duel struct {
+	psel     int
+	sets     int
+	leaders  int // leader sets per policy
+	roleSalt uint64
+}
+
+// newDuel configures a duel over a cache with the given number of sets,
+// with leaders dedicated sets per policy. salt decorrelates the leader
+// assignments of independent duels (e.g. per-thread duels in TADIP).
+func newDuel(sets, leaders int, salt uint64) duel {
+	if leaders*2 > sets {
+		leaders = sets / 2
+	}
+	return duel{psel: pselMax / 2, sets: sets, leaders: leaders, roleSalt: salt}
+}
+
+// role classifies set as a leader for policy A, a leader for policy B,
+// or a follower. Leader sets are spread across the cache by a hash so
+// that region-local behavior does not bias the duel.
+func (d *duel) role(set uint32) int {
+	if d.leaders == 0 {
+		return duelFollower
+	}
+	group := d.sets / d.leaders
+	if group < 2 {
+		group = 2
+	}
+	slot := int(set) % group
+	// Hash the group number so the chosen slots vary across the cache.
+	h := mem.Mix64(uint64(int(set)/group) + d.roleSalt)
+	a := int(h % uint64(group))
+	b := int((h >> 32) % uint64(group))
+	if b == a {
+		b = (a + 1) % group
+	}
+	switch slot {
+	case a:
+		return duelLeaderA
+	case b:
+		return duelLeaderB
+	}
+	return duelFollower
+}
+
+// onMiss updates PSEL for a miss in set. A miss in an A-leader argues
+// against A (PSEL increments toward B) and vice versa.
+func (d *duel) onMiss(set uint32) {
+	switch d.role(set) {
+	case duelLeaderA:
+		if d.psel < pselMax {
+			d.psel++
+		}
+	case duelLeaderB:
+		if d.psel > 0 {
+			d.psel--
+		}
+	}
+}
+
+// useB reports which policy a follower set should use: true selects
+// policy B (PSEL has accumulated misses against A).
+func (d *duel) useB() bool { return d.psel > pselMax/2 }
+
+// choose returns whether the given set should behave as policy B right
+// now: leaders always play their own policy, followers go with PSEL.
+func (d *duel) choose(set uint32) bool {
+	switch d.role(set) {
+	case duelLeaderA:
+		return false
+	case duelLeaderB:
+		return true
+	}
+	return d.useB()
+}
+
+// Duel is the exported set-dueling engine for policies built outside
+// this package (e.g. the dueling dead-block policy): two candidate
+// behaviors A and B, a few leader sets pinned to each, and a PSEL
+// counter steering the followers.
+type Duel struct{ d duel }
+
+// NewDuel configures a duel over a cache with the given set count,
+// dedicating leaders sets to each side. salt decorrelates independent
+// duels' leader placements.
+func NewDuel(sets, leaders int, salt uint64) *Duel {
+	return &Duel{d: newDuel(sets, leaders, salt)}
+}
+
+// OnMiss records a miss in set: misses in A-leaders argue for B and
+// vice versa.
+func (d *Duel) OnMiss(set uint32) { d.d.onMiss(set) }
+
+// ChooseB reports whether the given set should currently behave as
+// policy B (leaders always play their own side).
+func (d *Duel) ChooseB(set uint32) bool { return d.d.choose(set) }

@@ -1,0 +1,79 @@
+package policy
+
+import (
+	"testing"
+
+	"sdbp/internal/mem"
+)
+
+func TestExportedDuelSteering(t *testing.T) {
+	d := NewDuel(256, 8, 0x1)
+	// Find one leader of each side via the internal role (white-box).
+	var leaderA, leaderB uint32
+	foundA, foundB := false, false
+	for s := uint32(0); s < 256; s++ {
+		switch d.d.role(s) {
+		case duelLeaderA:
+			leaderA, foundA = s, true
+		case duelLeaderB:
+			leaderB, foundB = s, true
+		}
+	}
+	if !foundA || !foundB {
+		t.Fatal("duel has no leaders")
+	}
+	for i := 0; i < 2000; i++ {
+		d.OnMiss(leaderA)
+	}
+	// Followers now choose B; leaders stay pinned.
+	if d.ChooseB(leaderA) {
+		t.Error("A-leader played B")
+	}
+	if !d.ChooseB(leaderB) {
+		t.Error("B-leader played A")
+	}
+	follower := uint32(0)
+	for s := uint32(0); s < 256; s++ {
+		if d.d.role(s) == duelFollower {
+			follower = s
+			break
+		}
+	}
+	if !d.ChooseB(follower) {
+		t.Error("follower ignored a saturated PSEL")
+	}
+	// And back toward A.
+	for i := 0; i < 2000; i++ {
+		d.OnMiss(leaderB)
+	}
+	if d.ChooseB(follower) {
+		t.Error("follower ignored the reversed PSEL")
+	}
+}
+
+func TestDuelSaltsDecorrelateLeaders(t *testing.T) {
+	a := NewDuel(2048, 32, 1)
+	b := NewDuel(2048, 32, 2)
+	same := 0
+	for s := uint32(0); s < 2048; s++ {
+		ra, rb := a.d.role(s), b.d.role(s)
+		if ra != duelFollower && ra == rb {
+			same++
+		}
+	}
+	if same > 16 {
+		t.Errorf("%d leader sets coincide across different salts", same)
+	}
+}
+
+func TestNRURankValues(t *testing.T) {
+	p := NewNRU()
+	p.Reset(1, 4)
+	p.OnHit(0, 1, mem.Access{})
+	if p.Rank(0, 1) != 0 {
+		t.Error("recently used line should rank 0")
+	}
+	if p.Rank(0, 2) != 1 {
+		t.Error("unused line should rank 1")
+	}
+}

@@ -1,0 +1,114 @@
+// Package policy implements the cache management policies the paper
+// evaluates against: true LRU, random replacement, DIP and TADIP
+// (adaptive insertion via set dueling), and SRRIP/DRRIP (re-reference
+// interval prediction), plus the set-dueling engine they share.
+package policy
+
+import (
+	"sdbp/internal/cache"
+	"sdbp/internal/mem"
+)
+
+// Ranked is implemented by policies that can order a set's ways by
+// eviction preference. The dead-block replacement policy uses it to pick
+// "the predicted dead block closest to LRU" when several blocks are
+// predicted dead.
+type Ranked interface {
+	// Rank returns an eviction preference for (set, way): larger means
+	// closer to eviction under the base policy.
+	Rank(set uint32, way int) int
+}
+
+// LRU is a true least-recently-used policy: each set maintains an exact
+// recency stack. The paper's baseline LLC and its L1/L2 caches use it.
+type LRU struct {
+	cache.Base
+	ways int
+	pos  []uint8 // sets*ways; 0 = MRU, ways-1 = LRU
+
+	// InsertLRU, when true, places new blocks in the LRU position
+	// instead of MRU (the LIP building block of DIP).
+	InsertLRU bool
+}
+
+// NewLRU returns a true-LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements cache.Policy.
+func (p *LRU) Name() string { return "LRU" }
+
+// Reset implements cache.Policy.
+func (p *LRU) Reset(sets, ways int) {
+	p.ways = ways
+	p.pos = make([]uint8, sets*ways)
+	for i := range p.pos {
+		p.pos[i] = uint8(i % ways) // arbitrary valid permutation per set
+	}
+}
+
+func (p *LRU) idx(set uint32, way int) int { return int(set)*p.ways + way }
+
+// promote moves way to the MRU position of set.
+func (p *LRU) promote(set uint32, way int) {
+	old := p.pos[p.idx(set, way)]
+	base := int(set) * p.ways
+	for w := 0; w < p.ways; w++ {
+		if p.pos[base+w] < old {
+			p.pos[base+w]++
+		}
+	}
+	p.pos[p.idx(set, way)] = 0
+}
+
+// demote moves way to the LRU position of set.
+func (p *LRU) demote(set uint32, way int) {
+	old := p.pos[p.idx(set, way)]
+	base := int(set) * p.ways
+	for w := 0; w < p.ways; w++ {
+		if p.pos[base+w] > old {
+			p.pos[base+w]--
+		}
+	}
+	p.pos[p.idx(set, way)] = uint8(p.ways - 1)
+}
+
+// OnHit implements cache.Policy: hits promote to MRU.
+func (p *LRU) OnHit(set uint32, way int, _ mem.Access) { p.promote(set, way) }
+
+// OnFill implements cache.Policy: fills insert at MRU (or LRU when
+// InsertLRU is set).
+func (p *LRU) OnFill(set uint32, way int, _ mem.Access) {
+	if p.InsertLRU {
+		p.demote(set, way)
+	} else {
+		p.promote(set, way)
+	}
+}
+
+// Victim implements cache.Policy: evict the LRU way.
+func (p *LRU) Victim(set uint32, _ mem.Access) int {
+	base := int(set) * p.ways
+	for w := 0; w < p.ways; w++ {
+		if p.pos[base+w] == uint8(p.ways-1) {
+			return w
+		}
+	}
+	// Unreachable while pos holds a permutation per set.
+	return p.ways - 1
+}
+
+// Rank implements Ranked: the stack position itself.
+func (p *LRU) Rank(set uint32, way int) int {
+	return int(p.pos[p.idx(set, way)])
+}
+
+// StackPos returns way's recency position in set (0 = MRU). Tests and
+// the dead-block policy use it.
+func (p *LRU) StackPos(set uint32, way int) int { return p.Rank(set, way) }
+
+// PrefetchVictim implements cache.PrefetchPlacer: plain LRU lets a
+// prefetch displace the LRU block — the polluting placement the
+// dead-block-directed prefetcher is compared against.
+func (p *LRU) PrefetchVictim(set uint32) (int, bool) {
+	return p.Victim(set, mem.Access{}), true
+}

@@ -1,0 +1,183 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sdbp/internal/mem"
+)
+
+// refLRU is a reference model: an ordered slice per set, most recent
+// first.
+type refLRU struct {
+	order [][]int // set -> ways, MRU first
+}
+
+func newRefLRU(sets, ways int) *refLRU {
+	r := &refLRU{order: make([][]int, sets)}
+	for s := range r.order {
+		for w := 0; w < ways; w++ {
+			r.order[s] = append(r.order[s], w)
+		}
+	}
+	return r
+}
+
+func (r *refLRU) touch(set uint32, way int) {
+	o := r.order[set]
+	for i, w := range o {
+		if w == way {
+			copy(o[1:i+1], o[:i])
+			o[0] = way
+			return
+		}
+	}
+}
+
+func (r *refLRU) lru(set uint32) int {
+	o := r.order[set]
+	return o[len(o)-1]
+}
+
+func TestLRUMatchesReferenceModel(t *testing.T) {
+	const sets, ways = 4, 8
+	f := func(events []uint16) bool {
+		p := NewLRU()
+		p.Reset(sets, ways)
+		ref := newRefLRU(sets, ways)
+		for _, e := range events {
+			set := uint32(e) % sets
+			way := int(e>>2) % ways
+			if e&1 == 0 {
+				p.OnHit(set, way, mem.Access{})
+			} else {
+				p.OnFill(set, way, mem.Access{})
+			}
+			ref.touch(set, way)
+			if p.Victim(set, mem.Access{}) != ref.lru(set) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUStackProperty(t *testing.T) {
+	p := NewLRU()
+	p.Reset(1, 4)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, mem.Access{})
+	}
+	// Fill order 0,1,2,3 -> LRU is 0.
+	if v := p.Victim(0, mem.Access{}); v != 0 {
+		t.Errorf("victim = %d, want 0", v)
+	}
+	p.OnHit(0, 0, mem.Access{}) // 0 promoted -> LRU is 1
+	if v := p.Victim(0, mem.Access{}); v != 1 {
+		t.Errorf("victim after promote = %d, want 1", v)
+	}
+}
+
+func TestLRUInsertLRUMode(t *testing.T) {
+	p := NewLRU()
+	p.InsertLRU = true
+	p.Reset(1, 4)
+	p.OnFill(0, 2, mem.Access{})
+	// LIP: the fresh fill goes straight to the LRU position.
+	if v := p.Victim(0, mem.Access{}); v != 2 {
+		t.Errorf("victim = %d, want the LIP-inserted way 2", v)
+	}
+}
+
+func TestLRURankIsStackPosition(t *testing.T) {
+	p := NewLRU()
+	p.Reset(1, 4)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, mem.Access{})
+	}
+	// Ranks must be a permutation of 0..3 with way 3 at MRU (rank 0).
+	if p.Rank(0, 3) != 0 {
+		t.Errorf("MRU rank = %d, want 0", p.Rank(0, 3))
+	}
+	seen := map[int]bool{}
+	for w := 0; w < 4; w++ {
+		seen[p.Rank(0, w)] = true
+	}
+	for r := 0; r < 4; r++ {
+		if !seen[r] {
+			t.Errorf("rank %d missing from permutation", r)
+		}
+	}
+}
+
+func TestLRUPositionsStayPermutation(t *testing.T) {
+	const sets, ways = 2, 6
+	f := func(events []uint16) bool {
+		p := NewLRU()
+		p.Reset(sets, ways)
+		for _, e := range events {
+			set := uint32(e) % sets
+			way := int(e>>1) % ways
+			switch e % 3 {
+			case 0:
+				p.OnHit(set, way, mem.Access{})
+			case 1:
+				p.OnFill(set, way, mem.Access{})
+			case 2:
+				p.OnEvict(set, way)
+			}
+			seen := map[int]bool{}
+			for w := 0; w < ways; w++ {
+				pos := p.StackPos(set, w)
+				if pos < 0 || pos >= ways || seen[pos] {
+					return false
+				}
+				seen[pos] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomVictimBounds(t *testing.T) {
+	p := NewRandom(1)
+	p.Reset(4, 16)
+	for i := 0; i < 10000; i++ {
+		if v := p.Victim(0, mem.Access{}); v < 0 || v >= 16 {
+			t.Fatalf("victim %d out of range", v)
+		}
+	}
+}
+
+func TestRandomDeterministicAcrossResets(t *testing.T) {
+	p := NewRandom(42)
+	p.Reset(1, 8)
+	var first []int
+	for i := 0; i < 100; i++ {
+		first = append(first, p.Victim(0, mem.Access{}))
+	}
+	p.Reset(1, 8)
+	for i := 0; i < 100; i++ {
+		if p.Victim(0, mem.Access{}) != first[i] {
+			t.Fatal("random victims differ after Reset")
+		}
+	}
+}
+
+func TestRandomCoversAllWays(t *testing.T) {
+	p := NewRandom(3)
+	p.Reset(1, 16)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[p.Victim(0, mem.Access{})] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("random victims covered %d of 16 ways", len(seen))
+	}
+}

@@ -1,0 +1,148 @@
+package policy
+
+import (
+	"sdbp/internal/cache"
+	"sdbp/internal/mem"
+)
+
+// PLRU is tree-based pseudo-LRU: each set keeps a binary tree of
+// direction bits (ways-1 bits for a power-of-two associativity); a
+// touch points every node on the way's path away from it, and the
+// victim is found by following the pointers. This is what real
+// high-associativity LLCs implement instead of true LRU — the paper's
+// observation that "LRU is prohibitively expensive to implement in a
+// highly associative LLC" is exactly why the sampling predictor keeps
+// its own small true-LRU structure instead of relying on the cache's.
+type PLRU struct {
+	cache.Base
+	ways  int
+	depth int
+	bits  []uint32 // one bit-tree per set, packed into a uint32
+}
+
+// NewPLRU returns a tree-PLRU policy. Associativity must be a power of
+// two (checked in Reset).
+func NewPLRU() *PLRU { return &PLRU{} }
+
+// Name implements cache.Policy.
+func (p *PLRU) Name() string { return "PLRU" }
+
+// Reset implements cache.Policy.
+func (p *PLRU) Reset(sets, ways int) {
+	if !mem.IsPow2(ways) || ways > 32 {
+		panic("policy: PLRU needs a power-of-two associativity <= 32")
+	}
+	p.ways = ways
+	p.depth = mem.Log2(ways)
+	p.bits = make([]uint32, sets)
+}
+
+// touch points the tree away from way: at each level, set the node's
+// bit to the opposite of the branch taken.
+func (p *PLRU) touch(set uint32, way int) {
+	node := 0
+	for level := p.depth - 1; level >= 0; level-- {
+		branch := (way >> uint(level)) & 1
+		if branch == 0 {
+			p.bits[set] |= 1 << uint(node) // point right
+		} else {
+			p.bits[set] &^= 1 << uint(node) // point left
+		}
+		node = 2*node + 1 + branch
+	}
+}
+
+// OnHit implements cache.Policy.
+func (p *PLRU) OnHit(set uint32, way int, _ mem.Access) { p.touch(set, way) }
+
+// OnFill implements cache.Policy.
+func (p *PLRU) OnFill(set uint32, way int, _ mem.Access) { p.touch(set, way) }
+
+// Victim implements cache.Policy: follow the direction bits.
+func (p *PLRU) Victim(set uint32, _ mem.Access) int {
+	node, way := 0, 0
+	for level := 0; level < p.depth; level++ {
+		branch := int(p.bits[set]>>uint(node)) & 1
+		way = way<<1 | branch
+		node = 2*node + 1 + branch
+	}
+	return way
+}
+
+// Rank implements Ranked approximately: ways on the victim path rank
+// higher (closer to eviction). PLRU has no total order, so the rank is
+// the length of the shared prefix with the victim path.
+func (p *PLRU) Rank(set uint32, way int) int {
+	victim := p.Victim(set, mem.Access{})
+	rank := 0
+	for level := p.depth - 1; level >= 0; level-- {
+		if (way>>uint(level))&1 != (victim>>uint(level))&1 {
+			break
+		}
+		rank++
+	}
+	return rank
+}
+
+// NRU is not-recently-used replacement: one bit per line, set on touch;
+// the victim is any line with a clear bit, and when all are set they
+// all clear (except the just-touched line's conceptual position — the
+// classic one-bit approximation used by several commercial cores).
+type NRU struct {
+	cache.Base
+	ways int
+	used []bool
+}
+
+// NewNRU returns an NRU policy.
+func NewNRU() *NRU { return &NRU{} }
+
+// Name implements cache.Policy.
+func (p *NRU) Name() string { return "NRU" }
+
+// Reset implements cache.Policy.
+func (p *NRU) Reset(sets, ways int) {
+	p.ways = ways
+	p.used = make([]bool, sets*ways)
+}
+
+func (p *NRU) idx(set uint32, way int) int { return int(set)*p.ways + way }
+
+func (p *NRU) mark(set uint32, way int) {
+	p.used[p.idx(set, way)] = true
+	for w := 0; w < p.ways; w++ {
+		if !p.used[p.idx(set, w)] {
+			return
+		}
+	}
+	// All marked: clear everyone but the newest.
+	for w := 0; w < p.ways; w++ {
+		if w != way {
+			p.used[p.idx(set, w)] = false
+		}
+	}
+}
+
+// OnHit implements cache.Policy.
+func (p *NRU) OnHit(set uint32, way int, _ mem.Access) { p.mark(set, way) }
+
+// OnFill implements cache.Policy.
+func (p *NRU) OnFill(set uint32, way int, _ mem.Access) { p.mark(set, way) }
+
+// Victim implements cache.Policy: the first not-recently-used way.
+func (p *NRU) Victim(set uint32, _ mem.Access) int {
+	for w := 0; w < p.ways; w++ {
+		if !p.used[p.idx(set, w)] {
+			return w
+		}
+	}
+	return 0 // unreachable: mark never leaves a fully-used set
+}
+
+// Rank implements Ranked: unused lines rank closer to eviction.
+func (p *NRU) Rank(set uint32, way int) int {
+	if p.used[p.idx(set, way)] {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,136 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/mem"
+)
+
+func TestPLRUVictimNeverJustTouched(t *testing.T) {
+	// The defining PLRU property: the victim is never the way touched
+	// most recently.
+	f := func(events []uint8) bool {
+		p := NewPLRU()
+		p.Reset(2, 8)
+		for _, e := range events {
+			set := uint32(e) % 2
+			way := int(e>>1) % 8
+			p.OnHit(set, way, mem.Access{})
+			if p.Victim(set, mem.Access{}) == way {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPLRUCyclesThroughAllWays(t *testing.T) {
+	// Repeatedly filling the victim must cycle through every way.
+	p := NewPLRU()
+	p.Reset(1, 8)
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		v := p.Victim(0, mem.Access{})
+		seen[v] = true
+		p.OnFill(0, v, mem.Access{})
+	}
+	if len(seen) != 8 {
+		t.Errorf("victim cycle covered %d of 8 ways", len(seen))
+	}
+}
+
+func TestPLRUApproximatesLRUOnSequentialFill(t *testing.T) {
+	p := NewPLRU()
+	p.Reset(1, 4)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, mem.Access{})
+	}
+	// After filling 0,1,2,3 in order, the PLRU victim is way 0 — the
+	// same as true LRU on this pattern.
+	if v := p.Victim(0, mem.Access{}); v != 0 {
+		t.Errorf("victim = %d, want 0", v)
+	}
+}
+
+func TestPLRURejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PLRU accepted 12 ways")
+		}
+	}()
+	NewPLRU().Reset(4, 12)
+}
+
+func TestPLRUHitRateNearLRU(t *testing.T) {
+	// On a generic reuse pattern PLRU must land close to true LRU.
+	run := func(p cache.Policy) uint64 {
+		cfg := cache.Config{Name: "t", SizeBytes: 32 << 10, Ways: 16}
+		c := cache.New(cfg, p)
+		r := mem.NewRand(7)
+		for i := 0; i < 200000; i++ {
+			// Zipf-ish: small addresses far more popular.
+			b := r.Intn(64) * r.Intn(64)
+			c.Access(mem.Access{Addr: uint64(b) * mem.BlockSize})
+		}
+		return c.Stats().Hits
+	}
+	lru := run(NewLRU())
+	plru := run(NewPLRU())
+	if float64(plru) < 0.95*float64(lru) {
+		t.Errorf("PLRU hits %d below 95%% of LRU hits %d", plru, lru)
+	}
+}
+
+func TestNRUVictimIsUnused(t *testing.T) {
+	p := NewNRU()
+	p.Reset(1, 4)
+	p.OnFill(0, 0, mem.Access{})
+	p.OnHit(0, 2, mem.Access{})
+	v := p.Victim(0, mem.Access{})
+	if v == 0 || v == 2 {
+		t.Errorf("victim %d was recently used", v)
+	}
+}
+
+func TestNRUClearsWhenSaturated(t *testing.T) {
+	p := NewNRU()
+	p.Reset(1, 4)
+	for w := 0; w < 4; w++ {
+		p.OnHit(0, w, mem.Access{})
+	}
+	// The clear must have kept only way 3 (the last touch) marked.
+	if v := p.Victim(0, mem.Access{}); v == 3 {
+		t.Error("victim was the most recent touch after saturation clear")
+	}
+	if p.Rank(0, 3) != 0 {
+		t.Error("last touch lost its mark in the saturation clear")
+	}
+}
+
+func TestNRUVictimAlwaysValidWay(t *testing.T) {
+	f := func(events []uint8) bool {
+		p := NewNRU()
+		p.Reset(2, 8)
+		for _, e := range events {
+			set := uint32(e) % 2
+			way := int(e>>1) % 8
+			if e&1 == 0 {
+				p.OnHit(set, way, mem.Access{})
+			} else {
+				p.OnFill(set, way, mem.Access{})
+			}
+			if v := p.Victim(set, mem.Access{}); v < 0 || v >= 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,45 @@
+package policy
+
+import (
+	"sdbp/internal/cache"
+	"sdbp/internal/mem"
+)
+
+// Random evicts a uniformly random way. The paper uses it as the cheap
+// default policy that the sampling predictor upgrades (Section V-A):
+// random replacement needs no per-line state at all, so a dead-block
+// optimization on top of it costs only the predictor's own storage.
+type Random struct {
+	cache.Base
+	ways int
+	rng  *mem.Rand
+	seed uint64
+}
+
+// NewRandom returns a random-replacement policy with a deterministic
+// stream derived from seed.
+func NewRandom(seed uint64) *Random {
+	return &Random{seed: seed, rng: mem.NewRand(seed)}
+}
+
+// Name implements cache.Policy.
+func (p *Random) Name() string { return "Random" }
+
+// Reset implements cache.Policy.
+func (p *Random) Reset(_, ways int) {
+	p.ways = ways
+	p.rng.Seed(p.seed)
+}
+
+// Victim implements cache.Policy.
+func (p *Random) Victim(uint32, mem.Access) int { return p.rng.Intn(p.ways) }
+
+// OnHit implements cache.Policy; random replacement keeps no state.
+func (p *Random) OnHit(uint32, int, mem.Access) {}
+
+// OnFill implements cache.Policy; random replacement keeps no state.
+func (p *Random) OnFill(uint32, int, mem.Access) {}
+
+// Rank implements Ranked: random replacement has no eviction preference,
+// so every way ranks equally.
+func (p *Random) Rank(uint32, int) int { return 0 }

@@ -1,0 +1,129 @@
+package policy
+
+import (
+	"sdbp/internal/cache"
+	"sdbp/internal/mem"
+)
+
+// rrpvBits is the re-reference prediction value width (2 bits in the
+// RRIP paper's main configuration).
+const rrpvBits = 2
+
+const rrpvMax = 1<<rrpvBits - 1 // "distant re-reference" value
+
+// brripEpsilon is BRRIP's probability of inserting with a long (rather
+// than distant) re-reference prediction, mirroring BIP's 1/32.
+const brripEpsilon = 1.0 / 32
+
+// RRIP implements Re-Reference Interval Prediction (Jaleel et al., ISCA
+// 2010). Each line carries a 2-bit RRPV; insertion predicts a long
+// re-reference interval (RRPV = max-1 for SRRIP), hits promote to near
+// (RRPV = 0), and the victim is a line with a distant prediction
+// (RRPV = max), aging the whole set until one exists.
+//
+// With Dynamic set to true this is DRRIP: set dueling between SRRIP and
+// BRRIP (which inserts at distant RRPV except with probability 1/32),
+// with one duel per hardware thread as in the paper's shared-cache
+// extension.
+type RRIP struct {
+	cache.Base
+	ways    int
+	rrpv    []uint8
+	Dynamic bool
+	threads int
+	duels   []duel
+	rng     *mem.Rand
+	seed    uint64
+}
+
+// NewSRRIP returns a static RRIP policy.
+func NewSRRIP() *RRIP { return &RRIP{threads: 1, rng: mem.NewRand(0x5121)} }
+
+// NewDRRIP returns a dynamic (set dueling) RRIP policy for up to threads
+// hardware threads.
+func NewDRRIP(threads int, seed uint64) *RRIP {
+	if threads < 1 {
+		threads = 1
+	}
+	return &RRIP{Dynamic: true, threads: threads, seed: seed, rng: mem.NewRand(seed)}
+}
+
+// Name implements cache.Policy.
+func (p *RRIP) Name() string {
+	if p.Dynamic {
+		return "RRIP"
+	}
+	return "SRRIP"
+}
+
+// Reset implements cache.Policy.
+func (p *RRIP) Reset(sets, ways int) {
+	p.ways = ways
+	p.rrpv = make([]uint8, sets*ways)
+	for i := range p.rrpv {
+		p.rrpv[i] = rrpvMax
+	}
+	p.duels = make([]duel, p.threads)
+	for t := range p.duels {
+		p.duels[t] = newDuel(sets, 32, 0x4421+uint64(t)*0x9e37)
+	}
+	p.rng.Seed(p.seed)
+}
+
+func (p *RRIP) idx(set uint32, way int) int { return int(set)*p.ways + way }
+
+func (p *RRIP) duelFor(a mem.Access) *duel {
+	t := int(a.Thread)
+	if t >= len(p.duels) {
+		t = 0
+	}
+	return &p.duels[t]
+}
+
+// OnHit implements cache.Policy: hit promotion to near re-reference.
+func (p *RRIP) OnHit(set uint32, way int, _ mem.Access) {
+	p.rrpv[p.idx(set, way)] = 0
+}
+
+// OnFill implements cache.Policy. Fills happen exactly once per miss
+// (RRIP never bypasses), so the DRRIP duel's PSEL updates here.
+func (p *RRIP) OnFill(set uint32, way int, a mem.Access) {
+	insert := uint8(rrpvMax - 1) // SRRIP: long re-reference interval
+	if p.Dynamic {
+		d := p.duelFor(a)
+		d.onMiss(set)
+		if d.choose(set) {
+			// BRRIP: distant, except occasionally long.
+			if p.rng.Chance(brripEpsilon) {
+				insert = rrpvMax - 1
+			} else {
+				insert = rrpvMax
+			}
+		}
+	}
+	p.rrpv[p.idx(set, way)] = insert
+}
+
+// Victim implements cache.Policy: the first way predicted distant,
+// aging the set until one exists.
+func (p *RRIP) Victim(set uint32, _ mem.Access) int {
+	base := int(set) * p.ways
+	for {
+		for w := 0; w < p.ways; w++ {
+			if p.rrpv[base+w] == rrpvMax {
+				return w
+			}
+		}
+		for w := 0; w < p.ways; w++ {
+			p.rrpv[base+w]++
+		}
+	}
+}
+
+// Rank implements Ranked: larger RRPV means closer to eviction.
+func (p *RRIP) Rank(set uint32, way int) int {
+	return int(p.rrpv[p.idx(set, way)])
+}
+
+// RRPV exposes a line's current re-reference prediction value for tests.
+func (p *RRIP) RRPV(set uint32, way int) uint8 { return p.rrpv[p.idx(set, way)] }

@@ -1,0 +1,150 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/mem"
+)
+
+func TestSRRIPInsertAndPromote(t *testing.T) {
+	p := NewSRRIP()
+	p.Reset(1, 4)
+	p.OnFill(0, 0, mem.Access{})
+	if got := p.RRPV(0, 0); got != rrpvMax-1 {
+		t.Errorf("fill RRPV = %d, want %d (long)", got, rrpvMax-1)
+	}
+	p.OnHit(0, 0, mem.Access{})
+	if got := p.RRPV(0, 0); got != 0 {
+		t.Errorf("hit RRPV = %d, want 0 (near)", got)
+	}
+}
+
+func TestSRRIPVictimIsDistant(t *testing.T) {
+	p := NewSRRIP()
+	p.Reset(1, 4)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, mem.Access{})
+	}
+	p.OnHit(0, 1, mem.Access{}) // way 1 near
+	v := p.Victim(0, mem.Access{})
+	if v == 1 {
+		t.Error("victim was the near-re-reference block")
+	}
+	// Aging must have stopped as soon as a distant block existed.
+	if got := p.RRPV(0, v); got != rrpvMax {
+		t.Errorf("victim RRPV = %d, want %d", got, rrpvMax)
+	}
+}
+
+func TestSRRIPAgingTerminates(t *testing.T) {
+	// Even from all-near state the victim search converges by aging.
+	p := NewSRRIP()
+	p.Reset(1, 8)
+	for w := 0; w < 8; w++ {
+		p.OnFill(0, w, mem.Access{})
+		p.OnHit(0, w, mem.Access{})
+	}
+	v := p.Victim(0, mem.Access{})
+	if v < 0 || v >= 8 {
+		t.Errorf("victim = %d", v)
+	}
+}
+
+func TestRRIPRRPVBounds(t *testing.T) {
+	const sets, ways = 2, 4
+	f := func(events []uint16) bool {
+		p := NewDRRIP(2, 1)
+		p.Reset(sets, ways)
+		for _, e := range events {
+			set := uint32(e) % sets
+			way := int(e>>1) % ways
+			switch e % 3 {
+			case 0:
+				p.OnHit(set, way, mem.Access{Thread: uint8(e % 2)})
+			case 1:
+				p.OnFill(set, way, mem.Access{Thread: uint8(e % 2)})
+			case 2:
+				p.Victim(set, mem.Access{})
+			}
+			for w := 0; w < ways; w++ {
+				if p.RRPV(set, w) > rrpvMax {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDRRIPBeatsLRUOnThrash(t *testing.T) {
+	cfg := cache.Config{Name: "t", SizeBytes: 64 << 10, Ways: 16}
+	const blocks, laps = 1536, 20
+	lruHits := thrash(cache.New(cfg, NewLRU()), blocks, laps)
+	rripHits := thrash(cache.New(cfg, NewDRRIP(1, 7)), blocks, laps)
+	if rripHits <= lruHits {
+		t.Errorf("DRRIP hits %d <= LRU hits %d on cyclic thrash", rripHits, lruHits)
+	}
+}
+
+func TestSRRIPScanResistance(t *testing.T) {
+	// A hot set with an interleaved one-shot scan: SRRIP must retain
+	// more of the hot set than LRU does.
+	cfg := cache.Config{Name: "t", SizeBytes: 16 << 10, Ways: 16} // 256 blocks
+	run := func(p cache.Policy) uint64 {
+		c := cache.New(cfg, p)
+		scan := uint64(1) << 32
+		for l := 0; l < 50; l++ {
+			for pass := 0; pass < 2; pass++ { // hot half, re-touched
+				for b := 0; b < 128; b++ {
+					c.Access(mem.Access{Addr: uint64(b) * mem.BlockSize})
+				}
+			}
+			for s := 0; s < 256; s++ { // one-shot scan
+				c.Access(mem.Access{Addr: scan})
+				scan += mem.BlockSize
+			}
+		}
+		return c.Stats().Hits
+	}
+	lru := run(NewLRU())
+	srrip := run(NewSRRIP())
+	if srrip <= lru {
+		t.Errorf("SRRIP hits %d <= LRU hits %d under scans", srrip, lru)
+	}
+}
+
+func TestRRIPRankOrdersByRRPV(t *testing.T) {
+	p := NewSRRIP()
+	p.Reset(1, 2)
+	p.OnFill(0, 0, mem.Access{})
+	p.OnHit(0, 1, mem.Access{})
+	if p.Rank(0, 0) <= p.Rank(0, 1) {
+		t.Error("long re-reference block should rank closer to eviction than near block")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewSRRIP().Name() != "SRRIP" {
+		t.Error("SRRIP name")
+	}
+	if NewDRRIP(1, 0).Name() != "RRIP" {
+		t.Error("DRRIP name")
+	}
+	if NewLRU().Name() != "LRU" {
+		t.Error("LRU name")
+	}
+	if NewRandom(0).Name() != "Random" {
+		t.Error("Random name")
+	}
+	if NewDIP(0).Name() != "DIP" {
+		t.Error("DIP name")
+	}
+	if NewTADIP(2, 0).Name() != "TADIP" {
+		t.Error("TADIP name")
+	}
+}

@@ -1,0 +1,107 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStructureArithmetic(t *testing.T) {
+	s := Structure{Name: "t", Kind: TaglessRAM, Entries: 4096, BitsPerEntry: 2}
+	if s.Bits() != 8192 {
+		t.Errorf("Bits = %d", s.Bits())
+	}
+	if s.KB() != 1 {
+		t.Errorf("KB = %v", s.KB())
+	}
+}
+
+func TestTotalKB(t *testing.T) {
+	ss := []Structure{
+		{Entries: 4096, BitsPerEntry: 2},
+		{Entries: 4096, BitsPerEntry: 2},
+	}
+	if got := TotalKB(ss); got != 2 {
+		t.Errorf("TotalKB = %v", got)
+	}
+}
+
+func TestModelCalibration(t *testing.T) {
+	m := DefaultModel()
+	leak, dyn := m.BaselineLLC()
+	if math.Abs(leak-0.512) > 1e-9 {
+		t.Errorf("baseline leakage = %v, want 0.512", leak)
+	}
+	if math.Abs(dyn-2.75) > 1e-9 {
+		t.Errorf("baseline dynamic = %v, want 2.75", dyn)
+	}
+}
+
+func TestLeakageScalesWithBits(t *testing.T) {
+	m := DefaultModel()
+	small := Structure{Kind: TaglessRAM, Entries: 1024, BitsPerEntry: 2}
+	big := Structure{Kind: TaglessRAM, Entries: 4096, BitsPerEntry: 2}
+	if m.Leakage(big) != 4*m.Leakage(small) {
+		t.Error("leakage not linear in bits")
+	}
+}
+
+func TestDynamicGrowsWithSize(t *testing.T) {
+	m := DefaultModel()
+	small := Structure{Kind: TaglessRAM, Entries: 1024, BitsPerEntry: 2}
+	big := Structure{Kind: TaglessRAM, Entries: 65536, BitsPerEntry: 2}
+	if m.Dynamic(big) <= m.Dynamic(small) {
+		t.Error("dynamic power not increasing with array size")
+	}
+}
+
+func TestEvaluateSplitsMetadata(t *testing.T) {
+	m := DefaultModel()
+	rep := m.Evaluate("x", []Structure{
+		{Kind: TaglessRAM, Entries: 1024, BitsPerEntry: 2},
+		{Kind: CacheMetadata, Entries: 32768, BitsPerEntry: 1},
+	})
+	if rep.PredictorLeakage <= 0 || rep.MetadataLeakage <= 0 {
+		t.Error("missing component leakage")
+	}
+	if rep.TotalLeakage() != rep.PredictorLeakage+rep.MetadataLeakage {
+		t.Error("total leakage mismatch")
+	}
+	if rep.TotalDynamic() != rep.PredictorDynamic+rep.MetadataDynamic {
+		t.Error("total dynamic mismatch")
+	}
+}
+
+func TestPaperPowerOrderings(t *testing.T) {
+	// The paper's qualitative power claims: the sampler leaks less than
+	// the reftrace predictor, which leaks less than the counting
+	// predictor; same ordering for dynamic power; and the sampler's
+	// leakage is a small fraction of the LLC's.
+	m := DefaultModel()
+	mk := func(pred, metaBits int, predEntries int) Report {
+		return m.Evaluate("x", []Structure{
+			{Kind: TaglessRAM, Entries: predEntries, BitsPerEntry: pred},
+			{Kind: CacheMetadata, Entries: 32768, BitsPerEntry: metaBits},
+		})
+	}
+	reftrace := mk(2, 16, 1<<15)
+	counting := mk(5, 17, 1<<16)
+	sampler := m.Evaluate("s", []Structure{
+		{Kind: TaglessRAM, Entries: 3 * 4096, BitsPerEntry: 2, Banks: 3},
+		{Kind: TagArray, Entries: 384, BitsPerEntry: 36},
+		{Kind: CacheMetadata, Entries: 32768, BitsPerEntry: 1},
+	})
+	if !(sampler.TotalLeakage() < reftrace.TotalLeakage() &&
+		reftrace.TotalLeakage() < counting.TotalLeakage()) {
+		t.Errorf("leakage ordering violated: s=%v r=%v c=%v",
+			sampler.TotalLeakage(), reftrace.TotalLeakage(), counting.TotalLeakage())
+	}
+	if !(sampler.TotalDynamic() < reftrace.TotalDynamic() &&
+		reftrace.TotalDynamic() < counting.TotalDynamic()) {
+		t.Errorf("dynamic ordering violated: s=%v r=%v c=%v",
+			sampler.TotalDynamic(), reftrace.TotalDynamic(), counting.TotalDynamic())
+	}
+	baseLeak, _ := m.BaselineLLC()
+	if frac := sampler.TotalLeakage() / baseLeak; frac > 0.05 {
+		t.Errorf("sampler leakage fraction = %.3f, want small", frac)
+	}
+}

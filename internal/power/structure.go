@@ -1,0 +1,59 @@
+// Package power models the storage and power cost of the predictor
+// hardware structures, reproducing the paper's Table I (storage
+// overhead) and Table II (CACTI 5.3 dynamic and leakage power).
+//
+// CACTI itself is substituted by an analytic model: per-bit leakage and
+// per-access dynamic energy coefficients, differentiated by structure
+// type (associative tag array vs. tagless RAM vs. cache-metadata bits),
+// calibrated so that the paper's baseline 2MB LLC comes out at 2.75W
+// dynamic and 0.512W leakage. Relative component figures are then
+// directly comparable to the paper's.
+package power
+
+// StructureKind classifies a hardware structure for the power model.
+type StructureKind int
+
+const (
+	// TaglessRAM is a directly indexed SRAM (prediction tables).
+	TaglessRAM StructureKind = iota
+	// TagArray is an associative tag array searched on access (the
+	// sampler, or a cache's tag store).
+	TagArray
+	// CacheMetadata is extra per-line bits carried in a cache's data
+	// array (signatures, counters, dead bits). Its power is the delta
+	// between the cache modeled with and without the bits.
+	CacheMetadata
+)
+
+// Structure describes one hardware structure's geometry.
+type Structure struct {
+	// Name labels the structure in reports.
+	Name string
+	// Kind selects the power coefficients.
+	Kind StructureKind
+	// Entries is the number of rows.
+	Entries int
+	// BitsPerEntry is the width of each row in bits.
+	BitsPerEntry int
+	// Banks is the number of banks accessed simultaneously (the skewed
+	// predictor reads three banks per prediction). Zero means one.
+	Banks int
+}
+
+// Bits returns the structure's total storage in bits.
+func (s Structure) Bits() int { return s.Entries * s.BitsPerEntry }
+
+// Bytes returns the structure's total storage in bytes (rounded up).
+func (s Structure) Bytes() float64 { return float64(s.Bits()) / 8 }
+
+// KB returns the structure's total storage in kilobytes (2^10 bytes).
+func (s Structure) KB() float64 { return s.Bytes() / 1024 }
+
+// TotalKB sums the storage of a set of structures in kilobytes.
+func TotalKB(ss []Structure) float64 {
+	var kb float64
+	for _, s := range ss {
+		kb += s.KB()
+	}
+	return kb
+}

@@ -1,0 +1,134 @@
+package predictor
+
+import (
+	"sdbp/internal/mem"
+	"sdbp/internal/power"
+)
+
+// countBits is the width of LvP's access counters (4 bits).
+const countBits = 4
+
+const countMax = 1<<countBits - 1
+
+// lvpRows and lvpCols size the LvP prediction table: rows indexed by an
+// 8-bit hash of the PC that brought the block into the cache, columns by
+// an 8-bit hash of the block address. 256x256 entries of 5 bits each is
+// the paper's 40KB table.
+const (
+	lvpRows = 256
+	lvpCols = 256
+)
+
+// lvpEntry is one prediction-table cell: the access count observed for
+// the (PC, block) pair's previous generation, and a one-bit confidence
+// set when the last two generations agreed.
+type lvpEntry struct {
+	count uint8 // 4-bit live-time (number of accesses per generation)
+	conf  bool
+}
+
+// lvpBlock is the per-LLC-block metadata (17 bits in the paper): the
+// hashed PC that filled the block, the current generation's access
+// count, the previous generation's count copied from the table at fill,
+// and the confidence bit copied alongside it. We additionally remember
+// the hashed block address so the table cell can be updated at eviction.
+type lvpBlock struct {
+	pcHash    uint8
+	addrHash  uint8
+	count     uint8
+	prevCount uint8
+	conf      bool
+}
+
+// Counting is the Live-time Predictor (LvP) of Kharbutli and Solihin
+// (IEEE TC 2008), the paper's CDBP baseline: a block is predicted dead
+// once it has been accessed as many times as in its previous generation,
+// provided the previous two generations agreed on that count.
+type Counting struct {
+	table      []lvpEntry // lvpRows*lvpCols
+	blocks     []lvpBlock
+	sets, ways int
+}
+
+// NewCounting returns an LvP predictor with the paper's 40KB table.
+func NewCounting() *Counting { return &Counting{} }
+
+// Name implements Predictor.
+func (c *Counting) Name() string { return "Counting" }
+
+// Reset implements Predictor.
+func (c *Counting) Reset(sets, ways int) {
+	c.sets, c.ways = sets, ways
+	c.table = make([]lvpEntry, lvpRows*lvpCols)
+	c.blocks = make([]lvpBlock, sets*ways)
+}
+
+func lvpPCHash(pc uint64) uint8 { return uint8(mem.Mix64(pc)) }
+
+func lvpAddrHash(addr uint64) uint8 {
+	return uint8(mem.Mix64(mem.BlockNumber(addr)) >> 8)
+}
+
+func (c *Counting) entry(pcHash, addrHash uint8) *lvpEntry {
+	return &c.table[int(pcHash)*lvpCols+int(addrHash)]
+}
+
+// OnAccess implements Predictor; LvP has no access-time hook beyond
+// OnHit/OnFill.
+func (c *Counting) OnAccess(uint32, mem.Access) {}
+
+// PredictArriving implements Predictor: a block is dead on arrival when
+// its previous generations confidently saw a single access.
+func (c *Counting) PredictArriving(_ uint32, a mem.Access) bool {
+	e := c.entry(lvpPCHash(a.PC), lvpAddrHash(a.Addr))
+	return e.conf && e.count <= 1
+}
+
+// dead reports a block's current prediction.
+func (b *lvpBlock) dead() bool {
+	return b.conf && b.prevCount > 0 && b.count >= b.prevCount
+}
+
+// OnHit implements Predictor: the block's generation count advances and
+// the prediction re-evaluates against the previous generation's count.
+func (c *Counting) OnHit(set uint32, way int, _ mem.Access) bool {
+	b := &c.blocks[int(set)*c.ways+way]
+	if b.count < countMax {
+		b.count++
+	}
+	return b.dead()
+}
+
+// OnFill implements Predictor: the filling PC selects the table row; the
+// previous generation's count and confidence are copied into the block's
+// metadata and a new generation begins with this access.
+func (c *Counting) OnFill(set uint32, way int, a mem.Access) bool {
+	b := &c.blocks[int(set)*c.ways+way]
+	b.pcHash = lvpPCHash(a.PC)
+	b.addrHash = lvpAddrHash(a.Addr)
+	e := c.entry(b.pcHash, b.addrHash)
+	b.prevCount = e.count
+	b.conf = e.conf
+	b.count = 1
+	return b.dead()
+}
+
+// OnEvict implements Predictor: the table cell learns this generation's
+// access count, gaining confidence when it matches the previous one.
+func (c *Counting) OnEvict(set uint32, way int) {
+	b := &c.blocks[int(set)*c.ways+way]
+	e := c.entry(b.pcHash, b.addrHash)
+	e.conf = e.count == b.count && b.count > 0
+	e.count = b.count
+}
+
+// Storage implements Predictor, reproducing the counting row of Table I:
+// a 40KB table of 5-bit entries plus 17 bits of metadata per LLC block.
+func (c *Counting) Storage() []power.Structure {
+	return []power.Structure{
+		{Name: "prediction table", Kind: power.TaglessRAM,
+			Entries: lvpRows * lvpCols, BitsPerEntry: countBits + 1},
+		{Name: "block counters + PC hashes", Kind: power.CacheMetadata,
+			Entries: c.sets * c.ways, BitsPerEntry: 8 + 4 + 4 + 1},
+	}
+}

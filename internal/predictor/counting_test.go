@@ -1,0 +1,135 @@
+package predictor
+
+import (
+	"testing"
+
+	"sdbp/internal/mem"
+	"sdbp/internal/power"
+)
+
+func newCountingUnderTest() *Counting {
+	c := NewCounting()
+	c.Reset(llcSets, llcWays)
+	return c
+}
+
+// oneGeneration runs a block through fill, touches-1 hits, and
+// eviction, and returns whether any access predicted it dead.
+func oneGeneration(c *Counting, set uint32, way int, a mem.Access, touches int) bool {
+	dead := c.OnFill(set, way, a)
+	for i := 1; i < touches; i++ {
+		dead = c.OnHit(set, way, a)
+	}
+	c.OnEvict(set, way)
+	return dead
+}
+
+func TestCountingGainsConfidenceOnStableCounts(t *testing.T) {
+	c := newCountingUnderTest()
+	a := mem.Access{PC: 0x10, Addr: 0x8000}
+	oneGeneration(c, 0, 0, a, 3)
+	oneGeneration(c, 0, 0, a, 3) // second generation matches: conf set
+	// Third generation: the block must be predicted dead at its third
+	// access.
+	c.OnFill(0, 0, a)
+	if c.OnHit(0, 0, a) {
+		t.Error("predicted dead before reaching the learned live-time")
+	}
+	if !c.OnHit(0, 0, a) {
+		t.Error("not predicted dead at the learned live-time")
+	}
+}
+
+func TestCountingLosesConfidenceOnUnstableCounts(t *testing.T) {
+	c := newCountingUnderTest()
+	a := mem.Access{PC: 0x20, Addr: 0xC000}
+	oneGeneration(c, 0, 0, a, 2)
+	oneGeneration(c, 0, 0, a, 5) // mismatch: confidence cleared
+	c.OnFill(0, 0, a)
+	for i := 1; i < 10; i++ {
+		if c.OnHit(0, 0, a) {
+			t.Fatal("predicted dead without confidence")
+		}
+	}
+}
+
+func TestCountingBypassSingleTouch(t *testing.T) {
+	c := newCountingUnderTest()
+	a := mem.Access{PC: 0x30, Addr: 0x4000}
+	oneGeneration(c, 0, 0, a, 1)
+	oneGeneration(c, 0, 0, a, 1)
+	if !c.PredictArriving(0, a) {
+		t.Error("confident single-touch block not dead on arrival")
+	}
+}
+
+func TestCountingNoBypassWithoutConfidence(t *testing.T) {
+	c := newCountingUnderTest()
+	a := mem.Access{PC: 0x40, Addr: 0x4040}
+	oneGeneration(c, 0, 0, a, 1)
+	oneGeneration(c, 0, 0, a, 2)
+	if c.PredictArriving(0, a) {
+		t.Error("unconfident block predicted dead on arrival")
+	}
+}
+
+func TestCountingTableIndexedByPCAndAddress(t *testing.T) {
+	c := newCountingUnderTest()
+	a1 := mem.Access{PC: 0x50, Addr: 0x1000}
+	a2 := mem.Access{PC: 0x50, Addr: 0x224400} // same PC, different block hash
+	oneGeneration(c, 0, 0, a1, 1)
+	oneGeneration(c, 0, 0, a1, 1)
+	if !c.PredictArriving(0, a1) {
+		t.Fatal("setup failed")
+	}
+	if c.PredictArriving(0, a2) {
+		t.Error("different block address shares the table cell")
+	}
+}
+
+func TestCountingCounterSaturates(t *testing.T) {
+	c := newCountingUnderTest()
+	a := mem.Access{PC: 0x60, Addr: 0x2000}
+	c.OnFill(0, 0, a)
+	for i := 0; i < 100; i++ {
+		c.OnHit(0, 0, a)
+	}
+	if got := c.blocks[0].count; got != countMax {
+		t.Errorf("count = %d, want saturated %d", got, countMax)
+	}
+}
+
+func TestCountingEvictionWritesTable(t *testing.T) {
+	c := newCountingUnderTest()
+	a := mem.Access{PC: 0x70, Addr: 0x3000}
+	oneGeneration(c, 0, 0, a, 4)
+	e := c.entry(lvpPCHash(a.PC), lvpAddrHash(a.Addr))
+	if e.count != 4 {
+		t.Errorf("table count = %d, want 4", e.count)
+	}
+	if e.conf {
+		t.Error("confidence set after a single generation")
+	}
+}
+
+func TestCountingStorageMatchesPaper(t *testing.T) {
+	c := newCountingUnderTest()
+	total := power.TotalKB(c.Storage())
+	// Paper Table I: 40KB table + 68KB metadata = 108KB.
+	if total != 108 {
+		t.Errorf("counting storage = %.2fKB, want 108KB", total)
+	}
+}
+
+func TestCountingName(t *testing.T) {
+	if NewCounting().Name() != "Counting" {
+		t.Error("name mismatch")
+	}
+}
+
+func TestCountingZeroPrevCountNeverDead(t *testing.T) {
+	b := &lvpBlock{conf: true, prevCount: 0, count: 5}
+	if b.dead() {
+		t.Error("zero previous live-time treated as dead threshold")
+	}
+}

@@ -1,0 +1,231 @@
+package predictor
+
+import (
+	"testing"
+
+	"sdbp/internal/mem"
+)
+
+// --- Cache bursts predictor ---
+
+func newBurstsUnderTest() *Bursts {
+	b := NewBursts()
+	b.Reset(llcSets, llcWays)
+	return b
+}
+
+func TestBurstsMRUHitsAreFree(t *testing.T) {
+	b := newBurstsUnderTest()
+	b.OnFill(0, 0, mem.Access{PC: 0x10})
+	sig := b.sig[0]
+	// Repeated hits on the MRU block continue the burst: the signature
+	// must not accumulate.
+	for i := 0; i < 5; i++ {
+		b.OnHit(0, 0, mem.Access{PC: 0x20})
+	}
+	if b.sig[0] != sig {
+		t.Error("MRU hits extended the trace (bursts must coalesce)")
+	}
+}
+
+func TestBurstsNewBurstOnMRUChange(t *testing.T) {
+	b := newBurstsUnderTest()
+	b.OnFill(0, 0, mem.Access{PC: 0x10})
+	b.OnFill(0, 1, mem.Access{PC: 0x20}) // way 0 loses MRU: burst ends
+	if b.inBurst[0] {
+		t.Error("losing MRU did not close the burst")
+	}
+	want := traceSignature(0, uint64(pcSignature(0x10)))
+	if b.sig[0] != want {
+		t.Errorf("sig = %#x, want %#x", b.sig[0], want)
+	}
+}
+
+func TestBurstsLearnsSingleBurstDeath(t *testing.T) {
+	b := newBurstsUnderTest()
+	const pc = 0x40
+	for i := 0; i < 10; i++ {
+		b.OnFill(0, 0, mem.Access{PC: pc})
+		b.OnEvict(0, 0)
+	}
+	if !b.PredictArriving(0, mem.Access{PC: pc}) {
+		t.Error("single-burst site not predicted dead on arrival")
+	}
+}
+
+func TestBurstsRetouchTrainsLive(t *testing.T) {
+	b := newBurstsUnderTest()
+	const pc = 0x50
+	for i := 0; i < 10; i++ {
+		b.OnFill(0, 0, mem.Access{PC: pc})
+		b.OnEvict(0, 0)
+	}
+	for i := 0; i < 10; i++ {
+		b.OnFill(0, 0, mem.Access{PC: pc})
+		b.OnFill(0, 1, mem.Access{PC: 0x99}) // close way 0's burst
+		b.OnHit(0, 0, mem.Access{PC: 0x60})  // re-touch: trains live
+	}
+	if b.PredictArriving(0, mem.Access{PC: pc}) {
+		t.Error("re-touched burst site still predicted dead")
+	}
+}
+
+// --- Access interval predictor ---
+
+func newAIPUnderTest() *AIP {
+	p := NewAIP()
+	p.Reset(llcSets, llcWays)
+	return p
+}
+
+// aipGeneration runs one block generation: fill, then hits separated by
+// gap set-accesses, then eviction.
+func aipGeneration(p *AIP, a mem.Access, hits, gap int) {
+	p.OnAccess(0, a)
+	p.OnFill(0, 0, a)
+	for h := 0; h < hits; h++ {
+		for g := 0; g < gap; g++ {
+			p.OnAccess(0, mem.Access{})
+		}
+		p.OnAccess(0, a)
+		p.OnHit(0, 0, a)
+	}
+	p.OnEvict(0, 0)
+}
+
+func TestAIPLearnsInterval(t *testing.T) {
+	p := newAIPUnderTest()
+	a := mem.Access{PC: 0x10, Addr: 0x4000}
+	aipGeneration(p, a, 3, 40)
+	aipGeneration(p, a, 3, 40)
+	e := p.entry(lvpPCHash(a.PC), lvpAddrHash(a.Addr))
+	if !e.conf {
+		t.Fatal("stable intervals did not gain confidence")
+	}
+	if e.count == 0 {
+		t.Fatal("learned interval is zero for 40-access gaps")
+	}
+}
+
+func TestAIPDeadNowAfterIdle(t *testing.T) {
+	p := newAIPUnderTest()
+	a := mem.Access{PC: 0x20, Addr: 0x8000}
+	aipGeneration(p, a, 3, 40)
+	aipGeneration(p, a, 3, 40)
+	// Third generation: touch once, then idle far beyond the learned
+	// interval.
+	p.OnAccess(0, a)
+	p.OnFill(0, 0, a)
+	if p.DeadNow(0, 0) {
+		t.Error("dead immediately after fill")
+	}
+	for i := 0; i < 4000; i++ {
+		p.OnAccess(0, mem.Access{})
+	}
+	if !p.DeadNow(0, 0) {
+		t.Error("not dead after idling far beyond the learned interval")
+	}
+}
+
+func TestAIPUnstableIntervalsStayQuiet(t *testing.T) {
+	p := newAIPUnderTest()
+	a := mem.Access{PC: 0x30, Addr: 0xC000}
+	aipGeneration(p, a, 2, 10)
+	aipGeneration(p, a, 2, 2000) // wildly different: confidence cleared
+	p.OnAccess(0, a)
+	p.OnFill(0, 0, a)
+	for i := 0; i < 4000; i++ {
+		p.OnAccess(0, mem.Access{})
+	}
+	if p.DeadNow(0, 0) {
+		t.Error("unconfident AIP made a dead prediction")
+	}
+}
+
+func TestAIPTouchResetsIdle(t *testing.T) {
+	p := newAIPUnderTest()
+	if got := p.OnHit(0, 0, mem.Access{}); got {
+		t.Error("OnHit returned dead (touches prove liveness)")
+	}
+}
+
+// --- Sampling counting predictor ---
+
+func newSCUnderTest() *SamplingCounting {
+	s := NewSamplingCounting()
+	s.Reset(llcSets, llcWays)
+	return s
+}
+
+func TestSamplingCountingLearnsThroughSampler(t *testing.T) {
+	s := newSCUnderTest()
+	const fillPC, usePC = 0x100, 0x200
+	churn := uint64(1000)
+	// Generations of exactly two touches, observed only by the sampler.
+	for gen := 0; gen < 40; gen++ {
+		tag := uint64(gen)
+		s.OnAccess(0, accessTo(0, tag, fillPC))
+		s.OnAccess(0, accessTo(0, tag, usePC))
+		for i := 0; i < 13; i++ {
+			s.OnAccess(0, accessTo(0, churn, 0x999))
+			churn++
+		}
+	}
+	// The LLC side: a block filled at fillPC is predicted dead at its
+	// second access.
+	if s.OnFill(5, 0, mem.Access{PC: fillPC, Addr: 5 << mem.BlockBits}) {
+		t.Error("dead at fill with learned live-time 2")
+	}
+	if !s.OnHit(5, 0, mem.Access{PC: usePC}) {
+		t.Error("not dead at the learned live-time")
+	}
+}
+
+func TestSamplingCountingBypassSingleTouch(t *testing.T) {
+	s := newSCUnderTest()
+	const pc = 0x300
+	// Single-touch stream through the sampled set.
+	for i := uint64(0); i < 100; i++ {
+		s.OnAccess(0, accessTo(0, i, pc))
+	}
+	if !s.PredictArriving(0, mem.Access{PC: pc}) {
+		t.Error("confident single-touch site not bypassed")
+	}
+}
+
+func TestSamplingCountingLLCNeverTrains(t *testing.T) {
+	s := newSCUnderTest()
+	// Unsampled-set activity must not change the table.
+	for i := 0; i < 1000; i++ {
+		s.OnFill(3, 0, mem.Access{PC: 0x42, Addr: 3 << mem.BlockBits})
+		s.OnEvict(3, 0)
+	}
+	if s.PredictArriving(3, mem.Access{PC: 0x42}) {
+		t.Error("LLC evictions trained the sampling counting predictor")
+	}
+	if s.UpdateFraction() != 0 {
+		t.Error("unsampled traffic counted as updates")
+	}
+}
+
+func TestExtensionPredictorNamesAndStorage(t *testing.T) {
+	for _, p := range []interface {
+		Name() string
+	}{NewBursts(), NewAIP(), NewSamplingCounting()} {
+		if p.Name() == "" {
+			t.Error("empty predictor name")
+		}
+	}
+	s := newSCUnderTest()
+	if len(s.Storage()) != 3 {
+		t.Error("sampling counting storage incomplete")
+	}
+	b := newBurstsUnderTest()
+	if len(b.Storage()) != 3 {
+		t.Error("bursts storage incomplete")
+	}
+	a := newAIPUnderTest()
+	if len(a.Storage()) != 2 {
+		t.Error("AIP storage incomplete")
+	}
+}

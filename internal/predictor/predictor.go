@@ -1,0 +1,65 @@
+// Package predictor implements the paper's dead block predictors behind
+// a single interface: the sampling predictor (the contribution), the
+// reference-trace predictor of Lai et al. (reftrace), and the
+// counting-based live-time predictor of Kharbutli and Solihin (LvP).
+//
+// A predictor is driven by the dead-block replacement and bypass policy
+// (package dbrb) at the LLC's access points: every access (OnAccess,
+// where the sampler trains), hits (OnHit, refreshing the block's dead
+// bit), fills (OnFill), evictions (OnEvict, where per-block predictors
+// train), and miss arrivals (PredictArriving, the bypass decision).
+package predictor
+
+import (
+	"sdbp/internal/mem"
+	"sdbp/internal/power"
+)
+
+// Predictor is a dead block predictor as consumed by the dead-block
+// replacement and bypass policy. All Predict/OnHit/OnFill results are
+// "true means predicted dead".
+type Predictor interface {
+	// Name identifies the predictor in reports.
+	Name() string
+
+	// Reset sizes per-block state for an LLC of sets×ways lines and
+	// clears all learned state.
+	Reset(sets, ways int)
+
+	// OnAccess observes every LLC access before hit/miss resolution.
+	// The sampling predictor maintains its sampler tag array here.
+	OnAccess(set uint32, a mem.Access)
+
+	// PredictArriving reports whether the block about to be filled by
+	// access a is predicted dead on arrival (the bypass decision).
+	PredictArriving(set uint32, a mem.Access) bool
+
+	// OnHit updates per-block state for a hit and returns the block's
+	// new dead prediction.
+	OnHit(set uint32, way int, a mem.Access) bool
+
+	// OnFill initializes per-block state for a fill and returns the
+	// block's dead prediction.
+	OnFill(set uint32, way int, a mem.Access) bool
+
+	// OnEvict trains from the eviction of the block at (set, way).
+	OnEvict(set uint32, way int)
+
+	// Storage describes the predictor's hardware structures (prediction
+	// tables, sampler, per-block cache metadata) for Table I and the
+	// power model.
+	Storage() []power.Structure
+}
+
+// sigBits is the signature width shared by the sampling and reftrace
+// predictors (15 bits in the paper).
+const sigBits = 15
+
+const sigMask = 1<<sigBits - 1
+
+// pcSignature maps a program counter to a 15-bit signature. The paper
+// truncates the PC; we hash first so synthetic PCs with few distinct
+// low-order bits still spread across the tables.
+func pcSignature(pc uint64) uint32 {
+	return uint32(mem.Mix64(pc)) & sigMask
+}

@@ -1,0 +1,103 @@
+package predictor
+
+import (
+	"sdbp/internal/mem"
+	"sdbp/internal/power"
+)
+
+// RefTrace is the reference-trace dead block predictor of Lai, Fide and
+// Falsafi (ISCA 2001), as configured by the paper for the TDBP baseline:
+// each cache block carries a 15-bit signature that accumulates the
+// truncated sum of the PCs accessing it, and a single 2^15-entry table
+// of 2-bit counters maps signatures to dead/live confidence.
+//
+// The predictor trains on every LLC access (the signature so far proved
+// non-final, so its counter decrements) and on every eviction (the final
+// signature's counter increments). This per-access read/modify/write of
+// per-block metadata is exactly the overhead the sampling predictor
+// eliminates.
+type RefTrace struct {
+	table []uint8 // 2^15 two-bit counters
+
+	sets, ways int
+	blockSig   []uint32
+
+	threshold uint8
+}
+
+// NewRefTrace returns a reftrace predictor with the paper's 8KB table.
+func NewRefTrace() *RefTrace {
+	return &RefTrace{threshold: 2}
+}
+
+// Name implements Predictor.
+func (r *RefTrace) Name() string { return "RefTrace" }
+
+// Reset implements Predictor.
+func (r *RefTrace) Reset(sets, ways int) {
+	r.sets, r.ways = sets, ways
+	r.table = make([]uint8, 1<<sigBits)
+	r.blockSig = make([]uint32, sets*ways)
+}
+
+// predict reports the prediction for a signature.
+func (r *RefTrace) predict(sig uint32) bool { return r.table[sig] >= r.threshold }
+
+func (r *RefTrace) train(sig uint32, dead bool) {
+	if dead {
+		if r.table[sig] < 3 {
+			r.table[sig]++
+		}
+	} else if r.table[sig] > 0 {
+		r.table[sig]--
+	}
+}
+
+// traceSignature extends a block's signature with one more accessing PC
+// (truncated sum, as in the original predictor).
+func traceSignature(sig uint32, pc uint64) uint32 {
+	return (sig + uint32(pc)) & sigMask
+}
+
+// OnAccess implements Predictor; reftrace has no access-time hook beyond
+// OnHit/OnFill.
+func (r *RefTrace) OnAccess(uint32, mem.Access) {}
+
+// PredictArriving implements Predictor: a block arriving with access a
+// would start its trace with a's PC.
+func (r *RefTrace) PredictArriving(_ uint32, a mem.Access) bool {
+	return r.predict(traceSignature(0, a.PC))
+}
+
+// OnHit implements Predictor: the stored signature proved non-final, so
+// it trains live; the signature then extends with the new PC and the
+// block's dead bit refreshes.
+func (r *RefTrace) OnHit(set uint32, way int, a mem.Access) bool {
+	i := int(set)*r.ways + way
+	r.train(r.blockSig[i], false)
+	r.blockSig[i] = traceSignature(r.blockSig[i], a.PC)
+	return r.predict(r.blockSig[i])
+}
+
+// OnFill implements Predictor: a new trace begins with the filling PC.
+func (r *RefTrace) OnFill(set uint32, way int, a mem.Access) bool {
+	i := int(set)*r.ways + way
+	r.blockSig[i] = traceSignature(0, a.PC)
+	return r.predict(r.blockSig[i])
+}
+
+// OnEvict implements Predictor: the stored signature was the block's
+// last, so it trains dead.
+func (r *RefTrace) OnEvict(set uint32, way int) {
+	r.train(r.blockSig[int(set)*r.ways+way], true)
+}
+
+// Storage implements Predictor, reproducing the reftrace row of Table I:
+// an 8KB table plus 16 bits (signature + dead bit) per LLC block.
+func (r *RefTrace) Storage() []power.Structure {
+	return []power.Structure{
+		{Name: "prediction table", Kind: power.TaglessRAM, Entries: 1 << sigBits, BitsPerEntry: 2},
+		{Name: "block signatures + dead bits", Kind: power.CacheMetadata,
+			Entries: r.sets * r.ways, BitsPerEntry: sigBits + 1},
+	}
+}

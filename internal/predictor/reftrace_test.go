@@ -1,0 +1,110 @@
+package predictor
+
+import (
+	"testing"
+
+	"sdbp/internal/mem"
+	"sdbp/internal/power"
+)
+
+func newRefTraceUnderTest() *RefTrace {
+	r := NewRefTrace()
+	r.Reset(llcSets, llcWays)
+	return r
+}
+
+func TestRefTraceSignatureAccumulates(t *testing.T) {
+	r := newRefTraceUnderTest()
+	r.OnFill(0, 0, mem.Access{PC: 0x10})
+	r.OnHit(0, 0, mem.Access{PC: 0x20})
+	want := traceSignature(traceSignature(0, 0x10), 0x20)
+	if got := r.blockSig[0]; got != want {
+		t.Errorf("signature = %#x, want %#x", got, want)
+	}
+}
+
+func TestRefTraceSignatureTruncates(t *testing.T) {
+	if sig := traceSignature(sigMask, 1); sig != 0 {
+		t.Errorf("truncated sum = %#x, want 0", sig)
+	}
+	if sig := traceSignature(0, 0xFFFF_FFFF); sig > sigMask {
+		t.Errorf("signature %#x exceeds 15 bits", sig)
+	}
+}
+
+func TestRefTraceLearnsSingleTouchDeath(t *testing.T) {
+	r := newRefTraceUnderTest()
+	const pc = 0x40
+	// Blocks filled at one site and evicted untouched: the site's
+	// signature trains dead; new arrivals with that PC predict dead.
+	for i := 0; i < 10; i++ {
+		r.OnFill(0, 0, mem.Access{PC: pc})
+		r.OnEvict(0, 0)
+	}
+	if !r.PredictArriving(0, mem.Access{PC: pc}) {
+		t.Error("single-touch site not predicted dead on arrival")
+	}
+}
+
+func TestRefTraceHitsTrainLive(t *testing.T) {
+	r := newRefTraceUnderTest()
+	const pc = 0x50
+	for i := 0; i < 10; i++ {
+		r.OnFill(0, 0, mem.Access{PC: pc})
+		r.OnEvict(0, 0)
+	}
+	if !r.PredictArriving(0, mem.Access{PC: pc}) {
+		t.Fatal("setup failed: site not dead")
+	}
+	// Re-touches decrement the counter for the stored signature.
+	for i := 0; i < 10; i++ {
+		r.OnFill(0, 0, mem.Access{PC: pc})
+		r.OnHit(0, 0, mem.Access{PC: 0x60})
+	}
+	if r.PredictArriving(0, mem.Access{PC: pc}) {
+		t.Error("re-touched site still predicted dead")
+	}
+}
+
+func TestRefTraceDistinguishesTraces(t *testing.T) {
+	r := newRefTraceUnderTest()
+	// Two-touch blocks: trace (a,b) dies, trace (a) alone lives on.
+	const a, b = 0x100, 0x200
+	for i := 0; i < 20; i++ {
+		r.OnFill(0, 0, mem.Access{PC: a})
+		r.OnHit(0, 0, mem.Access{PC: b})
+		r.OnEvict(0, 0)
+	}
+	if r.PredictArriving(0, mem.Access{PC: a}) {
+		t.Error("prefix trace (a) predicted dead")
+	}
+	full := traceSignature(traceSignature(0, a), b)
+	if !r.predict(full) {
+		t.Error("death trace (a,b) not predicted dead")
+	}
+}
+
+func TestRefTracePerBlockSignaturesIndependent(t *testing.T) {
+	r := newRefTraceUnderTest()
+	r.OnFill(0, 0, mem.Access{PC: 0x1})
+	r.OnFill(0, 1, mem.Access{PC: 0x2})
+	r.OnHit(0, 0, mem.Access{PC: 0x3})
+	if r.blockSig[0] == r.blockSig[1] {
+		t.Error("block signatures aliased across ways")
+	}
+}
+
+func TestRefTraceStorageMatchesPaper(t *testing.T) {
+	r := newRefTraceUnderTest()
+	total := power.TotalKB(r.Storage())
+	// Paper Table I: 8KB table + 64KB metadata = 72KB.
+	if total != 72 {
+		t.Errorf("reftrace storage = %.2fKB, want 72KB", total)
+	}
+}
+
+func TestRefTraceName(t *testing.T) {
+	if NewRefTrace().Name() != "RefTrace" {
+		t.Error("name mismatch")
+	}
+}

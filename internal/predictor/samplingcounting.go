@@ -1,0 +1,192 @@
+package predictor
+
+import (
+	"sdbp/internal/mem"
+	"sdbp/internal/power"
+)
+
+// SamplingCounting explores the paper's stated future work (Section
+// VIII): "we plan to investigate sampling techniques for counting
+// predictors". It trains an LvP-style live-time table exclusively
+// through a decoupled 32-set, 12-way LRU sampler — the LLC itself never
+// updates the predictor — while predictions compare a block's running
+// access count against the live-time learned for the PC that filled it.
+//
+// The experiment it enables: sampling removes the counting predictor's
+// per-eviction table update traffic (the power win), but the sampler's
+// short retention truncates the observed generations of long-lived
+// blocks, so learned live-times skew low. The harness's extension
+// benchmarks quantify that trade-off.
+type SamplingCounting struct {
+	table []lvpEntry // live-time per fill-signature hash
+
+	samplerSets, samplerAssoc int
+	entries                   []scEntry
+	interval                  int
+	llcSets, ways             int
+
+	fillSig []uint32 // per LLC block: signature of the filling PC
+	count   []uint8  // per LLC block: accesses this generation
+
+	accesses, updates uint64
+}
+
+// scEntry is one sampling-counting sampler entry.
+type scEntry struct {
+	tag     uint32
+	fillSig uint32
+	count   uint8
+	valid   bool
+	lru     uint8
+}
+
+// scTableEntries sizes the live-time table (4,096 entries of 5 bits).
+const scTableEntries = 4096
+
+// NewSamplingCounting returns a sampler-trained counting predictor.
+func NewSamplingCounting() *SamplingCounting {
+	return &SamplingCounting{samplerSets: 32, samplerAssoc: 12}
+}
+
+// Name implements Predictor.
+func (s *SamplingCounting) Name() string { return "SamplingCounting" }
+
+// Reset implements Predictor.
+func (s *SamplingCounting) Reset(sets, ways int) {
+	s.llcSets, s.ways = sets, ways
+	s.table = make([]lvpEntry, scTableEntries)
+	s.entries = make([]scEntry, s.samplerSets*s.samplerAssoc)
+	for i := range s.entries {
+		s.entries[i].lru = uint8(i % s.samplerAssoc)
+	}
+	s.interval = sets / s.samplerSets
+	if s.interval < 1 {
+		s.interval = 1
+	}
+	s.fillSig = make([]uint32, sets*ways)
+	s.count = make([]uint8, sets*ways)
+	s.accesses, s.updates = 0, 0
+}
+
+func (s *SamplingCounting) tableIdx(fillSig uint32) int {
+	return int(mem.Mix64(uint64(fillSig)) & (scTableEntries - 1))
+}
+
+func (s *SamplingCounting) idx(set uint32, way int) int { return int(set)*s.ways + way }
+
+// OnAccess implements Predictor: sampled sets maintain the sampler and,
+// on sampler evictions, train the live-time table.
+func (s *SamplingCounting) OnAccess(set uint32, a mem.Access) {
+	s.accesses++
+	if int(set)%s.interval != 0 {
+		return
+	}
+	ss := int(set) / s.interval
+	if ss >= s.samplerSets {
+		return
+	}
+	s.updates++
+	tag := partialTag(a.Addr, s.llcSets)
+	base := ss * s.samplerAssoc
+
+	for w := 0; w < s.samplerAssoc; w++ {
+		e := &s.entries[base+w]
+		if e.valid && e.tag == tag {
+			if e.count < countMax {
+				e.count++
+			}
+			s.promote(base, w)
+			return
+		}
+	}
+
+	victim := -1
+	for w := 0; w < s.samplerAssoc; w++ {
+		if !s.entries[base+w].valid {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		for w := 0; w < s.samplerAssoc; w++ {
+			if s.entries[base+w].lru == uint8(s.samplerAssoc-1) {
+				victim = w
+				break
+			}
+		}
+	}
+	e := &s.entries[base+victim]
+	if e.valid {
+		t := &s.table[s.tableIdx(e.fillSig)]
+		t.conf = t.count == e.count && e.count > 0
+		t.count = e.count
+	}
+	e.tag = tag
+	e.fillSig = pcSignature(a.PC)
+	e.count = 1
+	e.valid = true
+	s.promote(base, victim)
+}
+
+func (s *SamplingCounting) promote(base, way int) {
+	old := s.entries[base+way].lru
+	for w := 0; w < s.samplerAssoc; w++ {
+		if s.entries[base+w].lru < old {
+			s.entries[base+w].lru++
+		}
+	}
+	s.entries[base+way].lru = 0
+}
+
+// PredictArriving implements Predictor: bypass blocks whose fill site
+// confidently shows single-touch generations.
+func (s *SamplingCounting) PredictArriving(_ uint32, a mem.Access) bool {
+	t := s.table[s.tableIdx(pcSignature(a.PC))]
+	return t.conf && t.count <= 1
+}
+
+// OnHit implements Predictor: the block's count advances and compares
+// against the live-time learned for its fill site.
+func (s *SamplingCounting) OnHit(set uint32, way int, _ mem.Access) bool {
+	i := s.idx(set, way)
+	if s.count[i] < countMax {
+		s.count[i]++
+	}
+	t := s.table[s.tableIdx(s.fillSig[i])]
+	return t.conf && t.count > 0 && s.count[i] >= t.count
+}
+
+// OnFill implements Predictor.
+func (s *SamplingCounting) OnFill(set uint32, way int, a mem.Access) bool {
+	i := s.idx(set, way)
+	s.fillSig[i] = pcSignature(a.PC)
+	s.count[i] = 1
+	t := s.table[s.tableIdx(s.fillSig[i])]
+	return t.conf && t.count > 0 && s.count[i] >= t.count
+}
+
+// OnEvict implements Predictor: nothing — the LLC never updates the
+// predictor; that is the sampling experiment.
+func (s *SamplingCounting) OnEvict(uint32, int) {}
+
+// UpdateFraction returns the fraction of LLC accesses that touched the
+// sampler.
+func (s *SamplingCounting) UpdateFraction() float64 {
+	if s.accesses == 0 {
+		return 0
+	}
+	return float64(s.updates) / float64(s.accesses)
+}
+
+// Storage implements Predictor.
+func (s *SamplingCounting) Storage() []power.Structure {
+	return []power.Structure{
+		{Name: "live-time table", Kind: power.TaglessRAM,
+			Entries: scTableEntries, BitsPerEntry: countBits + 1},
+		{Name: "sampler", Kind: power.TagArray,
+			Entries:      s.samplerSets * s.samplerAssoc,
+			BitsPerEntry: sigBits + sigBits + countBits + 1 + 4},
+		{Name: "block fill signatures + counts", Kind: power.CacheMetadata,
+			Entries: s.llcSets * s.ways, BitsPerEntry: sigBits + countBits + 1},
+	}
+}

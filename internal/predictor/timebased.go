@@ -1,0 +1,123 @@
+package predictor
+
+import (
+	"sdbp/internal/mem"
+	"sdbp/internal/power"
+)
+
+// TimeBased is the dead block predictor of Hu, Kaxiras and Martonosi
+// (ISCA 2002), adapted from cycles to the LLC's per-set access clock:
+// the predictor learns each block's live time (the interval from fill
+// to last touch) and predicts the block dead once it has gone untouched
+// for twice that long — the original paper's "2x live time" rule. Like
+// AIP, its predictions mature with idle time, so it implements
+// dbrb.Aging.
+//
+// The sampling paper discusses this family in Section II-A.2 (Hu et
+// al. prefetch into the L1 and filter a victim cache with it; Abella et
+// al. use a reference-count variant for leakage). It is provided to
+// complete the related-work comparison set.
+type TimeBased struct {
+	table      []lvpEntry // learned live time (quantized) + confidence
+	sets, ways int
+
+	setClock  []uint32
+	filledAt  []uint32
+	lastTouch []uint32
+	learned   []uint8
+	conf      []bool
+	pcHash    []uint8
+	addrHash  []uint8
+}
+
+// NewTimeBased returns a time-based predictor.
+func NewTimeBased() *TimeBased { return &TimeBased{} }
+
+// Name implements Predictor.
+func (p *TimeBased) Name() string { return "TimeBased" }
+
+// Reset implements Predictor.
+func (p *TimeBased) Reset(sets, ways int) {
+	p.sets, p.ways = sets, ways
+	p.table = make([]lvpEntry, lvpRows*lvpCols)
+	p.setClock = make([]uint32, sets)
+	n := sets * ways
+	p.filledAt = make([]uint32, n)
+	p.lastTouch = make([]uint32, n)
+	p.learned = make([]uint8, n)
+	p.conf = make([]bool, n)
+	p.pcHash = make([]uint8, n)
+	p.addrHash = make([]uint8, n)
+}
+
+func (p *TimeBased) idx(set uint32, way int) int { return int(set)*p.ways + way }
+
+func (p *TimeBased) entry(pcHash, addrHash uint8) *lvpEntry {
+	return &p.table[int(pcHash)*lvpCols+int(addrHash)]
+}
+
+// OnAccess implements Predictor: advance the set clock.
+func (p *TimeBased) OnAccess(set uint32, _ mem.Access) { p.setClock[set]++ }
+
+// PredictArriving implements Predictor: a confidently zero live time
+// means the block is never touched after its fill.
+func (p *TimeBased) PredictArriving(_ uint32, a mem.Access) bool {
+	e := p.entry(lvpPCHash(a.PC), lvpAddrHash(a.Addr))
+	return e.conf && e.count == 0
+}
+
+// OnHit implements Predictor: touches extend the observed live time; at
+// touch time the block is alive.
+func (p *TimeBased) OnHit(set uint32, way int, _ mem.Access) bool {
+	p.lastTouch[p.idx(set, way)] = p.setClock[set]
+	return false
+}
+
+// OnFill implements Predictor.
+func (p *TimeBased) OnFill(set uint32, way int, a mem.Access) bool {
+	i := p.idx(set, way)
+	p.pcHash[i] = lvpPCHash(a.PC)
+	p.addrHash[i] = lvpAddrHash(a.Addr)
+	e := p.entry(p.pcHash[i], p.addrHash[i])
+	p.learned[i] = e.count
+	p.conf[i] = e.conf
+	p.filledAt[i] = p.setClock[set]
+	p.lastTouch[i] = p.setClock[set]
+	return false
+}
+
+// OnEvict implements Predictor: the table learns this generation's
+// quantized live time.
+func (p *TimeBased) OnEvict(set uint32, way int) {
+	i := p.idx(set, way)
+	live := quantize(p.lastTouch[i] - p.filledAt[i])
+	e := p.entry(p.pcHash[i], p.addrHash[i])
+	e.conf = e.count == live
+	e.count = live
+}
+
+// DeadNow implements dbrb.Aging: dead after idling twice the learned
+// live time (Hu et al.'s rule), with a one-quantum floor so brand-new
+// confident-zero blocks are not evicted instantly.
+func (p *TimeBased) DeadNow(set uint32, way int) bool {
+	i := p.idx(set, way)
+	if !p.conf[i] {
+		return false
+	}
+	idle := p.setClock[set] - p.lastTouch[i]
+	threshold := uint32(p.learned[i]) * 2 * aipQuantum
+	if threshold < aipQuantum {
+		threshold = aipQuantum
+	}
+	return idle > threshold
+}
+
+// Storage implements Predictor.
+func (p *TimeBased) Storage() []power.Structure {
+	return []power.Structure{
+		{Name: "live-time table", Kind: power.TaglessRAM,
+			Entries: lvpRows * lvpCols, BitsPerEntry: 9},
+		{Name: "block timing state", Kind: power.CacheMetadata,
+			Entries: p.sets * p.ways, BitsPerEntry: 8 + 8 + 8 + 8 + 8 + 1 + 12},
+	}
+}

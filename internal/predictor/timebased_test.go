@@ -1,0 +1,105 @@
+package predictor
+
+import (
+	"testing"
+
+	"sdbp/internal/mem"
+)
+
+func newTBUnderTest() *TimeBased {
+	p := NewTimeBased()
+	p.Reset(llcSets, llcWays)
+	return p
+}
+
+// tbGeneration runs a block through fill, hits spread over span
+// set-accesses, then idle and eviction.
+func tbGeneration(p *TimeBased, a mem.Access, hits, gap, idle int) {
+	p.OnAccess(0, a)
+	p.OnFill(0, 0, a)
+	for h := 0; h < hits; h++ {
+		for g := 0; g < gap; g++ {
+			p.OnAccess(0, mem.Access{})
+		}
+		p.OnAccess(0, a)
+		p.OnHit(0, 0, a)
+	}
+	for g := 0; g < idle; g++ {
+		p.OnAccess(0, mem.Access{})
+	}
+	p.OnEvict(0, 0)
+}
+
+func TestTimeBasedLearnsLiveTime(t *testing.T) {
+	p := newTBUnderTest()
+	a := mem.Access{PC: 0x10, Addr: 0x4000}
+	tbGeneration(p, a, 3, 50, 500)
+	tbGeneration(p, a, 3, 50, 500)
+	e := p.entry(lvpPCHash(a.PC), lvpAddrHash(a.Addr))
+	if !e.conf || e.count == 0 {
+		t.Fatalf("live time not learned confidently: %+v", e)
+	}
+}
+
+func TestTimeBasedTwiceLiveTimeRule(t *testing.T) {
+	p := newTBUnderTest()
+	a := mem.Access{PC: 0x20, Addr: 0x8000}
+	tbGeneration(p, a, 3, 50, 500) // live time ~150 accesses
+	tbGeneration(p, a, 3, 50, 500)
+	// Third generation: fill, one hit, then idle.
+	p.OnAccess(0, a)
+	p.OnFill(0, 0, a)
+	// Idle less than 2x the learned live time: still live.
+	for i := 0; i < 150; i++ {
+		p.OnAccess(0, mem.Access{})
+	}
+	if p.DeadNow(0, 0) {
+		t.Error("dead before twice the learned live time")
+	}
+	// Far beyond 2x live time: dead.
+	for i := 0; i < 5000; i++ {
+		p.OnAccess(0, mem.Access{})
+	}
+	if !p.DeadNow(0, 0) {
+		t.Error("not dead long after twice the learned live time")
+	}
+}
+
+func TestTimeBasedUnstableLiveTimesStayQuiet(t *testing.T) {
+	p := newTBUnderTest()
+	a := mem.Access{PC: 0x30, Addr: 0xC000}
+	tbGeneration(p, a, 1, 20, 100)
+	tbGeneration(p, a, 10, 300, 100) // very different live time
+	p.OnAccess(0, a)
+	p.OnFill(0, 0, a)
+	for i := 0; i < 10000; i++ {
+		p.OnAccess(0, mem.Access{})
+	}
+	if p.DeadNow(0, 0) {
+		t.Error("unconfident time-based predictor made a dead prediction")
+	}
+}
+
+func TestTimeBasedBypassOnlyForZeroLiveTime(t *testing.T) {
+	p := newTBUnderTest()
+	a := mem.Access{PC: 0x40, Addr: 0x2000}
+	// Single-touch generations: live time 0 -> dead on arrival.
+	tbGeneration(p, a, 0, 0, 300)
+	tbGeneration(p, a, 0, 0, 300)
+	if !p.PredictArriving(0, a) {
+		t.Error("confident zero-live-time block not dead on arrival")
+	}
+	b := mem.Access{PC: 0x50, Addr: 0x2040}
+	tbGeneration(p, b, 3, 50, 300)
+	tbGeneration(p, b, 3, 50, 300)
+	if p.PredictArriving(0, b) {
+		t.Error("nonzero-live-time block predicted dead on arrival")
+	}
+}
+
+func TestTimeBasedTouchesNeverPredictDead(t *testing.T) {
+	p := newTBUnderTest()
+	if p.OnHit(0, 0, mem.Access{}) || p.OnFill(0, 0, mem.Access{PC: 1, Addr: 64}) {
+		t.Error("touch-time prediction should always be live")
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"sdbp/internal/dbrb"
+	"sdbp/internal/policy"
+	"sdbp/internal/predictor"
+	"sdbp/internal/workloads"
+)
+
+// TestDiagSampler is a diagnostic: run with -run Diag -v to dump the
+// sampling predictor's behavior on one benchmark.
+func TestDiagSampler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	w, err := workloads.ByName("437.leslie3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := predictor.NewSampler(predictor.DefaultSamplerConfig())
+	trains := map[uint32][2]int{} // sig -> {dead, live}
+	s.TrainHook = func(sig uint32, dead bool) {
+		c := trains[sig]
+		if dead {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		trains[sig] = c
+	}
+	pol := dbrb.New(policy.NewLRU(), s)
+	r := RunSingle(w, pol, SingleOptions{Scale: 0.25})
+	t.Logf("MPKI=%.2f IPC=%.3f eff=%.2f", r.MPKI, r.IPC, r.Efficiency)
+	t.Logf("LLC: acc=%d hit=%d miss=%d bypass=%d evict=%d",
+		r.LLC.Accesses, r.LLC.Hits, r.LLC.Misses, r.LLC.Bypasses, r.LLC.Evictions)
+	t.Logf("coverage=%.3f fp=%.4f updateFrac=%.4f",
+		r.Accuracy.Coverage(), r.Accuracy.FalsePositiveRate(), r.UpdateFraction)
+
+	// Known code sites for 437.leslie3d (bench id 9): kernel 1 is the
+	// lagged stream, kernel 2 the generational member, kernel 3 the hot
+	// set.
+	streamBase := uint64(0x400000 + 9<<24 + 1<<12)
+	genBase := uint64(0x400000 + 9<<24 + 2<<12)
+	sites := map[string]uint64{
+		"lead": streamBase, "lag": streamBase + 0x400,
+		"setup": genBase, "use1": genBase + 0x108, "use2": genBase + 0x110,
+		"final": genBase + 0x800,
+	}
+	for name, pc := range sites {
+		c := trains[predictor.SignatureOf(pc)]
+		t.Logf("%-7s conf=%d trains dead=%d live=%d",
+			name, s.ConfidenceOf(pc), c[0], c[1])
+	}
+	var totDead, totLive int
+	for _, c := range trains {
+		totDead += c[0]
+		totLive += c[1]
+	}
+	t.Logf("total trains: dead=%d live=%d distinct sigs=%d", totDead, totLive, len(trains))
+}

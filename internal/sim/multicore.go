@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"sdbp/internal/cache"
+	"sdbp/internal/cpu"
+	"sdbp/internal/hier"
+	"sdbp/internal/trace"
+	"sdbp/internal/workloads"
+)
+
+// MulticoreResult reports one quad-core shared-LLC run.
+type MulticoreResult struct {
+	// MixName labels the workload mix.
+	MixName string
+	// Policy is the shared LLC policy name.
+	Policy string
+	// IPC is each core's IPC measured over its first full pass of its
+	// benchmark (the paper's per-thread IPC_i).
+	IPC [4]float64
+	// Instructions is each core's first-pass instruction count.
+	Instructions [4]uint64
+	// LLC is the shared cache's statistics over the whole run.
+	LLC cache.Stats
+	// MPKI is shared-LLC misses per thousand instructions summed over
+	// cores (for the paper's multicore normalized MPKI).
+	MPKI float64
+}
+
+// MulticoreOptions tunes a multicore run.
+type MulticoreOptions struct {
+	// Scale multiplies each benchmark's default stream length; 0 means 1.
+	Scale float64
+	// LLC overrides the shared LLC geometry; the zero value selects the
+	// paper's 8MB 16-way.
+	LLC cache.Config
+}
+
+func (o *MulticoreOptions) normalize() {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.LLC.SizeBytes == 0 {
+		o.LLC = hier.LLCConfig(4)
+	}
+}
+
+// mcCore is one core's simulation state in a multicore run.
+type mcCore struct {
+	core   *hier.Core
+	timing *cpu.Core
+	gen    trace.Generator
+	id     int
+
+	target    uint64 // first-pass instruction count
+	passInstr uint64
+	doneIPC   float64
+	done      bool
+}
+
+// RunMulticore simulates a quad-core mix sharing one LLC under the given
+// policy, following the paper's methodology: every benchmark restarts
+// when it finishes until all have completed at least one full pass, and
+// each core's IPC is measured at the end of its own first pass. Cores
+// interleave by simulated time: each step advances the core whose clock
+// is furthest behind.
+func RunMulticore(mix workloads.Mix, pol cache.Policy, opts MulticoreOptions) MulticoreResult {
+	opts.normalize()
+
+	llc := cache.New(opts.LLC, pol)
+	res := MulticoreResult{MixName: mix.Name, Policy: pol.Name()}
+
+	cores := make([]*mcCore, 4)
+	for i, name := range mix.Members {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		cores[i] = &mcCore{
+			core:   hier.NewCore(hier.DefaultConfig(), llc),
+			timing: cpu.New(cpu.DefaultConfig()),
+			gen:    w.Generator(opts.Scale),
+			id:     i,
+		}
+		// First-pass length: count it once (deterministic streams make
+		// this exact). The instruction count is gaps + one per access.
+		g := w.Generator(opts.Scale)
+		for {
+			a, ok := g.Next()
+			if !ok {
+				break
+			}
+			cores[i].target += uint64(a.Gap) + 1
+		}
+	}
+
+	remaining := len(cores)
+	for remaining > 0 {
+		// Advance the core furthest behind in simulated time.
+		var next *mcCore
+		for _, c := range cores {
+			if next == nil || c.timing.Cycles() < next.timing.Cycles() {
+				next = c
+			}
+		}
+		a, ok := next.gen.Next()
+		if !ok {
+			next.gen.Reset()
+			a, ok = next.gen.Next()
+			if !ok {
+				panic("sim: empty workload stream")
+			}
+		}
+		a.Thread = uint8(next.id)
+		// Each core gets its own physical address space.
+		a.Addr |= uint64(next.id+1) << 56
+		level := next.core.Access(a)
+		next.timing.Record(a.Gap, level.Latency(), a.DependentLoad)
+		next.passInstr += uint64(a.Gap) + 1
+
+		if !next.done && next.passInstr >= next.target {
+			next.done = true
+			next.doneIPC = next.timing.IPC()
+			res.Instructions[next.id] = next.timing.Instructions()
+			remaining--
+		}
+	}
+	llc.Finish()
+
+	var totalInstr uint64
+	for i, c := range cores {
+		res.IPC[i] = c.doneIPC
+		totalInstr += res.Instructions[i]
+	}
+	res.LLC = llc.Stats()
+	if totalInstr > 0 {
+		res.MPKI = float64(res.LLC.Misses) / (float64(totalInstr) / 1000)
+	}
+	return res
+}
+
+// SingleIPC returns a benchmark's IPC running alone with the given LLC
+// geometry under LRU — the denominator of the paper's weighted speedup.
+func SingleIPC(name string, llcCfg cache.Config, scale float64, makeLRU func() cache.Policy) float64 {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	r := RunSingle(w, makeLRU(), SingleOptions{Scale: scale, LLC: llcCfg})
+	return r.IPC
+}

@@ -1,0 +1,124 @@
+// Package sim drives the experiments: it runs a workload's reference
+// stream through the cache hierarchy and CPU timing model against a
+// chosen LLC management policy, and reports the metrics the paper's
+// tables and figures are built from (MPKI, IPC, predictor accuracy,
+// cache efficiency, the captured LLC stream for MIN).
+package sim
+
+import (
+	"sdbp/internal/cache"
+	"sdbp/internal/cpu"
+	"sdbp/internal/dbrb"
+	"sdbp/internal/hier"
+	"sdbp/internal/mem"
+	"sdbp/internal/predictor"
+	"sdbp/internal/workloads"
+)
+
+// SingleResult reports one single-core run.
+type SingleResult struct {
+	// Benchmark is the workload name.
+	Benchmark string
+	// Policy is the LLC policy name.
+	Policy string
+	// Instructions is the total instruction count (gaps + memory ops).
+	Instructions uint64
+	// IPC is instructions per cycle under the core timing model.
+	IPC float64
+	// LLC is the last-level cache's statistics.
+	LLC cache.Stats
+	// MPKI is LLC misses per thousand instructions.
+	MPKI float64
+	// Efficiency is the LLC's live-time ratio (Figure 1's metric).
+	Efficiency float64
+	// LineEfficiencies is the per-line efficiency map when requested.
+	LineEfficiencies [][]float64
+	// Accuracy is predictor accuracy when the policy is DBRB.
+	Accuracy *dbrb.Accuracy
+	// UpdateFraction is the fraction of LLC accesses that updated the
+	// predictor, for sampling predictors.
+	UpdateFraction float64
+	// Stream is the captured LLC access stream when requested.
+	Stream []mem.Access
+}
+
+// SingleOptions tunes a single-core run.
+type SingleOptions struct {
+	// Scale multiplies the workload's default stream length; 0 means 1.
+	Scale float64
+	// LLC overrides the LLC geometry; the zero value selects the
+	// paper's 2MB 16-way.
+	LLC cache.Config
+	// CaptureStream records the LLC access stream into the result (for
+	// MIN).
+	CaptureStream bool
+	// KeepLineEfficiencies records the per-line efficiency map (for
+	// Figure 1).
+	KeepLineEfficiencies bool
+}
+
+func (o *SingleOptions) normalize() {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.LLC.SizeBytes == 0 {
+		o.LLC = hier.LLCConfig(1)
+	}
+}
+
+// RunSingle simulates one benchmark on one core with the given LLC
+// policy and returns the run's metrics.
+func RunSingle(w workloads.Workload, pol cache.Policy, opts SingleOptions) SingleResult {
+	opts.normalize()
+
+	llc := cache.New(opts.LLC, pol)
+	core := hier.NewCore(hier.DefaultConfig(), llc)
+	timing := cpu.New(cpu.DefaultConfig())
+
+	res := SingleResult{Benchmark: w.Name, Policy: pol.Name()}
+	if opts.CaptureStream {
+		core.CaptureLLC(func(a mem.Access) { res.Stream = append(res.Stream, a) })
+	}
+
+	gen := w.Generator(opts.Scale)
+	for {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		level := core.Access(a)
+		timing.Record(a.Gap, level.Latency(), a.DependentLoad)
+	}
+	llc.Finish()
+
+	res.Instructions = timing.Instructions()
+	res.IPC = timing.IPC()
+	res.LLC = llc.Stats()
+	if res.Instructions > 0 {
+		res.MPKI = float64(res.LLC.Misses) / (float64(res.Instructions) / 1000)
+	}
+	res.Efficiency = llc.Efficiency()
+	if opts.KeepLineEfficiencies {
+		res.LineEfficiencies = llc.LineEfficiencies()
+	}
+	fillAccuracy(&res, pol)
+	return res
+}
+
+// fillAccuracy extracts predictor-quality metrics when the policy is a
+// dead-block replacement and bypass policy (or wraps one, like the
+// dueling variant).
+func fillAccuracy(res *SingleResult, pol cache.Policy) {
+	d, ok := pol.(interface {
+		Accuracy() dbrb.Accuracy
+		Predictor() predictor.Predictor
+	})
+	if !ok {
+		return
+	}
+	acc := d.Accuracy()
+	res.Accuracy = &acc
+	if s, ok := d.Predictor().(*predictor.Sampler); ok {
+		res.UpdateFraction = s.UpdateFraction()
+	}
+}

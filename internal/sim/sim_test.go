@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/dbrb"
+	"sdbp/internal/hier"
+	"sdbp/internal/policy"
+	"sdbp/internal/predictor"
+	"sdbp/internal/workloads"
+)
+
+const testScale = 0.02
+
+func hmmer(t *testing.T) workloads.Workload {
+	t.Helper()
+	w, err := workloads.ByName("456.hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunSingleBasics(t *testing.T) {
+	r := RunSingle(hmmer(t), policy.NewLRU(), SingleOptions{Scale: testScale})
+	if r.Benchmark != "456.hmmer" || r.Policy != "LRU" {
+		t.Errorf("labels = %s/%s", r.Benchmark, r.Policy)
+	}
+	if r.Instructions == 0 || r.IPC <= 0 || r.IPC > 4 {
+		t.Errorf("instructions=%d ipc=%v", r.Instructions, r.IPC)
+	}
+	if r.MPKI <= 0 {
+		t.Errorf("MPKI = %v", r.MPKI)
+	}
+	if r.LLC.Accesses == 0 {
+		t.Error("LLC saw no traffic")
+	}
+	if r.Efficiency < 0 || r.Efficiency > 1 {
+		t.Errorf("efficiency = %v", r.Efficiency)
+	}
+}
+
+func TestRunSingleDeterministic(t *testing.T) {
+	run := func() SingleResult {
+		return RunSingle(hmmer(t), policy.NewLRU(), SingleOptions{Scale: testScale})
+	}
+	a, b := run(), run()
+	if a.MPKI != b.MPKI || a.IPC != b.IPC || a.LLC != b.LLC {
+		t.Error("runs not reproducible")
+	}
+}
+
+func TestMPKIConsistency(t *testing.T) {
+	r := RunSingle(hmmer(t), policy.NewLRU(), SingleOptions{Scale: testScale})
+	want := float64(r.LLC.Misses) / (float64(r.Instructions) / 1000)
+	if math.Abs(r.MPKI-want) > 1e-9 {
+		t.Errorf("MPKI = %v, want %v", r.MPKI, want)
+	}
+}
+
+func TestCaptureStreamMatchesLLC(t *testing.T) {
+	r := RunSingle(hmmer(t), policy.NewLRU(), SingleOptions{Scale: testScale, CaptureStream: true})
+	if uint64(len(r.Stream)) != r.LLC.Accesses {
+		t.Errorf("captured %d, LLC accesses %d", len(r.Stream), r.LLC.Accesses)
+	}
+}
+
+func TestCaptureStreamPolicyIndependent(t *testing.T) {
+	// The L2-miss stream must be identical under any LLC policy — the
+	// property the MIN methodology rests on.
+	lru := RunSingle(hmmer(t), policy.NewLRU(), SingleOptions{Scale: testScale, CaptureStream: true})
+	smp := RunSingle(hmmer(t),
+		dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig())),
+		SingleOptions{Scale: testScale, CaptureStream: true})
+	if len(lru.Stream) != len(smp.Stream) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(lru.Stream), len(smp.Stream))
+	}
+	for i := range lru.Stream {
+		if lru.Stream[i] != smp.Stream[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestAccuracyOnlyForDBRB(t *testing.T) {
+	plain := RunSingle(hmmer(t), policy.NewLRU(), SingleOptions{Scale: testScale})
+	if plain.Accuracy != nil {
+		t.Error("accuracy reported for a plain policy")
+	}
+	d := RunSingle(hmmer(t),
+		dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig())),
+		SingleOptions{Scale: testScale})
+	if d.Accuracy == nil {
+		t.Fatal("no accuracy for DBRB")
+	}
+	if d.UpdateFraction <= 0 || d.UpdateFraction > 0.05 {
+		t.Errorf("update fraction = %v, want ~1/64", d.UpdateFraction)
+	}
+}
+
+func TestLLCSizeOption(t *testing.T) {
+	big := RunSingle(hmmer(t), policy.NewLRU(), SingleOptions{
+		Scale: testScale,
+		LLC:   cache.Config{Name: "LLC", SizeBytes: 8 << 20, Ways: 16},
+	})
+	small := RunSingle(hmmer(t), policy.NewLRU(), SingleOptions{
+		Scale: testScale,
+		LLC:   cache.Config{Name: "LLC", SizeBytes: 512 << 10, Ways: 16},
+	})
+	if big.MPKI >= small.MPKI {
+		t.Errorf("8MB MPKI %.2f >= 512KB MPKI %.2f", big.MPKI, small.MPKI)
+	}
+}
+
+func TestRunMulticoreBasics(t *testing.T) {
+	mix := workloads.Mixes()[0]
+	r := RunMulticore(mix, policy.NewLRU(), MulticoreOptions{Scale: testScale})
+	if r.MixName != "mix1" {
+		t.Errorf("mix name = %s", r.MixName)
+	}
+	for i, ipc := range r.IPC {
+		if ipc <= 0 || ipc > 4 {
+			t.Errorf("core %d IPC = %v", i, ipc)
+		}
+		if r.Instructions[i] == 0 {
+			t.Errorf("core %d retired nothing", i)
+		}
+	}
+	if r.MPKI <= 0 {
+		t.Errorf("MPKI = %v", r.MPKI)
+	}
+}
+
+func TestRunMulticoreDeterministic(t *testing.T) {
+	mix := workloads.Mixes()[1]
+	run := func() MulticoreResult {
+		return RunMulticore(mix, policy.NewTADIP(4, 3), MulticoreOptions{Scale: testScale})
+	}
+	a, b := run(), run()
+	if a.IPC != b.IPC || a.LLC != b.LLC {
+		t.Error("multicore runs not reproducible")
+	}
+}
+
+func TestSharedCacheContention(t *testing.T) {
+	// Each benchmark's IPC under contention must not exceed its IPC
+	// running alone with the same total capacity.
+	mix := workloads.Mixes()[0]
+	r := RunMulticore(mix, policy.NewLRU(), MulticoreOptions{Scale: testScale})
+	for i, name := range mix.Members {
+		solo := SingleIPC(name, hier.LLCConfig(4), testScale,
+			func() cache.Policy { return policy.NewLRU() })
+		if r.IPC[i] > solo*1.02 { // small tolerance: interleaving jitter
+			t.Errorf("%s: shared IPC %.3f exceeds solo IPC %.3f", name, r.IPC[i], solo)
+		}
+	}
+}

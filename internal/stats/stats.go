@@ -1,0 +1,64 @@
+// Package stats provides the small statistical helpers the experiment
+// harness reports with: arithmetic and geometric means, normalization,
+// and weighted speedup.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs (0 for an empty slice; xs
+// must be positive).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Normalize returns xs[i]/base[i] elementwise. The slices must have
+// equal length.
+func Normalize(xs, base []float64) []float64 {
+	if len(xs) != len(base) {
+		panic("stats: length mismatch")
+	}
+	out := make([]float64, len(xs))
+	for i := range xs {
+		if base[i] != 0 {
+			out[i] = xs[i] / base[i]
+		}
+	}
+	return out
+}
+
+// WeightedSpeedup computes the multiprogrammed weighted speedup: the sum
+// over threads of IPC_i / SingleIPC_i.
+func WeightedSpeedup(ipcs, singleIPCs []float64) float64 {
+	if len(ipcs) != len(singleIPCs) {
+		panic("stats: length mismatch")
+	}
+	var ws float64
+	for i := range ipcs {
+		if singleIPCs[i] > 0 {
+			ws += ipcs[i] / singleIPCs[i]
+		}
+	}
+	return ws
+}

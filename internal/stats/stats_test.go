@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean failed")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Error("GeoMean failed")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("GeoMean with zero element should be 0")
+	}
+}
+
+func TestGeoMeanLeqMean(t *testing.T) {
+	// AM-GM inequality on positive inputs.
+	f := func(xs []float64) bool {
+		var pos []float64
+		for _, x := range xs {
+			if x > 0 && !math.IsInf(x, 0) && x < 1e9 {
+				pos = append(pos, x)
+			}
+		}
+		if len(pos) == 0 {
+			return true
+		}
+		return GeoMean(pos) <= Mean(pos)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 9}, []float64{4, 3})
+	if !almost(got[0], 0.5) || !almost(got[1], 3) {
+		t.Errorf("Normalize = %v", got)
+	}
+	if got := Normalize([]float64{1}, []float64{0}); got[0] != 0 {
+		t.Error("division by zero base not guarded")
+	}
+}
+
+func TestNormalizePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	Normalize([]float64{1}, []float64{1, 2})
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if !almost(ws, 1.5) {
+		t.Errorf("WeightedSpeedup = %v", ws)
+	}
+	if got := WeightedSpeedup([]float64{1}, []float64{0}); got != 0 {
+		t.Error("zero single IPC not guarded")
+	}
+}

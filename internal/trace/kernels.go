@@ -1,0 +1,420 @@
+package trace
+
+import "sdbp/internal/mem"
+
+// Stream sweeps a region sequentially, optionally with a trailing
+// second visit (Lag) that models producer/consumer array traversals:
+// block i is filled by the lead sweep at one code site and receives its
+// last touch Lag blocks later at a different code site — the strongest
+// form of PC-correlated death. With a region larger than the LLC and
+// Lag 0 it degenerates to a thrashing cyclic scan (zero LRU reuse at
+// LLC scale, the pattern BIP/DIP exploit).
+type Stream struct {
+	// Region is the swept array.
+	Region Region
+	// Burst is the number of consecutive accesses per block (distinct
+	// offsets, distinct PCs); all but the first hit the L1.
+	Burst int
+	// Lag, when positive, adds a trailing visit to block i-Lag at its
+	// own code site. Lags beyond the L2's reach make the trailing visit
+	// the block's last LLC access.
+	Lag int
+	// LagProb is the per-block probability of the trailing visit
+	// actually occurring (0 means 1.0). A fractional probability splits
+	// every code site's outcome — the lead site's blocks sometimes die
+	// untouched, per-block access counts flicker between one and two —
+	// which low-threshold predictors chase and the sampling predictor's
+	// high threshold rides out.
+	LagProb float64
+	// WriteLag marks the trailing visit as a store.
+	WriteLag bool
+	// PCBase is the kernel's code-site base address.
+	PCBase uint64
+	// GapMean is the mean non-memory instruction gap per access.
+	GapMean int
+
+	pos   int
+	burst int
+	lag   bool
+}
+
+// Reset implements Kernel.
+func (k *Stream) Reset(*mem.Rand) {
+	k.pos, k.burst, k.lag = 0, 0, false
+}
+
+// Step implements Kernel.
+func (k *Stream) Step(r *mem.Rand) mem.Access {
+	if k.Burst < 1 {
+		k.Burst = 1
+	}
+	if k.lag {
+		k.lag = false
+		return mem.Access{
+			PC:    k.PCBase + 0x400,
+			Addr:  k.Region.Addr(k.pos-1-k.Lag, 0),
+			Write: k.WriteLag,
+			Gap:   gapFor(r, k.GapMean),
+		}
+	}
+	a := mem.Access{
+		PC:   k.PCBase + uint64(k.burst)*8,
+		Addr: k.Region.Addr(k.pos, k.burst*8),
+		Gap:  gapFor(r, k.GapMean),
+	}
+	k.burst++
+	if k.burst >= k.Burst {
+		k.burst = 0
+		k.pos++
+		if k.pos >= k.Region.Blocks {
+			k.pos = 0
+		}
+		if k.Lag > 0 && (k.LagProb == 0 || r.Chance(k.LagProb)) {
+			k.lag = true
+		}
+	}
+	return a
+}
+
+// Generational models phase-structured data: the region is consumed in
+// segments, each segment living through a sequence of passes — a setup
+// pass that touches every block, a variable number of use passes, and a
+// final pass — each pass at its own code site. After the final pass the
+// segment's blocks are dead.
+//
+// Use passes touch each block only with probability UseProb, and the
+// final pass with probability FinalProb. This models what the paper's
+// mid-level cache does to the LLC's view of a block: the set of
+// references that reach the LLC varies per block and per generation, so
+// reference-trace signatures rarely repeat and per-generation access
+// counts are unstable — while the *last-touch code site* stays the
+// final pass for almost every block. That asymmetry is exactly what the
+// sampling predictor exploits and the reftrace/counting baselines
+// stumble over.
+type Generational struct {
+	// Region is the data the program works through.
+	Region Region
+	// SegBlocks is the blocks per generation segment. It must exceed
+	// the L2's reach for the passes to be visible at the LLC.
+	SegBlocks int
+	// MinUses and MaxUses bound the number of use passes (uniform per
+	// generation).
+	MinUses, MaxUses int
+	// UseProb is the per-block probability of being touched in a use
+	// pass (0 means 1.0: deterministic).
+	UseProb float64
+	// FinalProb is the per-block probability of the final-pass touch
+	// (0 means 1.0).
+	FinalProb float64
+	// Fresh makes every generation work over fresh addresses (the
+	// program allocates new buffers each phase), so a segment's blocks
+	// are truly dead after their final pass. Without Fresh the region's
+	// addresses are reused generation after generation (an in-place
+	// table), so "dead" blocks are re-referenced at the next setup pass
+	// if they are still resident.
+	Fresh bool
+	// PCBase is the kernel's code-site base address.
+	PCBase uint64
+	// GapMean is the mean non-memory instruction gap per access.
+	GapMean int
+
+	seg    int // current segment index
+	pass   int // current pass within the segment
+	passes int // total passes this generation (uses + 2)
+	pos    int // block within segment
+	epoch  int // completed laps over the region (Fresh addressing)
+}
+
+// Reset implements Kernel.
+func (k *Generational) Reset(r *mem.Rand) {
+	k.seg, k.pos, k.pass, k.epoch = 0, 0, 0, 0
+	k.passes = k.genPasses(r)
+}
+
+func (k *Generational) genPasses(r *mem.Rand) int {
+	min, max := k.MinUses, k.MaxUses
+	if min < 0 {
+		min = 0
+	}
+	if max < min {
+		max = min
+	}
+	return 2 + min + r.Intn(max-min+1)
+}
+
+// advance moves the cursor one block forward, rolling over passes,
+// generations and segments.
+func (k *Generational) advance(r *mem.Rand) {
+	k.pos++
+	if k.pos < k.SegBlocks {
+		return
+	}
+	k.pos = 0
+	k.pass++
+	if k.pass >= k.passes {
+		k.pass = 0
+		k.passes = k.genPasses(r)
+		segs := k.Region.Blocks / k.SegBlocks
+		if segs < 1 {
+			segs = 1
+		}
+		k.seg++
+		if k.seg >= segs {
+			k.seg = 0
+			k.epoch++
+		}
+	}
+}
+
+// Step implements Kernel.
+func (k *Generational) Step(r *mem.Rand) mem.Access {
+	useProb, finalProb := k.UseProb, k.FinalProb
+	if useProb == 0 {
+		useProb = 1
+	}
+	if finalProb == 0 {
+		finalProb = 1
+	}
+	for {
+		var pc uint64
+		write := false
+		touch := true
+		switch {
+		case k.pass == 0:
+			pc = k.PCBase // setup (store)
+			write = true
+		case k.pass == k.passes-1:
+			pc = k.PCBase + 0x800 // final pass: the death site
+			touch = r.Chance(finalProb)
+		default:
+			pc = k.PCBase + 0x100 + uint64(k.pass)*8
+			touch = r.Chance(useProb)
+		}
+		block := k.seg*k.SegBlocks + k.pos
+		epoch := k.epoch
+		k.advance(r)
+		if !touch {
+			continue
+		}
+		addr := k.Region.Addr(block, 0)
+		if k.Fresh {
+			addr = k.Region.Base +
+				(uint64(epoch)*uint64(k.Region.Blocks)+uint64(block))*mem.BlockSize
+		}
+		return mem.Access{
+			PC:    pc,
+			Addr:  addr,
+			Write: write,
+			Gap:   gapFor(r, k.GapMean),
+		}
+	}
+}
+
+// Repeat wraps a kernel so that every block it touches is accessed
+// Factor times in a row (distinct offsets and nearby code sites). All
+// repeats after the first hit the L1, restoring the short-range
+// temporal and spatial locality that lets the upper levels filter the
+// reference stream — the filtering the paper's LLC predictors live
+// downstream of.
+type Repeat struct {
+	// Kernel is the wrapped kernel.
+	Kernel Kernel
+	// Factor is the total number of touches per block (1 passes
+	// through).
+	Factor int
+
+	last mem.Access
+	left int
+}
+
+// Reset implements Kernel.
+func (k *Repeat) Reset(r *mem.Rand) {
+	k.Kernel.Reset(r)
+	k.left = 0
+}
+
+// Step implements Kernel.
+func (k *Repeat) Step(r *mem.Rand) mem.Access {
+	if k.left > 0 {
+		k.left--
+		a := k.last
+		a.PC += uint64(k.Factor-k.left) * 4
+		a.Addr += uint64(k.Factor-k.left) * 8
+		a.DependentLoad = false // repeats hit the L1; no serialization
+		return a
+	}
+	a := k.Kernel.Step(r)
+	k.last = a
+	if k.Factor > 1 {
+		k.left = k.Factor - 1
+	}
+	return a
+}
+
+// PointerChase walks a single-cycle random permutation over a region
+// with dependent loads — the mcf/omnetpp-style behavior where every
+// block's reuse distance equals the whole working set and misses cannot
+// overlap.
+type PointerChase struct {
+	// Region is the node pool.
+	Region Region
+	// PCCount is the number of code sites the traversal loop spreads
+	// over (field accesses in the node).
+	PCCount int
+	// PCBase is the kernel's code-site base address.
+	PCBase uint64
+	// GapMean is the mean non-memory instruction gap per access.
+	GapMean int
+
+	perm []int32
+	cur  int32
+}
+
+// Reset implements Kernel: builds a fresh single-cycle permutation
+// (Sattolo's algorithm) so every node is visited exactly once per lap.
+func (k *PointerChase) Reset(r *mem.Rand) {
+	n := k.Region.Blocks
+	if k.perm == nil || len(k.perm) != n {
+		k.perm = make([]int32, n)
+	}
+	for i := range k.perm {
+		k.perm[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i)
+		k.perm[i], k.perm[j] = k.perm[j], k.perm[i]
+	}
+	k.cur = 0
+}
+
+// Step implements Kernel.
+func (k *PointerChase) Step(r *mem.Rand) mem.Access {
+	pcs := k.PCCount
+	if pcs < 1 {
+		pcs = 1
+	}
+	a := mem.Access{
+		PC:            k.PCBase + uint64(r.Intn(pcs))*8,
+		Addr:          k.Region.Addr(int(k.cur), 0),
+		DependentLoad: true,
+		Gap:           gapFor(r, k.GapMean),
+	}
+	k.cur = k.perm[k.cur]
+	return a
+}
+
+// RandomAccess issues uniformly random references over a region from a
+// large set of code sites — the astar-style behavior no dead block
+// predictor handles well, where the only defense is low coverage.
+type RandomAccess struct {
+	// Region is the reference footprint.
+	Region Region
+	// PCCount is the number of distinct code sites.
+	PCCount int
+	// WriteFrac is the fraction of accesses that are stores.
+	WriteFrac float64
+	// PCBase is the kernel's code-site base address.
+	PCBase uint64
+	// GapMean is the mean non-memory instruction gap per access.
+	GapMean int
+}
+
+// Reset implements Kernel.
+func (k *RandomAccess) Reset(*mem.Rand) {}
+
+// Step implements Kernel.
+func (k *RandomAccess) Step(r *mem.Rand) mem.Access {
+	pcs := k.PCCount
+	if pcs < 1 {
+		pcs = 1
+	}
+	return mem.Access{
+		PC:    k.PCBase + uint64(r.Intn(pcs))*8,
+		Addr:  k.Region.Addr(r.Intn(k.Region.Blocks), 0),
+		Write: r.Chance(k.WriteFrac),
+		Gap:   gapFor(r, k.GapMean),
+	}
+}
+
+// HotSet loops sequentially over a small region that fits in the upper
+// levels of the hierarchy — compute-bound behavior that contributes
+// instructions and L1/L2 hits but (almost) no LLC traffic.
+type HotSet struct {
+	// Region is the resident working set.
+	Region Region
+	// PCBase is the kernel's code-site base address.
+	PCBase uint64
+	// GapMean is the mean non-memory instruction gap per access.
+	GapMean int
+
+	pos int
+}
+
+// Reset implements Kernel.
+func (k *HotSet) Reset(*mem.Rand) { k.pos = 0 }
+
+// Step implements Kernel.
+func (k *HotSet) Step(r *mem.Rand) mem.Access {
+	a := mem.Access{
+		PC:   k.PCBase + uint64(k.pos&7)*8,
+		Addr: k.Region.Addr(k.pos, 0),
+		Gap:  gapFor(r, k.GapMean),
+	}
+	k.pos++
+	if k.pos >= k.Region.Blocks {
+		k.pos = 0
+	}
+	return a
+}
+
+// Weighted is one Mix member with its selection weight.
+type Weighted struct {
+	// Kernel is the member.
+	Kernel Kernel
+	// Weight is its relative share of accesses.
+	Weight int
+}
+
+// Mix interleaves kernels, choosing each next access from a member with
+// probability proportional to its weight — the fine-grained interleaving
+// of loops a real program's reference stream exhibits.
+type Mix struct {
+	// Members are the interleaved kernels.
+	Members []Weighted
+
+	total int
+}
+
+// NewMix builds an interleaving of the given members.
+func NewMix(members ...Weighted) *Mix {
+	m := &Mix{Members: members}
+	for _, w := range members {
+		if w.Weight <= 0 {
+			panic("trace: mix weights must be positive")
+		}
+		m.total += w.Weight
+	}
+	if m.total == 0 {
+		panic("trace: empty mix")
+	}
+	return m
+}
+
+// Reset implements Kernel.
+func (m *Mix) Reset(r *mem.Rand) {
+	for _, w := range m.Members {
+		w.Kernel.Reset(r)
+	}
+}
+
+// Step implements Kernel.
+func (m *Mix) Step(r *mem.Rand) mem.Access {
+	pick := r.Intn(m.total)
+	for _, w := range m.Members {
+		pick -= w.Weight
+		if pick < 0 {
+			return w.Kernel.Step(r)
+		}
+	}
+	return m.Members[len(m.Members)-1].Kernel.Step(r)
+}

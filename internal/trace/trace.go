@@ -1,0 +1,109 @@
+// Package trace provides the synthetic memory reference streams the
+// reproduction substitutes for SPEC CPU 2006 traces, built from a small
+// set of composable kernels that reproduce the statistical properties
+// dead block prediction depends on: PC-correlated last touches,
+// generational reuse, streaming, pointer chasing, thrashing, and
+// unpredictable reference behavior.
+package trace
+
+import "sdbp/internal/mem"
+
+// Generator produces a finite, deterministic stream of memory accesses.
+// Reset rewinds it to the beginning of the identical stream.
+type Generator interface {
+	Reset()
+	Next() (mem.Access, bool)
+}
+
+// Region is a contiguous range of cache blocks a kernel works over.
+type Region struct {
+	// Base is the region's starting byte address (block aligned).
+	Base uint64
+	// Blocks is the region's length in cache blocks.
+	Blocks int
+}
+
+// Addr returns the byte address of block i (mod the region length) at
+// the given intra-block offset.
+func (r Region) Addr(i int, offset int) uint64 {
+	i %= r.Blocks
+	if i < 0 {
+		i += r.Blocks
+	}
+	return r.Base + uint64(i)*mem.BlockSize + uint64(offset&(mem.BlockSize-1))
+}
+
+// Bytes returns the region size in bytes.
+func (r Region) Bytes() int { return r.Blocks * mem.BlockSize }
+
+// Kernel is one memory-behavior building block. Kernels are composed by
+// Mix and driven by a Program; all randomness flows through the passed
+// generator so streams are reproducible.
+type Kernel interface {
+	// Reset reinitializes kernel state (permutations, cursors).
+	Reset(r *mem.Rand)
+	// Step emits the kernel's next access.
+	Step(r *mem.Rand) mem.Access
+}
+
+// gapFor samples the non-memory instruction gap preceding an access,
+// uniform in [0, 2*mean] so the mean is mean.
+func gapFor(r *mem.Rand, mean int) uint32 {
+	if mean <= 0 {
+		return 0
+	}
+	return uint32(r.Intn(2*mean + 1))
+}
+
+// Program adapts a Kernel to the Generator interface, bounding the
+// stream length and owning the deterministic random source.
+type Program struct {
+	kernel Kernel
+	length int
+	seed   uint64
+
+	r *mem.Rand
+	n int
+}
+
+// NewProgram wraps kernel in a generator producing length accesses from
+// the given seed.
+func NewProgram(kernel Kernel, length int, seed uint64) *Program {
+	if length < 0 {
+		panic("trace: negative program length")
+	}
+	p := &Program{kernel: kernel, length: length, seed: seed, r: mem.NewRand(seed)}
+	p.kernel.Reset(p.r)
+	return p
+}
+
+// Reset implements Generator.
+func (p *Program) Reset() {
+	p.r.Seed(p.seed)
+	p.kernel.Reset(p.r)
+	p.n = 0
+}
+
+// Next implements Generator.
+func (p *Program) Next() (mem.Access, bool) {
+	if p.n >= p.length {
+		return mem.Access{}, false
+	}
+	p.n++
+	return p.kernel.Step(p.r), true
+}
+
+// Length returns the program's total access count.
+func (p *Program) Length() int { return p.length }
+
+// Collect drains a generator into a slice (tests and MIN capture).
+func Collect(g Generator) []mem.Access {
+	var out []mem.Access
+	for {
+		a, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}

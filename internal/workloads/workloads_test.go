@@ -1,0 +1,148 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"sdbp/internal/mem"
+	"sdbp/internal/trace"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	all := All()
+	if len(all) != 29 {
+		t.Errorf("suite has %d benchmarks, want 29 (SPEC CPU 2006)", len(all))
+	}
+	sub := Subset()
+	if len(sub) != 19 {
+		t.Errorf("subset has %d benchmarks, want 19", len(sub))
+	}
+	for _, w := range sub {
+		if !w.InSubset {
+			t.Errorf("%s in Subset() but not flagged", w.Name)
+		}
+	}
+}
+
+func TestNamesUniqueAndWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if seen[w.Name] {
+			t.Errorf("duplicate benchmark %s", w.Name)
+		}
+		seen[w.Name] = true
+		if !strings.Contains(w.Name, ".") {
+			t.Errorf("name %q not in SPEC nnn.name form", w.Name)
+		}
+		if w.Class == "" {
+			t.Errorf("%s has no behavior class", w.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("456.hmmer")
+	if err != nil || w.Name != "456.hmmer" {
+		t.Errorf("ByName(456.hmmer) = %v, %v", w.Name, err)
+	}
+	if !w.InSubset {
+		t.Error("hmmer must be in the memory-intensive subset")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted an unknown benchmark")
+	}
+}
+
+func TestMixesValid(t *testing.T) {
+	mixes := Mixes()
+	if len(mixes) != 10 {
+		t.Fatalf("mixes = %d, want 10 (Table IV)", len(mixes))
+	}
+	seen := map[string]bool{}
+	for _, m := range mixes {
+		if seen[m.Name] {
+			t.Errorf("duplicate mix %s", m.Name)
+		}
+		seen[m.Name] = true
+		for _, b := range m.Members {
+			if _, err := ByName(b); err != nil {
+				t.Errorf("%s references unknown benchmark %s", m.Name, b)
+			}
+		}
+	}
+}
+
+func TestMix1MatchesPaper(t *testing.T) {
+	m := Mixes()[0]
+	want := [4]string{"429.mcf", "456.hmmer", "462.libquantum", "471.omnetpp"}
+	if m.Members != want {
+		t.Errorf("mix1 = %v, want %v", m.Members, want)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	w, _ := ByName("401.bzip2")
+	collect := func() []mem.Access {
+		return trace.Collect(w.Generator(0.001))
+	}
+	a, b := collect(), collect()
+	if len(a) == 0 {
+		t.Fatal("empty stream")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream differs at %d", i)
+		}
+	}
+}
+
+func TestGeneratorsScale(t *testing.T) {
+	w, _ := ByName("456.hmmer")
+	small := len(trace.Collect(w.Generator(0.001)))
+	big := len(trace.Collect(w.Generator(0.002)))
+	if big != 2*small {
+		t.Errorf("scale 2x produced %d vs %d accesses", big, small)
+	}
+}
+
+func TestAddressSpacesDisjoint(t *testing.T) {
+	// Different benchmarks never touch the same block (the builder
+	// assigns per-benchmark address windows).
+	wa, _ := ByName("429.mcf")
+	wb, _ := ByName("456.hmmer")
+	seen := map[uint64]bool{}
+	for _, a := range trace.Collect(wa.Generator(0.005)) {
+		seen[mem.BlockNumber(a.Addr)] = true
+	}
+	for _, a := range trace.Collect(wb.Generator(0.005)) {
+		if seen[mem.BlockNumber(a.Addr)] {
+			t.Fatalf("benchmarks share block %#x", a.Addr)
+		}
+	}
+}
+
+func TestEveryBenchmarkGenerates(t *testing.T) {
+	for _, w := range All() {
+		accs := trace.Collect(w.Generator(0.0005))
+		if len(accs) == 0 {
+			t.Errorf("%s produced no accesses", w.Name)
+			continue
+		}
+		for _, a := range accs {
+			if a.PC == 0 {
+				t.Errorf("%s emitted a zero PC", w.Name)
+				break
+			}
+		}
+	}
+}
+
+func TestSubsetHasDistinctBehaviors(t *testing.T) {
+	classes := map[string]bool{}
+	for _, w := range Subset() {
+		classes[w.Class] = true
+	}
+	if len(classes) < 8 {
+		t.Errorf("subset covers only %d behavior classes", len(classes))
+	}
+}

@@ -1,0 +1,312 @@
+// Package sdbp is a library reproduction of "Sampling Dead Block
+// Prediction for Last-Level Caches" (Khan, Tian, Jiménez, MICRO-43,
+// 2010).
+//
+// It bundles a three-level cache hierarchy simulator with an
+// out-of-order core timing model, the paper's synthetic benchmark
+// suite, and every cache management technique the paper evaluates: the
+// sampling dead block predictor (the contribution), the reftrace and
+// counting predictors it is compared against, DIP/TADIP, RRIP, random
+// and LRU replacement, and Belady's MIN with optimal bypass.
+//
+// The simplest use runs one benchmark under two policies:
+//
+//	base := sdbp.Run("456.hmmer", sdbp.LRU(), sdbp.Options{})
+//	samp := sdbp.Run("456.hmmer", sdbp.SamplerDBRB(), sdbp.Options{})
+//	fmt.Println(base.MPKI, samp.MPKI)
+//
+// Deeper access — custom cache geometries, predictor ablations, raw
+// kernels — lives in the internal packages and is exercised through the
+// experiment harness (cmd/experiments) and the benchmarks in
+// bench_test.go.
+package sdbp
+
+import (
+	"fmt"
+	"math"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/dbrb"
+	"sdbp/internal/hier"
+	"sdbp/internal/optimal"
+	"sdbp/internal/policy"
+	"sdbp/internal/predictor"
+	"sdbp/internal/sim"
+	"sdbp/internal/workloads"
+)
+
+// Policy is an LLC management technique. Construct one with LRU,
+// Random, DIP, RRIP, TADIP, SamplerDBRB, TDBP, CDBP, or their
+// random-baseline variants; pass it to Run or RunMix.
+type Policy struct {
+	name string
+	make func(threads int) cache.Policy
+}
+
+// Name returns the technique's display name.
+func (p Policy) Name() string { return p.name }
+
+// LRU returns the baseline true-LRU replacement policy.
+func LRU() Policy {
+	return Policy{"LRU", func(int) cache.Policy { return policy.NewLRU() }}
+}
+
+// Random returns the random replacement policy.
+func Random() Policy {
+	return Policy{"Random", func(int) cache.Policy { return policy.NewRandom(1) }}
+}
+
+// DIP returns the Dynamic Insertion Policy.
+func DIP() Policy {
+	return Policy{"DIP", func(int) cache.Policy { return policy.NewDIP(2) }}
+}
+
+// TADIP returns the Thread-Aware Dynamic Insertion Policy.
+func TADIP() Policy {
+	return Policy{"TADIP", func(threads int) cache.Policy { return policy.NewTADIP(threads, 3) }}
+}
+
+// RRIP returns dynamic re-reference interval prediction (DRRIP).
+func RRIP() Policy {
+	return Policy{"RRIP", func(threads int) cache.Policy { return policy.NewDRRIP(threads, 4) }}
+}
+
+// SamplerDBRB returns dead-block replacement and bypass driven by the
+// paper's sampling predictor over a default LRU cache.
+func SamplerDBRB() Policy {
+	return Policy{"Sampler", func(int) cache.Policy {
+		return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+	}}
+}
+
+// SamplerDBRBRandom returns the sampling predictor over a default
+// random-replacement cache ("Random Sampler" in the paper).
+func SamplerDBRBRandom() Policy {
+	return Policy{"Random Sampler", func(int) cache.Policy {
+		return dbrb.New(policy.NewRandom(1), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+	}}
+}
+
+// TDBP returns dead-block replacement and bypass driven by the
+// reference-trace predictor over a default LRU cache.
+func TDBP() Policy {
+	return Policy{"TDBP", func(int) cache.Policy {
+		return dbrb.New(policy.NewLRU(), predictor.NewRefTrace())
+	}}
+}
+
+// CDBP returns dead-block replacement and bypass driven by the counting
+// (LvP) predictor over a default LRU cache.
+func CDBP() Policy {
+	return Policy{"CDBP", func(int) cache.Policy {
+		return dbrb.New(policy.NewLRU(), predictor.NewCounting())
+	}}
+}
+
+// CDBPRandom returns the counting predictor over a default
+// random-replacement cache ("Random CDBP" in the paper).
+func CDBPRandom() Policy {
+	return Policy{"Random CDBP", func(int) cache.Policy {
+		return dbrb.New(policy.NewRandom(1), predictor.NewCounting())
+	}}
+}
+
+// SamplerVariant returns one of the paper's Figure 6 ablation variants
+// by name ("DBRB alone", "DBRB+sampler+12-way", ...); see
+// SamplerVariantNames.
+func SamplerVariant(name string) (Policy, error) {
+	cfg, ok := predictor.AblationConfigs()[name]
+	if !ok {
+		return Policy{}, fmt.Errorf("sdbp: unknown sampler variant %q", name)
+	}
+	return Policy{name, func(int) cache.Policy {
+		return dbrb.New(policy.NewLRU(), predictor.NewSampler(cfg))
+	}}, nil
+}
+
+// SamplerVariantNames lists the Figure 6 ablation variant names.
+func SamplerVariantNames() []string {
+	return []string{
+		"DBRB alone",
+		"DBRB+3 tables",
+		"DBRB+sampler",
+		"DBRB+sampler+3 tables",
+		"DBRB+sampler+12-way",
+		"DBRB+sampler+3 tables+12-way",
+	}
+}
+
+// Options tunes a run.
+type Options struct {
+	// Scale multiplies the benchmark's default reference-stream length;
+	// 0 means 1.0.
+	Scale float64
+	// LLCMegabytes overrides the LLC capacity (default: 2MB per core).
+	LLCMegabytes int
+	// KeepLineEfficiencies records the per-line efficiency map (the
+	// Figure 1 greyscale data) into the result.
+	KeepLineEfficiencies bool
+}
+
+func (o Options) llc(cores int) cache.Config {
+	if o.LLCMegabytes > 0 {
+		return cache.Config{Name: "LLC", SizeBytes: o.LLCMegabytes << 20, Ways: 16}
+	}
+	return hier.LLCConfig(cores)
+}
+
+// Result reports a single-core run.
+type Result struct {
+	// Benchmark and Policy identify the run.
+	Benchmark, Policy string
+	// Instructions is the simulated instruction count.
+	Instructions uint64
+	// IPC is instructions per cycle under the core timing model.
+	IPC float64
+	// MPKI is LLC misses per thousand instructions.
+	MPKI float64
+	// Efficiency is the LLC's live-time ratio in [0,1].
+	Efficiency float64
+	// Accesses, Misses and Bypasses are LLC event counts.
+	Accesses, Misses, Bypasses uint64
+	// Coverage and FalsePositiveRate report predictor accuracy for
+	// dead-block policies; they are NaN otherwise.
+	Coverage, FalsePositiveRate float64
+	// LineEfficiencies is the per-line efficiency map when requested.
+	LineEfficiencies [][]float64
+}
+
+// Benchmarks returns every benchmark name in the suite.
+func Benchmarks() []string { return workloads.Names() }
+
+// SubsetBenchmarks returns the paper's memory-intensive subset.
+func SubsetBenchmarks() []string {
+	var out []string
+	for _, w := range workloads.Subset() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// Mixes returns the names of the quad-core workload mixes.
+func Mixes() []string {
+	var out []string
+	for _, m := range workloads.Mixes() {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// Run simulates one benchmark on one core under the given LLC policy.
+// It panics on an unknown benchmark name (use Benchmarks for the list).
+func Run(benchmark string, p Policy, o Options) Result {
+	w, err := workloads.ByName(benchmark)
+	if err != nil {
+		panic(err)
+	}
+	r := sim.RunSingle(w, p.make(1), sim.SingleOptions{
+		Scale:                o.Scale,
+		LLC:                  o.llc(1),
+		KeepLineEfficiencies: o.KeepLineEfficiencies,
+	})
+	out := Result{
+		Benchmark:         r.Benchmark,
+		Policy:            p.name,
+		Instructions:      r.Instructions,
+		IPC:               r.IPC,
+		MPKI:              r.MPKI,
+		Efficiency:        r.Efficiency,
+		Accesses:          r.LLC.Accesses,
+		Misses:            r.LLC.Misses,
+		Bypasses:          r.LLC.Bypasses,
+		Coverage:          math.NaN(),
+		FalsePositiveRate: math.NaN(),
+		LineEfficiencies:  r.LineEfficiencies,
+	}
+	if r.Accuracy != nil {
+		out.Coverage = r.Accuracy.Coverage()
+		out.FalsePositiveRate = r.Accuracy.FalsePositiveRate()
+	}
+	return out
+}
+
+// RunOptimal simulates one benchmark under Belady's MIN replacement
+// with optimal bypass. Only miss-count metrics are meaningful (the
+// paper likewise reports optimal numbers for misses only).
+func RunOptimal(benchmark string, o Options) Result {
+	w, err := workloads.ByName(benchmark)
+	if err != nil {
+		panic(err)
+	}
+	llcCfg := o.llc(1)
+	capture := sim.RunSingle(w, policy.NewLRU(), sim.SingleOptions{
+		Scale: o.Scale, LLC: llcCfg, CaptureStream: true,
+	})
+	min := optimal.Simulate(capture.Stream, llcCfg.Sets(), llcCfg.Ways)
+	mpki := 0.0
+	if capture.Instructions > 0 {
+		mpki = float64(min.Misses) / (float64(capture.Instructions) / 1000)
+	}
+	return Result{
+		Benchmark:         benchmark,
+		Policy:            "Optimal",
+		Instructions:      capture.Instructions,
+		MPKI:              mpki,
+		Accesses:          min.Accesses,
+		Misses:            min.Misses,
+		Bypasses:          min.Bypasses,
+		Coverage:          math.NaN(),
+		FalsePositiveRate: math.NaN(),
+	}
+}
+
+// MixResult reports a quad-core shared-LLC run.
+type MixResult struct {
+	// Mix and Policy identify the run.
+	Mix, Policy string
+	// Benchmarks are the four co-running benchmark names.
+	Benchmarks [4]string
+	// IPC is each core's IPC over its first full pass.
+	IPC [4]float64
+	// MPKI is shared-LLC misses per thousand instructions (all cores).
+	MPKI float64
+	// WeightedSpeedup is sum over cores of IPC_i/SingleIPC_i, where
+	// SingleIPC_i is the benchmark's IPC running alone under LRU with
+	// the same LLC. Normalize against the LRU policy's value to get the
+	// paper's normalized weighted speedup.
+	WeightedSpeedup float64
+}
+
+// RunMix simulates a quad-core workload mix sharing an 8MB LLC under
+// the given policy. It panics on an unknown mix name.
+func RunMix(mixName string, p Policy, o Options) MixResult {
+	var mix workloads.Mix
+	found := false
+	for _, m := range workloads.Mixes() {
+		if m.Name == mixName {
+			mix, found = m, true
+			break
+		}
+	}
+	if !found {
+		panic(fmt.Errorf("sdbp: unknown mix %q", mixName))
+	}
+	llcCfg := o.llc(4)
+	r := sim.RunMulticore(mix, p.make(4), sim.MulticoreOptions{Scale: o.Scale, LLC: llcCfg})
+
+	out := MixResult{Mix: mixName, Policy: p.name, Benchmarks: mix.Members, IPC: r.IPC, MPKI: r.MPKI}
+	for i, name := range mix.Members {
+		single := sim.SingleIPC(name, llcCfg, orOne(o.Scale), func() cache.Policy { return policy.NewLRU() })
+		if single > 0 {
+			out.WeightedSpeedup += r.IPC[i] / single
+		}
+	}
+	return out
+}
+
+func orOne(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,156 @@
+package sdbp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const testScale = 0.02
+
+func TestBenchmarkLists(t *testing.T) {
+	if len(Benchmarks()) != 29 {
+		t.Errorf("benchmarks = %d, want 29", len(Benchmarks()))
+	}
+	if len(SubsetBenchmarks()) != 19 {
+		t.Errorf("subset = %d, want 19", len(SubsetBenchmarks()))
+	}
+	if len(Mixes()) != 10 {
+		t.Errorf("mixes = %d, want 10", len(Mixes()))
+	}
+}
+
+func TestRunReturnsSaneMetrics(t *testing.T) {
+	r := Run("456.hmmer", LRU(), Options{Scale: testScale})
+	if r.MPKI <= 0 || r.IPC <= 0 || r.Instructions == 0 {
+		t.Errorf("result = %+v", r)
+	}
+	if !math.IsNaN(r.Coverage) {
+		t.Error("plain LRU should have NaN coverage")
+	}
+}
+
+func TestRunSamplerReportsAccuracy(t *testing.T) {
+	r := Run("456.hmmer", SamplerDBRB(), Options{Scale: testScale})
+	if math.IsNaN(r.Coverage) || math.IsNaN(r.FalsePositiveRate) {
+		t.Error("DBRB policy should report accuracy")
+	}
+	if r.Coverage < 0 || r.Coverage > 1 {
+		t.Errorf("coverage = %v", r.Coverage)
+	}
+}
+
+func TestRunPanicsOnUnknownBenchmark(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown benchmark")
+		}
+	}()
+	Run("999.nope", LRU(), Options{})
+}
+
+func TestRunOptimalNeverWorseThanLRU(t *testing.T) {
+	lru := Run("462.libquantum", LRU(), Options{Scale: testScale})
+	opt := RunOptimal("462.libquantum", Options{Scale: testScale})
+	if opt.MPKI > lru.MPKI*1.001 {
+		t.Errorf("optimal MPKI %.2f above LRU %.2f", opt.MPKI, lru.MPKI)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, c := range []struct {
+		p    Policy
+		want string
+	}{
+		{LRU(), "LRU"}, {Random(), "Random"}, {DIP(), "DIP"},
+		{TADIP(), "TADIP"}, {RRIP(), "RRIP"}, {SamplerDBRB(), "Sampler"},
+		{TDBP(), "TDBP"}, {CDBP(), "CDBP"},
+		{SamplerDBRBRandom(), "Random Sampler"}, {CDBPRandom(), "Random CDBP"},
+	} {
+		if c.p.Name() != c.want {
+			t.Errorf("name = %q, want %q", c.p.Name(), c.want)
+		}
+	}
+}
+
+func TestSamplerVariants(t *testing.T) {
+	for _, name := range SamplerVariantNames() {
+		p, err := SamplerVariant(name)
+		if err != nil {
+			t.Errorf("variant %q: %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("variant name = %q", p.Name())
+		}
+	}
+	if _, err := SamplerVariant("bogus"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestLLCMegabytesOption(t *testing.T) {
+	small := Run("429.mcf", LRU(), Options{Scale: testScale, LLCMegabytes: 1})
+	big := Run("429.mcf", LRU(), Options{Scale: testScale, LLCMegabytes: 16})
+	if big.MPKI >= small.MPKI {
+		t.Errorf("16MB MPKI %.2f >= 1MB MPKI %.2f", big.MPKI, small.MPKI)
+	}
+}
+
+func TestRunMix(t *testing.T) {
+	r := RunMix("mix1", TADIP(), Options{Scale: testScale})
+	if r.Mix != "mix1" || r.Policy != "TADIP" {
+		t.Errorf("labels = %s/%s", r.Mix, r.Policy)
+	}
+	if r.WeightedSpeedup <= 0 || r.WeightedSpeedup > 4 {
+		t.Errorf("weighted speedup = %v", r.WeightedSpeedup)
+	}
+	for _, b := range r.Benchmarks {
+		if !strings.Contains(b, ".") {
+			t.Errorf("member %q malformed", b)
+		}
+	}
+}
+
+func TestRunMixPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown mix")
+		}
+	}()
+	RunMix("mix99", LRU(), Options{})
+}
+
+func TestLineEfficiencies(t *testing.T) {
+	r := Run("456.hmmer", LRU(), Options{Scale: testScale, KeepLineEfficiencies: true})
+	if len(r.LineEfficiencies) == 0 {
+		t.Fatal("no efficiency map")
+	}
+	for _, row := range r.LineEfficiencies {
+		for _, e := range row {
+			if e < 0 || e > 1 {
+				t.Fatalf("line efficiency %v out of range", e)
+			}
+		}
+	}
+}
+
+// TestHeadlineResult exercises the paper's headline on one benchmark:
+// the sampling predictor reduces misses and improves IPC over LRU.
+func TestHeadlineResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	base := Run("456.hmmer", LRU(), Options{Scale: 0.1})
+	samp := Run("456.hmmer", SamplerDBRB(), Options{Scale: 0.1})
+	if samp.MPKI >= base.MPKI {
+		t.Errorf("sampler MPKI %.2f not below LRU %.2f", samp.MPKI, base.MPKI)
+	}
+	if samp.IPC <= base.IPC {
+		t.Errorf("sampler IPC %.3f not above LRU %.3f", samp.IPC, base.IPC)
+	}
+	if samp.Efficiency <= base.Efficiency {
+		t.Errorf("sampler efficiency %.2f not above LRU %.2f",
+			samp.Efficiency, base.Efficiency)
+	}
+}
