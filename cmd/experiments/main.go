@@ -2,34 +2,154 @@
 // paper's evaluation section and prints them in order. The output is
 // the data recorded in EXPERIMENTS.md.
 //
-//	experiments                 # everything at the default scale
-//	experiments -scale 0.5      # faster, shorter streams
-//	experiments -only fig4,fig5 # a subset
+//	experiments                       # everything at the default scale
+//	experiments -scale 0.5            # faster, shorter streams
+//	experiments -only fig4,fig5       # a subset
+//	experiments -timeout 10m          # bound each simulation job
+//	experiments -checkpoint run.ckpt  # journal finished cells
+//	experiments -resume -checkpoint run.ckpt  # skip finished cells
+//
+// The harness is fault tolerant: a panicking, hung or failed
+// simulation job is isolated and reported, its table cell prints as
+// ERR, every other cell still renders, and the process exits non-zero
+// iff any job failed. With -checkpoint, completed cells are journaled
+// as they finish; re-running with -resume recomputes only the missing
+// (failed or interrupted) cells.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
+	"sort"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"sdbp/internal/figures"
+	"sdbp/internal/runner"
 )
 
+// sections is the canonical list of -only keys, in presentation order.
+var sections = []string{
+	"claim", "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"table1", "table2", "table3", "table4",
+	"extensions", "prefetch", "victim", "sweeps",
+}
+
+// parseOnly validates a -only list against the known section keys. An
+// unknown key is an error naming the valid set, instead of the old
+// behavior of silently running nothing.
+func parseOnly(s string) (map[string]bool, error) {
+	want := map[string]bool{}
+	if s == "" {
+		return want, nil
+	}
+	valid := map[string]bool{}
+	for _, k := range sections {
+		valid[k] = true
+	}
+	for _, k := range strings.Split(s, ",") {
+		k = strings.TrimSpace(k)
+		if k == "" {
+			continue
+		}
+		if !valid[k] {
+			sorted := append([]string(nil), sections...)
+			sort.Strings(sorted)
+			return nil, fmt.Errorf("experiments: unknown section %q; valid sections: %s",
+				k, strings.Join(sorted, ", "))
+		}
+		want[k] = true
+	}
+	return want, nil
+}
+
+// progressLogger returns an Env progress callback that logs job
+// completions to stderr: failures immediately, successes throttled to
+// one line per second, with a done/total count and ETA.
+func progressLogger() func(runner.Event) {
+	var mu sync.Mutex
+	var last time.Time
+	return func(ev runner.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		final := ev.Done == ev.Total
+		if ev.Err == nil && !final && time.Since(last) < time.Second {
+			return
+		}
+		last = time.Now()
+		msg := fmt.Sprintf("progress: %d/%d %s", ev.Done, ev.Total, ev.Key)
+		switch {
+		case ev.Err != nil && ev.Err.TimedOut:
+			msg += " TIMED OUT"
+		case ev.Err != nil:
+			msg += " FAILED: " + ev.Err.Err.Error()
+		case ev.FromCheckpoint:
+			msg += " (from checkpoint)"
+		}
+		if !final && ev.ETA > 0 {
+			msg += fmt.Sprintf(" (ETA %s)", ev.ETA.Round(time.Second))
+		}
+		fmt.Fprintln(os.Stderr, msg)
+	}
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	scale := flag.Float64("scale", 1.0, "stream length multiplier")
-	only := flag.String("only", "", "comma-separated subset: claim,fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,table1,table2,table3,table4,extensions,prefetch,victim,sweeps")
+	only := flag.String("only", "", "comma-separated subset: "+strings.Join(sections, ","))
+	timeout := flag.Duration("timeout", 0, "per-job timeout (0 = none)")
+	retries := flag.Int("retries", 0, "per-job retry budget for transient failures")
+	checkpoint := flag.String("checkpoint", "", "journal completed cells to this file")
+	resume := flag.Bool("resume", false, "skip cells already in the checkpoint (default file experiments.ckpt)")
+	quiet := flag.Bool("quiet", false, "suppress per-job progress logging")
 	flag.Parse()
 
-	want := map[string]bool{}
-	if *only != "" {
-		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(k)] = true
+	want, err := parseOnly(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	// Interrupts cancel the campaign cleanly: in-flight jobs finish or
+	// time out, queued jobs drain, partial tables render, and with
+	// -checkpoint every finished cell is already journaled for -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	env := figures.DefaultEnv()
+	env.Ctx = ctx
+	env.Timeout = *timeout
+	env.Retries = *retries
+	if !*quiet {
+		env.Progress = progressLogger()
+	}
+	if *resume && *checkpoint == "" {
+		*checkpoint = "experiments.ckpt"
+	}
+	if *checkpoint != "" {
+		ck, err := runner.OpenCheckpoint(*checkpoint, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer ck.Close()
+		env.Checkpoint = ck
+		if *resume {
+			fmt.Fprintf(os.Stderr, "resume: %d checkpointed results loaded from %s\n", ck.Len(), *checkpoint)
 		}
 	}
+
 	run := func(key string) bool { return len(want) == 0 || want[key] }
 	section := func(name string, f func()) {
-		if !run(name) {
+		if !run(name) || ctx.Err() != nil {
 			return
 		}
 		start := time.Now()
@@ -42,11 +162,11 @@ func main() {
 
 	var sc *figures.SingleCore
 	needSC := run("fig4") || run("fig5") || run("fig9") || run("claim")
-	if needSC {
-		sc = figures.RunSingleCore(*scale)
+	if needSC && ctx.Err() == nil {
+		sc = figures.RunSingleCoreEnv(env, *scale)
 	}
 	section("claim", func() { fmt.Print(sc.RenderClaim()) })
-	section("fig1", func() { fmt.Print(figures.RunFig1(*scale).Render()) })
+	section("fig1", func() { fmt.Print(figures.RunFig1Env(env, *scale).Render()) })
 	section("fig4", func() {
 		fmt.Print(sc.RenderFig4())
 		labels, vals := sc.Fig4Summary()
@@ -57,39 +177,68 @@ func main() {
 		labels, vals := sc.Fig5Summary()
 		fmt.Print(figures.SummaryChart("\nFigure 5 summary: gmean speedup over LRU ('|' = LRU)", labels, vals))
 	})
-	section("fig6", func() { fmt.Print(figures.RunAblation(*scale).Render()) })
+	section("fig6", func() { fmt.Print(figures.RunAblationEnv(env, *scale).Render()) })
 
 	var rb *figures.RandomBaseline
-	if run("fig7") || run("fig8") {
-		rb = figures.RunRandomBaseline(*scale)
+	if (run("fig7") || run("fig8")) && ctx.Err() == nil {
+		rb = figures.RunRandomBaselineEnv(env, *scale)
 	}
 	section("fig7", func() { fmt.Print(rb.RenderFig7()) })
 	section("fig8", func() { fmt.Print(rb.RenderFig8()) })
 	section("fig9", func() { fmt.Print(sc.RenderFig9()) })
 
 	section("fig10", func() {
-		mc := figures.RunMulticoreFigure(figures.MulticorePolicies(), *scale)
+		mc := figures.RunMulticoreFigureEnv(env, figures.MulticorePolicies(), *scale)
 		fmt.Print(mc.Render("Figure 10(a): normalized weighted speedup, 8MB shared LLC, LRU default"))
 		fmt.Println()
-		mcr := figures.RunMulticoreFigure(figures.RandomPolicies(), *scale)
+		mcr := figures.RunMulticoreFigureEnv(env, figures.RandomPolicies(), *scale)
 		fmt.Print(mcr.Render("Figure 10(b): normalized weighted speedup, 8MB shared LLC, random default"))
 	})
 
-	section("table3", func() { fmt.Print(figures.RunTable3(*scale).Render()) })
-	section("table4", func() { fmt.Print(figures.RunTable4(*scale).Render()) })
+	section("table3", func() { fmt.Print(figures.RunTable3Env(env, *scale).Render()) })
+	section("table4", func() { fmt.Print(figures.RunTable4Env(env, *scale).Render()) })
 
-	section("extensions", func() { fmt.Print(figures.RunExtensions(*scale).Render()) })
-	section("prefetch", func() { fmt.Print(figures.RunPrefetchStudy(*scale).Render()) })
-	section("victim", func() { fmt.Print(figures.RunVictimStudy(*scale).Render()) })
+	section("extensions", func() { fmt.Print(figures.RunExtensionsEnv(env, *scale).Render()) })
+	section("prefetch", func() { fmt.Print(figures.RunPrefetchStudyEnv(env, *scale).Render()) })
+	section("victim", func() { fmt.Print(figures.RunVictimStudyEnv(env, *scale).Render()) })
 	section("sweeps", func() {
 		sets := []int{8, 16, 32, 64, 128}
 		fmt.Print(figures.RenderSweep(
 			"Sampler set count sweep (paper SIII-A: 32 is the trade-off point)",
-			"sampler sets", figures.SamplerSetsSweep(*scale, sets), sets))
+			"sampler sets", figures.SamplerSetsSweepEnv(env, *scale, sets), sets))
 		fmt.Println()
 		thrs := []int{2, 4, 6, 8, 9}
 		fmt.Print(figures.RenderSweep(
 			"Confidence threshold sweep (paper SIII-E: 8 gives the best accuracy)",
-			"threshold", figures.ThresholdSweep(*scale, thrs), thrs))
+			"threshold", figures.ThresholdSweepEnv(env, *scale, thrs), thrs))
 	})
+
+	return summarize(env, ctx, *checkpoint)
+}
+
+// summarize prints the end-of-run failure report and picks the exit
+// status: 0 only when every job completed and the run was not
+// interrupted.
+func summarize(env *figures.Env, ctx context.Context, checkpoint string) int {
+	failures := env.Failures()
+	if len(failures) == 0 && ctx.Err() == nil {
+		return 0
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted; partial tables rendered above")
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nexperiments: %d job(s) failed; their cells are marked ERR above\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s: %v (attempt %d, ran %s)\n",
+				f.Key, f.Err, f.Attempts, f.Duration.Round(time.Millisecond))
+		}
+	}
+	switch {
+	case checkpoint != "":
+		fmt.Fprintf(os.Stderr, "re-run with -resume -checkpoint %s to recompute only the missing cells\n", checkpoint)
+	default:
+		fmt.Fprintln(os.Stderr, "run with -checkpoint FILE to make campaigns resumable with -resume")
+	}
+	return 1
 }

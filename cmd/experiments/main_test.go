@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOnlyAcceptsKnownKeys(t *testing.T) {
+	want, err := parseOnly("fig4, fig5 ,table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"fig4", "fig5", "table3"} {
+		if !want[k] {
+			t.Errorf("%s not selected", k)
+		}
+	}
+	if len(want) != 3 {
+		t.Errorf("selected %d sections", len(want))
+	}
+}
+
+func TestParseOnlyEmptyMeansEverything(t *testing.T) {
+	want, err := parseOnly("")
+	if err != nil || len(want) != 0 {
+		t.Fatalf("want = %v, err = %v", want, err)
+	}
+}
+
+func TestParseOnlyRejectsUnknownKey(t *testing.T) {
+	for _, bad := range []string{"fig3", "fig 4", "fig4,nope", "Fig4"} {
+		_, err := parseOnly(bad)
+		if err == nil {
+			t.Errorf("%q accepted", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "valid sections") {
+			t.Errorf("%q error does not list the valid set: %v", bad, err)
+		}
+	}
+}
+
+func TestParseOnlyCoversEverySection(t *testing.T) {
+	want, err := parseOnly(strings.Join(sections, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(sections) {
+		t.Errorf("selected %d of %d sections", len(want), len(sections))
+	}
+}

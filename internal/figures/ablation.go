@@ -1,14 +1,11 @@
 package figures
 
 import (
-	"fmt"
-
 	"sdbp/internal/cache"
 	"sdbp/internal/dbrb"
 	"sdbp/internal/policy"
 	"sdbp/internal/predictor"
 	"sdbp/internal/sim"
-	"sdbp/internal/stats"
 	"sdbp/internal/workloads"
 )
 
@@ -31,6 +28,11 @@ type Ablation struct {
 
 // RunAblation performs the Figure 6 sweep.
 func RunAblation(scale float64) *Ablation {
+	return RunAblationEnv(DefaultEnv(), scale)
+}
+
+// RunAblationEnv is RunAblation on a shared environment.
+func RunAblationEnv(e *Env, scale float64) *Ablation {
 	benches := sortedNames(workloads.Subset())
 	specs := []PolicySpec{LRUSpec()}
 	cfgs := predictor.AblationConfigs()
@@ -40,26 +42,27 @@ func RunAblation(scale float64) *Ablation {
 			return dbrb.New(policy.NewLRU(), predictor.NewSampler(cfg))
 		}})
 	}
-	m := RunMatrix(benches, specs, sim.SingleOptions{Scale: scale})
+	m := RunMatrixEnv(e, "ablation", benches, specs, sim.SingleOptions{Scale: scale})
 
 	lru := m.Series("LRU", func(r sim.SingleResult) float64 { return r.IPC })
 	ab := &Ablation{Speedup: make(map[string]float64)}
 	for _, name := range AblationOrder {
 		var sp []float64
 		for i, b := range m.Benchmarks {
-			sp = append(sp, m.Get(b, name).IPC/lru[i])
+			sp = append(sp, m.Val(b, name, func(r sim.SingleResult) float64 { return r.IPC })/lru[i])
 		}
-		ab.Speedup[name] = stats.GeoMean(sp)
+		ab.Speedup[name] = geoMeanFinite(sp)
 	}
 	return ab
 }
 
-// Render prints the Figure 6 bars: gmean speedup per variant.
+// Render prints the Figure 6 bars: gmean speedup per variant; a
+// variant whose runs all failed prints as ERR.
 func (ab *Ablation) Render() string {
 	header := []string{"variant", "gmean speedup"}
 	var rows [][]string
 	for _, name := range AblationOrder {
-		rows = append(rows, []string{name, fmt.Sprintf("%.3f", ab.Speedup[name])})
+		rows = append(rows, []string{name, fmtVal("%.3f", ab.Speedup[name])})
 	}
 	return renderTable("Figure 6: contribution of sampling, reduced associativity, and skewed prediction", header, rows)
 }

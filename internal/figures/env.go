@@ -1,0 +1,158 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"sdbp/internal/runner"
+	"sdbp/internal/sim"
+	"sdbp/internal/stats"
+)
+
+// Env carries the cross-cutting execution machinery — cancellation,
+// per-job timeout, retry budget, checkpoint journal and progress
+// callback — through every figure, table and sweep. One Env spans a
+// whole campaign, accumulating every job failure so the caller can
+// render a failure summary and choose its exit status. The zero-ish
+// value from DefaultEnv runs everything inline with no timeout,
+// checkpoint or progress, matching the pre-runner behavior.
+type Env struct {
+	// Ctx cancels the campaign; nil means context.Background().
+	Ctx context.Context
+	// Timeout bounds each job; 0 means no limit.
+	Timeout time.Duration
+	// Retries is the per-job retry budget for transient failures.
+	Retries int
+	// Checkpoint journals completed cells for -resume; nil disables.
+	Checkpoint *runner.Checkpoint
+	// Progress receives per-job completion events.
+	Progress func(runner.Event)
+
+	mu       sync.Mutex
+	failures []*runner.JobError
+}
+
+// DefaultEnv returns an Env that runs everything with no timeout,
+// checkpointing or progress reporting.
+func DefaultEnv() *Env { return &Env{} }
+
+func (e *Env) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
+}
+
+func (e *Env) options() runner.Options {
+	return runner.Options{
+		Timeout:    e.Timeout,
+		Retries:    e.Retries,
+		Checkpoint: e.Checkpoint,
+		Progress:   e.Progress,
+	}
+}
+
+func (e *Env) note(errs []*runner.JobError) {
+	if len(errs) == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.failures = append(e.failures, errs...)
+	e.mu.Unlock()
+}
+
+// Failures returns every job failure recorded so far, in completion
+// order grouped by sweep.
+func (e *Env) Failures() []*runner.JobError {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*runner.JobError, len(e.failures))
+	copy(out, e.failures)
+	return out
+}
+
+// Failed reports whether any job has failed.
+func (e *Env) Failed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.failures) > 0
+}
+
+// runJobs executes one sweep's jobs under the Env's policy and records
+// its failures on the Env.
+func runJobs[T any](e *Env, jobs []runner.Job[T]) *runner.Set[T] {
+	return runJobsLimited(e, jobs, 0)
+}
+
+// runJobsLimited is runJobs with a worker cap (for memory-heavy
+// sweeps, like optimal-policy stream captures).
+func runJobsLimited[T any](e *Env, jobs []runner.Job[T], workers int) *runner.Set[T] {
+	opts := e.options()
+	opts.Workers = workers
+	set := runner.Run(e.ctx(), jobs, opts)
+	e.note(set.Failed())
+	return set
+}
+
+// errVal is the in-band marker for a failed cell: NaN propagates
+// through every normalization and ratio a renderer computes, and
+// fmtVal prints it as ERR.
+func errVal() float64 { return math.NaN() }
+
+// fmtVal formats a cell value with the given precision; failed cells
+// (NaN or Inf, from errVal or division by a failed baseline) render as
+// ERR.
+func fmtVal(format string, v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "ERR"
+	}
+	return fmt.Sprintf(format, v)
+}
+
+// finite drops NaN/Inf entries so aggregate rows (amean, gmean)
+// summarize only the cells that completed.
+func finite(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// meanFinite is the arithmetic mean over completed cells; ERR (NaN)
+// when none completed.
+func meanFinite(xs []float64) float64 {
+	xs = finite(xs)
+	if len(xs) == 0 {
+		return errVal()
+	}
+	return stats.Mean(xs)
+}
+
+// geoMeanFinite is the geometric mean over completed cells; ERR (NaN)
+// when none completed.
+func geoMeanFinite(xs []float64) float64 {
+	xs = finite(xs)
+	if len(xs) == 0 {
+		return errVal()
+	}
+	return stats.GeoMean(xs)
+}
+
+// scaleOr1 normalizes a stream-scale for checkpoint keys (0 means 1).
+func scaleOr1(s float64) float64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// optKey canonicalizes the geometry part of a checkpoint key.
+func optKey(o sim.SingleOptions) string {
+	return fmt.Sprintf("s=%g|llc=%d.%d", scaleOr1(o.Scale), o.LLC.SizeBytes, o.LLC.Ways)
+}

@@ -46,10 +46,15 @@ type Extensions struct {
 
 // RunExtensions sweeps the extension policies over the subset.
 func RunExtensions(scale float64) *Extensions {
+	return RunExtensionsEnv(DefaultEnv(), scale)
+}
+
+// RunExtensionsEnv is RunExtensions on a shared environment.
+func RunExtensionsEnv(e *Env, scale float64) *Extensions {
 	benches := sortedNames(workloads.Subset())
 	return &Extensions{
-		Matrix: RunMatrix(benches, ExtensionPolicies(), sim.SingleOptions{Scale: scale}),
-		LRU:    RunMatrix(benches, []PolicySpec{LRUSpec()}, sim.SingleOptions{Scale: scale}),
+		Matrix: RunMatrixEnv(e, "extensions", benches, ExtensionPolicies(), sim.SingleOptions{Scale: scale}),
+		LRU:    RunMatrixEnv(e, "extensions-lru", benches, []PolicySpec{LRUSpec()}, sim.SingleOptions{Scale: scale}),
 	}
 }
 
@@ -66,19 +71,19 @@ func (e *Extensions) Render() string {
 	for i, b := range e.Matrix.Benchmarks {
 		row := []string{b}
 		for _, p := range pols {
-			r := e.Matrix.Get(b, p)
-			m := r.MPKI / lruM[i]
+			m := e.Matrix.Val(b, p, func(r sim.SingleResult) float64 { return r.MPKI }) / lruM[i]
 			mpki[p] = append(mpki[p], m)
-			speed[p] = append(speed[p], r.IPC/lruI[i])
-			row = append(row, fmt.Sprintf("%.3f", m))
+			speed[p] = append(speed[p],
+				e.Matrix.Val(b, p, func(r sim.SingleResult) float64 { return r.IPC })/lruI[i])
+			row = append(row, fmtVal("%.3f", m))
 		}
 		rows = append(rows, row)
 	}
 	amean := []string{"amean MPKI"}
 	gmean := []string{"gmean speedup"}
 	for _, p := range pols {
-		amean = append(amean, fmt.Sprintf("%.3f", stats.Mean(mpki[p])))
-		gmean = append(gmean, fmt.Sprintf("%.3f", stats.GeoMean(speed[p])))
+		amean = append(amean, fmtVal("%.3f", meanFinite(mpki[p])))
+		gmean = append(gmean, fmtVal("%.3f", geoMeanFinite(speed[p])))
 	}
 	rows = append(rows, amean, gmean)
 	return renderTable("Extensions: related-work predictors, future work, and PLRU bases (misses normalized to LRU)", header, rows)
@@ -88,6 +93,11 @@ func (e *Extensions) Render() string {
 // sets provide a good trade-off between accuracy and efficiency". It
 // returns gmean speedup over LRU per sampler set count.
 func SamplerSetsSweep(scale float64, setCounts []int) map[int]float64 {
+	return SamplerSetsSweepEnv(DefaultEnv(), scale, setCounts)
+}
+
+// SamplerSetsSweepEnv is SamplerSetsSweep on a shared environment.
+func SamplerSetsSweepEnv(e *Env, scale float64, setCounts []int) map[int]float64 {
 	benches := sortedNames(workloads.Subset())
 	specs := []PolicySpec{LRUSpec()}
 	for _, n := range setCounts {
@@ -97,13 +107,13 @@ func SamplerSetsSweep(scale float64, setCounts []int) map[int]float64 {
 			return dbrb.New(policy.NewLRU(), predictor.NewSampler(cfg))
 		}})
 	}
-	m := RunMatrix(benches, specs, sim.SingleOptions{Scale: scale})
+	m := RunMatrixEnv(e, "sweep-sets", benches, specs, sim.SingleOptions{Scale: scale})
 	lru := m.Series("LRU", func(r sim.SingleResult) float64 { return r.IPC })
 	out := make(map[int]float64, len(setCounts))
 	for _, n := range setCounts {
 		sp := stats.Normalize(m.Series(fmt.Sprintf("sets-%d", n),
 			func(r sim.SingleResult) float64 { return r.IPC }), lru)
-		out[n] = stats.GeoMean(sp)
+		out[n] = geoMeanFinite(sp)
 	}
 	return out
 }
@@ -112,6 +122,11 @@ func SamplerSetsSweep(scale float64, setCounts []int) map[int]float64 {
 // threshold of eight gives the best accuracy". It returns gmean speedup
 // over LRU per confidence threshold.
 func ThresholdSweep(scale float64, thresholds []int) map[int]float64 {
+	return ThresholdSweepEnv(DefaultEnv(), scale, thresholds)
+}
+
+// ThresholdSweepEnv is ThresholdSweep on a shared environment.
+func ThresholdSweepEnv(e *Env, scale float64, thresholds []int) map[int]float64 {
 	benches := sortedNames(workloads.Subset())
 	specs := []PolicySpec{LRUSpec()}
 	for _, th := range thresholds {
@@ -121,23 +136,24 @@ func ThresholdSweep(scale float64, thresholds []int) map[int]float64 {
 			return dbrb.New(policy.NewLRU(), predictor.NewSampler(cfg))
 		}})
 	}
-	m := RunMatrix(benches, specs, sim.SingleOptions{Scale: scale})
+	m := RunMatrixEnv(e, "sweep-threshold", benches, specs, sim.SingleOptions{Scale: scale})
 	lru := m.Series("LRU", func(r sim.SingleResult) float64 { return r.IPC })
 	out := make(map[int]float64, len(thresholds))
 	for _, th := range thresholds {
 		sp := stats.Normalize(m.Series(fmt.Sprintf("thr-%d", th),
 			func(r sim.SingleResult) float64 { return r.IPC }), lru)
-		out[th] = stats.GeoMean(sp)
+		out[th] = geoMeanFinite(sp)
 	}
 	return out
 }
 
-// RenderSweep formats a parameter sweep result in ascending key order.
+// RenderSweep formats a parameter sweep result in ascending key order;
+// a sweep point whose runs all failed prints as ERR.
 func RenderSweep(title, keyName string, result map[int]float64, keys []int) string {
 	header := []string{keyName, "gmean speedup"}
 	var rows [][]string
 	for _, k := range keys {
-		rows = append(rows, []string{fmt.Sprintf("%d", k), fmt.Sprintf("%.3f", result[k])})
+		rows = append(rows, []string{fmt.Sprintf("%d", k), fmtVal("%.3f", result[k])})
 	}
 	return renderTable(title, header, rows)
 }

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"sdbp/internal/dbrb"
 	"sdbp/internal/policy"
 	"sdbp/internal/predictor"
+	"sdbp/internal/runner"
 	"sdbp/internal/sim"
 	"sdbp/internal/workloads"
 )
@@ -15,7 +17,8 @@ import (
 // Fig1 holds the cache-efficiency illustration: 456.hmmer on a 1MB
 // 16-way LLC under LRU and under sampler-driven dead block replacement
 // and bypass. The paper reports 22% vs 87% efficiency and renders
-// per-line live-time ratios as greyscale.
+// per-line live-time ratios as greyscale. A failed variant renders its
+// efficiency as ERR with an empty map.
 type Fig1 struct {
 	LRUEfficiency     float64
 	SamplerEfficiency float64
@@ -25,22 +28,42 @@ type Fig1 struct {
 
 // RunFig1 performs the Figure 1 measurement.
 func RunFig1(scale float64) *Fig1 {
-	w, err := workloads.ByName("456.hmmer")
-	if err != nil {
-		panic(err)
-	}
+	return RunFig1Env(DefaultEnv(), scale)
+}
+
+// RunFig1Env is RunFig1 on a shared environment.
+func RunFig1Env(e *Env, scale float64) *Fig1 {
 	llc := cache.Config{Name: "LLC", SizeBytes: 1 << 20, Ways: 16}
 	opts := sim.SingleOptions{Scale: scale, LLC: llc, KeepLineEfficiencies: true}
 
-	lru := sim.RunSingle(w, policy.NewLRU(), opts)
-	smp := sim.RunSingle(w,
-		dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig())), opts)
-	return &Fig1{
-		LRUEfficiency:     lru.Efficiency,
-		SamplerEfficiency: smp.Efficiency,
-		LRUMap:            lru.LineEfficiencies,
-		SamplerMap:        smp.LineEfficiencies,
+	run := func(variant string, mk func() cache.Policy) runner.Job[sim.SingleResult] {
+		return runner.Job[sim.SingleResult]{
+			Key: fmt.Sprintf("fig1|%s|%s", optKey(opts), variant),
+			Run: func(context.Context) (sim.SingleResult, error) {
+				w, err := workloads.ByName("456.hmmer")
+				if err != nil {
+					return sim.SingleResult{}, err
+				}
+				return sim.RunSingle(w, mk(), opts), nil
+			},
+		}
 	}
+	jobs := []runner.Job[sim.SingleResult]{
+		run("lru", func() cache.Policy { return policy.NewLRU() }),
+		run("sampler", func() cache.Policy {
+			return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+		}),
+	}
+	set := runJobs(e, jobs)
+
+	f := &Fig1{LRUEfficiency: errVal(), SamplerEfficiency: errVal()}
+	if lru, ok := set.Value(jobs[0].Key); ok {
+		f.LRUEfficiency, f.LRUMap = lru.Efficiency, lru.LineEfficiencies
+	}
+	if smp, ok := set.Value(jobs[1].Key); ok {
+		f.SamplerEfficiency, f.SamplerMap = smp.Efficiency, smp.LineEfficiencies
+	}
+	return f
 }
 
 // Render prints the efficiencies and coarse ASCII greyscale maps
@@ -48,8 +71,8 @@ func RunFig1(scale float64) *Fig1 {
 func (f *Fig1) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 1: 456.hmmer cache efficiency, 1MB 16-way LLC\n")
-	fmt.Fprintf(&sb, "  (a) LRU:                     %.0f%%  (paper: 22%%)\n", f.LRUEfficiency*100)
-	fmt.Fprintf(&sb, "  (b) sampler dead block R&B:  %.0f%%  (paper: 87%%)\n", f.SamplerEfficiency*100)
+	fmt.Fprintf(&sb, "  (a) LRU:                     %s%%  (paper: 22%%)\n", fmtVal("%.0f", f.LRUEfficiency*100))
+	fmt.Fprintf(&sb, "  (b) sampler dead block R&B:  %s%%  (paper: 87%%)\n", fmtVal("%.0f", f.SamplerEfficiency*100))
 	sb.WriteString("\n  (a) LRU\n")
 	sb.WriteString(asciiMap(f.LRUMap))
 	sb.WriteString("\n  (b) sampler DBRB\n")

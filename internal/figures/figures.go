@@ -11,17 +11,17 @@
 package figures
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"sdbp/internal/cache"
 	"sdbp/internal/dbrb"
 	"sdbp/internal/hier"
 	"sdbp/internal/policy"
 	"sdbp/internal/predictor"
+	"sdbp/internal/runner"
 	"sdbp/internal/sim"
 	"sdbp/internal/workloads"
 )
@@ -88,31 +88,61 @@ type cell struct {
 	policy string
 }
 
-// Matrix holds the results of a benchmarks × policies sweep.
+// Matrix holds the results of a benchmarks × policies sweep. Cells
+// whose run failed (panic, timeout, cancellation) carry an entry in
+// Errors instead of Results; renderers print them as ERR and aggregate
+// rows skip them.
 type Matrix struct {
 	Benchmarks []string
 	Policies   []string
 	Results    map[cell]sim.SingleResult
+	Errors     map[cell]error
 }
 
-// Get returns one run's result.
+// Get returns one run's result (the zero result for a failed cell).
 func (m *Matrix) Get(bench, pol string) sim.SingleResult {
 	return m.Results[cell{bench, pol}]
 }
 
+// Err returns why a cell failed, nil for a completed cell.
+func (m *Matrix) Err(bench, pol string) error {
+	return m.Errors[cell{bench, pol}]
+}
+
+// Val returns f of the cell's result, or NaN when the run failed, so
+// downstream normalizations propagate the failure to every value that
+// depends on it.
+func (m *Matrix) Val(bench, pol string, f func(sim.SingleResult) float64) float64 {
+	if _, ok := m.Results[cell{bench, pol}]; !ok {
+		return errVal()
+	}
+	return f(m.Get(bench, pol))
+}
+
 // Series returns one policy's values over the benchmark list, computed
-// by f.
+// by f; failed cells yield NaN.
 func (m *Matrix) Series(pol string, f func(sim.SingleResult) float64) []float64 {
 	out := make([]float64, len(m.Benchmarks))
 	for i, b := range m.Benchmarks {
-		out[i] = f(m.Get(b, pol))
+		out[i] = m.Val(b, pol, f)
 	}
 	return out
 }
 
-// RunMatrix sweeps every benchmark against every policy in parallel.
+// RunMatrix sweeps every benchmark against every policy in parallel
+// with the default execution environment.
 func RunMatrix(benches []workloads.Workload, specs []PolicySpec, opts sim.SingleOptions) *Matrix {
-	m := &Matrix{Results: make(map[cell]sim.SingleResult)}
+	return RunMatrixEnv(DefaultEnv(), "matrix", benches, specs, opts)
+}
+
+// RunMatrixEnv sweeps every benchmark against every policy on the
+// shared runner. Section names the sweep in checkpoint keys and
+// failure reports; it must be stable across runs for -resume to hit.
+func RunMatrixEnv(e *Env, section string, benches []workloads.Workload, specs []PolicySpec, opts sim.SingleOptions) *Matrix {
+	m := &Matrix{
+		Results: make(map[cell]sim.SingleResult),
+		Errors:  make(map[cell]error),
+	}
 	for _, b := range benches {
 		m.Benchmarks = append(m.Benchmarks, b.Name)
 	}
@@ -120,32 +150,32 @@ func RunMatrix(benches []workloads.Workload, specs []PolicySpec, opts sim.Single
 		m.Policies = append(m.Policies, s.Name)
 	}
 
-	type job struct {
-		w    workloads.Workload
-		spec PolicySpec
+	key := func(bench, pol string) string {
+		return fmt.Sprintf("%s|%s|%s|%s", section, optKey(opts), bench, pol)
 	}
-	jobs := make(chan job)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for i := 0; i < runtime.NumCPU(); i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				r := sim.RunSingle(j.w, j.spec.Make(1), opts)
-				mu.Lock()
-				m.Results[cell{j.w.Name, j.spec.Name}] = r
-				mu.Unlock()
-			}
-		}()
-	}
+	var jobs []runner.Job[sim.SingleResult]
 	for _, w := range benches {
 		for _, s := range specs {
-			jobs <- job{w, s}
+			w, s := w, s
+			jobs = append(jobs, runner.Job[sim.SingleResult]{
+				Key: key(w.Name, s.Name),
+				Run: func(context.Context) (sim.SingleResult, error) {
+					return sim.RunSingle(w, s.Make(1), opts), nil
+				},
+			})
 		}
 	}
-	close(jobs)
-	wg.Wait()
+	set := runJobs(e, jobs)
+	for _, b := range m.Benchmarks {
+		for _, p := range m.Policies {
+			k := key(b, p)
+			if r, ok := set.Value(k); ok {
+				m.Results[cell{b, p}] = r
+			} else if err := set.Err(k); err != nil {
+				m.Errors[cell{b, p}] = err
+			}
+		}
+	}
 	return m
 }
 

@@ -1,83 +1,98 @@
 package figures
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"sdbp/internal/cache"
 	"sdbp/internal/hier"
 	"sdbp/internal/policy"
+	"sdbp/internal/runner"
 	"sdbp/internal/sim"
-	"sdbp/internal/stats"
 	"sdbp/internal/workloads"
 )
 
 // Multicore holds the Figure 10 runs: ten quad-core mixes sharing an
 // 8MB LLC, under the LRU-baseline policies (10a) and random-baseline
-// policies (10b), all normalized to the shared-LRU configuration.
+// policies (10b), all normalized to the shared-LRU configuration. A
+// failed run (panic, timeout, bad mix config) leaves NaN in
+// WeightedSpeedup; Render prints those cells as ERR.
 type Multicore struct {
 	Mixes    []string
 	Policies []string
 	// WeightedSpeedup[policy][mix] is normalized to the LRU policy.
 	WeightedSpeedup map[string]map[string]float64
 	// NormMPKI[policy] is the mix-average LLC MPKI normalized to LRU
-	// (the Section VII-D text numbers).
+	// (the Section VII-D text numbers), over completed mixes.
 	NormMPKI map[string]float64
 }
 
 // RunMulticoreFigure performs one Figure 10 panel's sweep: the given
 // policies plus the LRU baseline over all ten mixes.
 func RunMulticoreFigure(specs []PolicySpec, scale float64) *Multicore {
+	return RunMulticoreFigureEnv(DefaultEnv(), specs, scale)
+}
+
+// RunMulticoreFigureEnv is RunMulticoreFigure on a shared environment.
+// Runs are deterministic, so checkpoint keys depend only on (mix,
+// policy, scale, geometry): both panels share the LRU baseline cells.
+func RunMulticoreFigureEnv(e *Env, specs []PolicySpec, scale float64) *Multicore {
 	mixes := workloads.Mixes()
 	llcCfg := hier.LLCConfig(4)
 
 	// Single-run IPCs (denominators of weighted speedup): one per
 	// distinct benchmark, shared across mixes and policies.
-	singles := map[string]float64{}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+	singleKey := func(bench string) string {
+		return fmt.Sprintf("mc-single|s=%g|llc=%d.%d|%s", scaleOr1(scale), llcCfg.SizeBytes, llcCfg.Ways, bench)
+	}
+	var names []string
 	seen := map[string]bool{}
-	sem := make(chan struct{}, runtime.NumCPU())
 	for _, mix := range mixes {
 		for _, name := range mix.Members {
-			if seen[name] {
-				continue
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
 			}
-			seen[name] = true
-			wg.Add(1)
-			go func(name string) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				ipc := sim.SingleIPC(name, llcCfg, scale,
-					func() cache.Policy { return policy.NewLRU() })
-				mu.Lock()
-				singles[name] = ipc
-				mu.Unlock()
-			}(name)
 		}
 	}
-	wg.Wait()
+	var singleJobs []runner.Job[float64]
+	for _, name := range names {
+		name := name
+		singleJobs = append(singleJobs, runner.Job[float64]{
+			Key: singleKey(name),
+			Run: func(context.Context) (float64, error) {
+				return sim.SingleIPC(name, llcCfg, scale,
+					func() cache.Policy { return policy.NewLRU() })
+			},
+		})
+	}
+	singleSet := runJobs(e, singleJobs)
+	singles := map[string]float64{}
+	for _, name := range names {
+		if v, ok := singleSet.Value(singleKey(name)); ok {
+			singles[name] = v
+		} else {
+			singles[name] = errVal()
+		}
+	}
 
 	all := append([]PolicySpec{LRUSpec()}, specs...)
-	type key struct{ mix, pol string }
-	raw := map[key]sim.MulticoreResult{}
+	mixKey := func(mix, pol string) string {
+		return fmt.Sprintf("mc|s=%g|llc=%d.%d|%s|%s", scaleOr1(scale), llcCfg.SizeBytes, llcCfg.Ways, mix, pol)
+	}
+	var mixJobs []runner.Job[sim.MulticoreResult]
 	for _, mix := range mixes {
 		for _, spec := range all {
-			wg.Add(1)
-			go func(mix workloads.Mix, spec PolicySpec) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				r := sim.RunMulticore(mix, spec.Make(4), sim.MulticoreOptions{Scale: scale, LLC: llcCfg})
-				mu.Lock()
-				raw[key{mix.Name, spec.Name}] = r
-				mu.Unlock()
-			}(mix, spec)
+			mix, spec := mix, spec
+			mixJobs = append(mixJobs, runner.Job[sim.MulticoreResult]{
+				Key: mixKey(mix.Name, spec.Name),
+				Run: func(context.Context) (sim.MulticoreResult, error) {
+					return sim.RunMulticore(mix, spec.Make(4), sim.MulticoreOptions{Scale: scale, LLC: llcCfg})
+				},
+			})
 		}
 	}
-	wg.Wait()
+	mixSet := runJobs(e, mixJobs)
 
 	mc := &Multicore{
 		WeightedSpeedup: make(map[string]map[string]float64),
@@ -90,14 +105,22 @@ func RunMulticoreFigure(specs []PolicySpec, scale float64) *Multicore {
 		mc.Policies = append(mc.Policies, spec.Name)
 	}
 
+	// ws is NaN when the mix run or any member's single-run IPC failed,
+	// so the normalized cell renders as ERR.
 	ws := func(mix workloads.Mix, pol string) float64 {
-		r := raw[key{mix.Name, pol}]
-		var ipcs, sing []float64
-		for i, name := range mix.Members {
-			ipcs = append(ipcs, r.IPC[i])
-			sing = append(sing, singles[name])
+		r, ok := mixSet.Value(mixKey(mix.Name, pol))
+		if !ok {
+			return errVal()
 		}
-		return stats.WeightedSpeedup(ipcs, sing)
+		var out float64
+		for i, name := range mix.Members {
+			single := singles[name]
+			if !(single > 0) {
+				return errVal()
+			}
+			out += r.IPC[i] / single
+		}
+		return out
 	}
 	for _, spec := range all {
 		mc.WeightedSpeedup[spec.Name] = make(map[string]float64)
@@ -105,19 +128,21 @@ func RunMulticoreFigure(specs []PolicySpec, scale float64) *Multicore {
 		for _, mix := range mixes {
 			norm := ws(mix, spec.Name) / ws(mix, "LRU")
 			mc.WeightedSpeedup[spec.Name][mix.Name] = norm
-			lruM := raw[key{mix.Name, "LRU"}].MPKI
-			if lruM > 0 {
-				mpkis = append(mpkis, raw[key{mix.Name, spec.Name}].MPKI/lruM)
+			lru, lruOK := mixSet.Value(mixKey(mix.Name, "LRU"))
+			r, rOK := mixSet.Value(mixKey(mix.Name, spec.Name))
+			if lruOK && rOK && lru.MPKI > 0 {
+				mpkis = append(mpkis, r.MPKI/lru.MPKI)
 			}
 		}
-		mc.NormMPKI[spec.Name] = stats.Mean(mpkis)
+		mc.NormMPKI[spec.Name] = meanFinite(mpkis)
 	}
 	return mc
 }
 
 // Render prints one Figure 10 panel: normalized weighted speedup per
 // mix per policy with the geometric mean the paper reports, plus the
-// Section VII-D normalized MPKI line.
+// Section VII-D normalized MPKI line. Failed cells print as ERR and
+// are excluded from the means.
 func (mc *Multicore) Render(title string) string {
 	header := append([]string{"mix"}, mc.Policies...)
 	var rows [][]string
@@ -127,13 +152,13 @@ func (mc *Multicore) Render(title string) string {
 		for _, p := range mc.Policies {
 			v := mc.WeightedSpeedup[p][mix]
 			series[p] = append(series[p], v)
-			row = append(row, fmt.Sprintf("%.3f", v))
+			row = append(row, fmtVal("%.3f", v))
 		}
 		rows = append(rows, row)
 	}
 	mean := []string{"gmean"}
 	for _, p := range mc.Policies {
-		mean = append(mean, fmt.Sprintf("%.3f", stats.GeoMean(series[p])))
+		mean = append(mean, fmtVal("%.3f", geoMeanFinite(series[p])))
 	}
 	rows = append(rows, mean)
 	out := renderTable(title, header, rows)
@@ -142,7 +167,7 @@ func (mc *Multicore) Render(title string) string {
 		if i > 0 {
 			out += "  "
 		}
-		out += fmt.Sprintf("%s=%.2f", p, mc.NormMPKI[p])
+		out += fmt.Sprintf("%s=%s", p, fmtVal("%.2f", mc.NormMPKI[p]))
 	}
 	return out + "\n"
 }

@@ -1,16 +1,15 @@
 package figures
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"sdbp/internal/cache"
 	"sdbp/internal/dbrb"
 	"sdbp/internal/policy"
 	"sdbp/internal/predictor"
 	"sdbp/internal/prefetch"
-	"sdbp/internal/stats"
+	"sdbp/internal/runner"
 	"sdbp/internal/workloads"
 )
 
@@ -18,12 +17,15 @@ import (
 // placement regimes: none, polluting (prefetches displace the LRU
 // block), and dead-block-directed (prefetches may only displace
 // predicted-dead blocks — the application that introduced dead block
-// prediction).
+// prediction). Failed runs leave their cell out of Results and an
+// entry in Errors; Render marks the benchmark's row ERR.
 type PrefetchStudy struct {
 	Benchmarks []string
 	// Results[config][bench]; configs are "LRU", "LRU+PF", "Sampler",
 	// "Sampler+PF".
 	Results map[string]map[string]prefetch.Result
+	// Errors[{bench, config}] records failed runs.
+	Errors map[cell]error
 }
 
 // prefetchConfigs enumerates the study's configurations.
@@ -50,8 +52,16 @@ func prefetchConfigs() []struct {
 
 // RunPrefetchStudy performs the prefetch comparison over the subset.
 func RunPrefetchStudy(scale float64) *PrefetchStudy {
+	return RunPrefetchStudyEnv(DefaultEnv(), scale)
+}
+
+// RunPrefetchStudyEnv is RunPrefetchStudy on a shared environment.
+func RunPrefetchStudyEnv(e *Env, scale float64) *PrefetchStudy {
 	benches := sortedNames(workloads.Subset())
-	st := &PrefetchStudy{Results: map[string]map[string]prefetch.Result{}}
+	st := &PrefetchStudy{
+		Results: map[string]map[string]prefetch.Result{},
+		Errors:  map[cell]error{},
+	}
 	for _, b := range benches {
 		st.Benchmarks = append(st.Benchmarks, b.Name)
 	}
@@ -60,60 +70,76 @@ func RunPrefetchStudy(scale float64) *PrefetchStudy {
 		st.Results[c.name] = map[string]prefetch.Result{}
 	}
 
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
+	key := func(bench, config string) string {
+		return fmt.Sprintf("prefetch|s=%g|%s|%s", scaleOr1(scale), bench, config)
+	}
+	var jobs []runner.Job[prefetch.Result]
 	for _, w := range benches {
 		for _, c := range cfgs {
-			wg.Add(1)
-			go func(w workloads.Workload, c struct {
-				name   string
-				pol    func() cache.Policy
-				degree int
-			}) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				r := prefetch.Run(w, c.pol(), prefetch.Config{Degree: c.degree}, scale)
-				mu.Lock()
-				st.Results[c.name][w.Name] = r
-				mu.Unlock()
-			}(w, c)
+			w, c := w, c
+			jobs = append(jobs, runner.Job[prefetch.Result]{
+				Key: key(w.Name, c.name),
+				Run: func(context.Context) (prefetch.Result, error) {
+					return prefetch.Run(w, c.pol(), prefetch.Config{Degree: c.degree}, scale), nil
+				},
+			})
 		}
 	}
-	wg.Wait()
+	set := runJobs(e, jobs)
+	for _, b := range st.Benchmarks {
+		for _, c := range cfgs {
+			k := key(b, c.name)
+			if r, ok := set.Value(k); ok {
+				st.Results[c.name][b] = r
+			} else if err := set.Err(k); err != nil {
+				st.Errors[cell{b, c.name}] = err
+			}
+		}
+	}
 	return st
 }
 
+// val returns a config's metric for a benchmark, NaN when that run
+// failed so the failure propagates into any ratio built on it.
+func (st *PrefetchStudy) val(config, bench string, f func(prefetch.Result) float64) float64 {
+	r, ok := st.Results[config][bench]
+	if !ok {
+		return errVal()
+	}
+	return f(r)
+}
+
 // Render prints demand MPKI normalized to plain LRU, plus prefetch
-// accuracy per placement regime.
+// accuracy per placement regime. Failed cells print as ERR and are
+// excluded from the means.
 func (st *PrefetchStudy) Render() string {
 	header := []string{"benchmark", "LRU+PF", "Sampler", "Sampler+PF", "acc(LRU+PF)%", "acc(S+PF)%"}
 	var rows [][]string
 	norm := map[string][]float64{}
 	var accPol, accDead []float64
+	demand := func(r prefetch.Result) float64 { return r.DemandMPKI }
 	for _, b := range st.Benchmarks {
-		base := st.Results["LRU"][b].DemandMPKI
+		base := st.val("LRU", b, demand)
 		row := []string{b}
 		for _, cfg := range []string{"LRU+PF", "Sampler", "Sampler+PF"} {
-			v := st.Results[cfg][b].DemandMPKI / base
+			v := st.val(cfg, b, demand) / base
 			norm[cfg] = append(norm[cfg], v)
-			row = append(row, fmt.Sprintf("%.3f", v))
+			row = append(row, fmtVal("%.3f", v))
 		}
-		ap := st.Results["LRU+PF"][b].Accuracy()
-		ad := st.Results["Sampler+PF"][b].Accuracy()
+		ap := st.val("LRU+PF", b, prefetch.Result.Accuracy)
+		ad := st.val("Sampler+PF", b, prefetch.Result.Accuracy)
 		accPol = append(accPol, ap)
 		accDead = append(accDead, ad)
-		row = append(row, fmt.Sprintf("%.1f", ap*100), fmt.Sprintf("%.1f", ad*100))
+		row = append(row, fmtVal("%.1f", ap*100), fmtVal("%.1f", ad*100))
 		rows = append(rows, row)
 	}
 	mean := []string{"amean"}
 	for _, cfg := range []string{"LRU+PF", "Sampler", "Sampler+PF"} {
-		mean = append(mean, fmt.Sprintf("%.3f", stats.Mean(norm[cfg])))
+		mean = append(mean, fmtVal("%.3f", meanFinite(norm[cfg])))
 	}
 	mean = append(mean,
-		fmt.Sprintf("%.1f", stats.Mean(accPol)*100),
-		fmt.Sprintf("%.1f", stats.Mean(accDead)*100))
+		fmtVal("%.1f", meanFinite(accPol)*100),
+		fmtVal("%.1f", meanFinite(accDead)*100))
 	rows = append(rows, mean)
 	return renderTable("Prefetch study: demand MPKI normalized to LRU; degree-4 sequential prefetcher", header, rows)
 }

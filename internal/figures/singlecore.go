@@ -1,12 +1,13 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
 
 	"sdbp/internal/optimal"
 	"sdbp/internal/policy"
+	"sdbp/internal/runner"
 	"sdbp/internal/sim"
 	"sdbp/internal/stats"
 	"sdbp/internal/workloads"
@@ -15,6 +16,8 @@ import (
 // SingleCore holds the runs behind Figures 4, 5 and 9 and the paper's
 // dead-time claim: the memory-intensive subset against the LRU baseline
 // and the five comparison policies, plus the optimal policy's misses.
+// A failed optimal run leaves NaN in OptimalMPKI; renderers print it
+// as ERR.
 type SingleCore struct {
 	Matrix      *Matrix
 	OptimalMPKI map[string]float64
@@ -24,32 +27,42 @@ type SingleCore struct {
 // RunSingleCore performs the Figure 4/5/9 sweep at the given stream
 // scale (1.0 = the suite's default length).
 func RunSingleCore(scale float64) *SingleCore {
+	return RunSingleCoreEnv(DefaultEnv(), scale)
+}
+
+// RunSingleCoreEnv is RunSingleCore on a shared execution environment.
+func RunSingleCoreEnv(e *Env, scale float64) *SingleCore {
 	benches := sortedNames(workloads.Subset())
 	specs := append([]PolicySpec{LRUSpec()}, StandardPolicies()...)
 	sc := &SingleCore{
-		Matrix:      RunMatrix(benches, specs, sim.SingleOptions{Scale: scale}),
+		Matrix:      RunMatrixEnv(e, "singlecore", benches, specs, sim.SingleOptions{Scale: scale}),
 		OptimalMPKI: make(map[string]float64),
 		Scale:       scale,
 	}
 
 	// Optimal replacement-and-bypass over each benchmark's captured LLC
 	// stream. Streams are large, so cap concurrent captures.
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 4)
-	for _, w := range benches {
-		wg.Add(1)
-		go func(w workloads.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			mpki := OptimalMPKI(w, scale)
-			mu.Lock()
-			sc.OptimalMPKI[w.Name] = mpki
-			mu.Unlock()
-		}(w)
+	key := func(bench string) string {
+		return fmt.Sprintf("optimal|s=%g|%s", scaleOr1(scale), bench)
 	}
-	wg.Wait()
+	var jobs []runner.Job[float64]
+	for _, w := range benches {
+		w := w
+		jobs = append(jobs, runner.Job[float64]{
+			Key: key(w.Name),
+			Run: func(context.Context) (float64, error) {
+				return OptimalMPKI(w, scale), nil
+			},
+		})
+	}
+	set := runJobsLimited(e, jobs, 4)
+	for _, w := range benches {
+		if v, ok := set.Value(key(w.Name)); ok {
+			sc.OptimalMPKI[w.Name] = v
+		} else {
+			sc.OptimalMPKI[w.Name] = errVal()
+		}
+	}
 	return sc
 }
 
@@ -66,7 +79,9 @@ func OptimalMPKI(w workloads.Workload, scale float64) float64 {
 }
 
 // RenderFig4 prints LLC misses normalized to LRU per benchmark
-// (Figure 4), with the arithmetic mean row the paper reports.
+// (Figure 4), with the arithmetic mean row the paper reports. Failed
+// cells (and every cell of a benchmark whose LRU baseline failed)
+// print as ERR and are excluded from the mean.
 func (sc *SingleCore) RenderFig4() string {
 	pols := []string{"TDBP", "CDBP", "DIP", "RRIP", "Sampler"}
 	header := append([]string{"benchmark"}, pols...)
@@ -78,20 +93,20 @@ func (sc *SingleCore) RenderFig4() string {
 	for i, b := range sc.Matrix.Benchmarks {
 		row := []string{b}
 		for _, p := range pols {
-			v := sc.Matrix.Get(b, p).MPKI / lru[i]
+			v := sc.Matrix.Val(b, p, func(r sim.SingleResult) float64 { return r.MPKI }) / lru[i]
 			norm[p] = append(norm[p], v)
-			row = append(row, fmt.Sprintf("%.3f", v))
+			row = append(row, fmtVal("%.3f", v))
 		}
 		ov := sc.OptimalMPKI[b] / lru[i]
 		optNorm = append(optNorm, ov)
-		row = append(row, fmt.Sprintf("%.3f", ov))
+		row = append(row, fmtVal("%.3f", ov))
 		rows = append(rows, row)
 	}
 	mean := []string{"amean"}
 	for _, p := range pols {
-		mean = append(mean, fmt.Sprintf("%.3f", stats.Mean(norm[p])))
+		mean = append(mean, fmtVal("%.3f", meanFinite(norm[p])))
 	}
-	mean = append(mean, fmt.Sprintf("%.3f", stats.Mean(optNorm)))
+	mean = append(mean, fmtVal("%.3f", meanFinite(optNorm)))
 	rows = append(rows, mean)
 	return renderTable("Figure 4: LLC misses normalized to LRU (2MB LLC)", header, rows)
 }
@@ -107,29 +122,29 @@ func (sc *SingleCore) RenderFig5() string {
 	for i, b := range sc.Matrix.Benchmarks {
 		row := []string{b}
 		for _, p := range pols {
-			v := sc.Matrix.Get(b, p).IPC / lru[i]
+			v := sc.Matrix.Val(b, p, func(r sim.SingleResult) float64 { return r.IPC }) / lru[i]
 			speed[p] = append(speed[p], v)
-			row = append(row, fmt.Sprintf("%.3f", v))
+			row = append(row, fmtVal("%.3f", v))
 		}
 		rows = append(rows, row)
 	}
 	mean := []string{"gmean"}
 	for _, p := range pols {
-		mean = append(mean, fmt.Sprintf("%.3f", stats.GeoMean(speed[p])))
+		mean = append(mean, fmtVal("%.3f", geoMeanFinite(speed[p])))
 	}
 	rows = append(rows, mean)
 	return renderTable("Figure 5: speedup over LRU (2MB LLC)", header, rows)
 }
 
 // Fig4Summary returns the Figure 4 policy labels and amean normalized
-// misses (for the summary chart).
+// misses (for the summary chart), over completed cells.
 func (sc *SingleCore) Fig4Summary() ([]string, []float64) {
 	pols := []string{"TDBP", "CDBP", "DIP", "RRIP", "Sampler"}
 	lru := sc.Matrix.Series("LRU", func(r sim.SingleResult) float64 { return r.MPKI })
 	var vals []float64
 	for _, p := range pols {
 		norm := stats.Normalize(sc.Matrix.Series(p, func(r sim.SingleResult) float64 { return r.MPKI }), lru)
-		vals = append(vals, stats.Mean(norm))
+		vals = append(vals, meanFinite(norm))
 	}
 	return pols, vals
 }
@@ -141,7 +156,7 @@ func (sc *SingleCore) Fig5Summary() ([]string, []float64) {
 	var vals []float64
 	for _, p := range pols {
 		sp := stats.Normalize(sc.Matrix.Series(p, func(r sim.SingleResult) float64 { return r.IPC }), lru)
-		vals = append(vals, stats.GeoMean(sp))
+		vals = append(vals, geoMeanFinite(sp))
 	}
 	return pols, vals
 }
@@ -158,27 +173,32 @@ func (sc *SingleCore) RenderFig9() string {
 		header = append(header, labels[p]+" cov%", labels[p]+" fp%")
 	}
 	var rows [][]string
-	sums := make(map[string][2]float64)
+	sums := make(map[string][2][]float64)
 	for _, b := range sc.Matrix.Benchmarks {
 		row := []string{b}
 		for _, p := range pols {
+			if sc.Matrix.Err(b, p) != nil {
+				row = append(row, "ERR", "ERR")
+				continue
+			}
 			r := sc.Matrix.Get(b, p)
 			cov, fp := 0.0, 0.0
 			if r.Accuracy != nil {
 				cov, fp = r.Accuracy.Coverage(), r.Accuracy.FalsePositiveRate()
 			}
 			s := sums[p]
-			s[0] += cov
-			s[1] += fp
+			s[0] = append(s[0], cov)
+			s[1] = append(s[1], fp)
 			sums[p] = s
 			row = append(row, fmt.Sprintf("%.1f", cov*100), fmt.Sprintf("%.1f", fp*100))
 		}
 		rows = append(rows, row)
 	}
-	n := float64(len(sc.Matrix.Benchmarks))
 	mean := []string{"amean"}
 	for _, p := range pols {
-		mean = append(mean, fmt.Sprintf("%.1f", sums[p][0]/n*100), fmt.Sprintf("%.1f", sums[p][1]/n*100))
+		mean = append(mean,
+			fmtVal("%.1f", meanFinite(sums[p][0])*100),
+			fmtVal("%.1f", meanFinite(sums[p][1])*100))
 	}
 	rows = append(rows, mean)
 	return renderTable("Figure 9: predictor coverage and false positive rates (% of LLC accesses)", header, rows)
@@ -189,16 +209,16 @@ func (sc *SingleCore) RenderFig9() string {
 func (sc *SingleCore) DeadTimeClaim() float64 {
 	var dead []float64
 	for _, b := range sc.Matrix.Benchmarks {
-		dead = append(dead, 1-sc.Matrix.Get(b, "LRU").Efficiency)
+		dead = append(dead, 1-sc.Matrix.Val(b, "LRU", func(r sim.SingleResult) float64 { return r.Efficiency }))
 	}
-	return stats.Mean(dead)
+	return meanFinite(dead)
 }
 
 // RenderClaim prints the dead-time claim comparison.
 func (sc *SingleCore) RenderClaim() string {
 	return fmt.Sprintf(
-		"Section I claim: average dead time in a 2MB LRU LLC\n  paper: 86.2%%   measured: %.1f%%\n",
-		sc.DeadTimeClaim()*100)
+		"Section I claim: average dead time in a 2MB LRU LLC\n  paper: 86.2%%   measured: %s%%\n",
+		fmtVal("%.1f", sc.DeadTimeClaim()*100))
 }
 
 // RandomBaseline holds the Figure 7/8 runs: the subset against random
@@ -211,23 +231,28 @@ type RandomBaseline struct {
 // RunRandomBaseline performs the Figure 7/8 sweep. Values remain
 // normalized to the LRU baseline, as in the paper.
 func RunRandomBaseline(scale float64) *RandomBaseline {
+	return RunRandomBaselineEnv(DefaultEnv(), scale)
+}
+
+// RunRandomBaselineEnv is RunRandomBaseline on a shared environment.
+func RunRandomBaselineEnv(e *Env, scale float64) *RandomBaseline {
 	benches := sortedNames(workloads.Subset())
 	return &RandomBaseline{
-		Matrix: RunMatrix(benches, RandomPolicies(), sim.SingleOptions{Scale: scale}),
-		LRU:    RunMatrix(benches, []PolicySpec{LRUSpec()}, sim.SingleOptions{Scale: scale}),
+		Matrix: RunMatrixEnv(e, "random", benches, RandomPolicies(), sim.SingleOptions{Scale: scale}),
+		LRU:    RunMatrixEnv(e, "random-lru", benches, []PolicySpec{LRUSpec()}, sim.SingleOptions{Scale: scale}),
 	}
 }
 
 // RenderFig7 prints misses normalized to the LRU baseline (Figure 7).
 func (rb *RandomBaseline) RenderFig7() string {
 	return rb.render("Figure 7: LLC misses normalized to LRU, default random replacement",
-		func(r sim.SingleResult) float64 { return r.MPKI }, stats.Mean, "amean")
+		func(r sim.SingleResult) float64 { return r.MPKI }, meanFinite, "amean")
 }
 
 // RenderFig8 prints speedup over the LRU baseline (Figure 8).
 func (rb *RandomBaseline) RenderFig8() string {
 	return rb.render("Figure 8: speedup over LRU, default random replacement",
-		func(r sim.SingleResult) float64 { return r.IPC }, stats.GeoMean, "gmean")
+		func(r sim.SingleResult) float64 { return r.IPC }, geoMeanFinite, "gmean")
 }
 
 func (rb *RandomBaseline) render(title string, f func(sim.SingleResult) float64,
@@ -240,15 +265,15 @@ func (rb *RandomBaseline) render(title string, f func(sim.SingleResult) float64,
 	for i, b := range rb.Matrix.Benchmarks {
 		row := []string{b}
 		for _, p := range pols {
-			v := f(rb.Matrix.Get(b, p)) / lru[i]
+			v := rb.Matrix.Val(b, p, f) / lru[i]
 			series[p] = append(series[p], v)
-			row = append(row, fmt.Sprintf("%.3f", v))
+			row = append(row, fmtVal("%.3f", v))
 		}
 		rows = append(rows, row)
 	}
 	mean := []string{aggName}
 	for _, p := range pols {
-		mean = append(mean, fmt.Sprintf("%.3f", agg(series[p])))
+		mean = append(mean, fmtVal("%.3f", agg(series[p])))
 	}
 	rows = append(rows, mean)
 	var sb strings.Builder

@@ -1,15 +1,15 @@
 package figures
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"sdbp/internal/cache"
 	"sdbp/internal/policy"
 	"sdbp/internal/power"
 	"sdbp/internal/predictor"
+	"sdbp/internal/runner"
 	"sdbp/internal/sim"
 	"sdbp/internal/workloads"
 )
@@ -107,28 +107,47 @@ type Table3Row struct {
 
 // RunTable3 characterizes all 29 benchmarks.
 func RunTable3(scale float64) *Table3 {
+	return RunTable3Env(DefaultEnv(), scale)
+}
+
+// RunTable3Env is RunTable3 on a shared environment. A benchmark whose
+// characterization run fails keeps its identity columns and renders
+// its metrics as ERR.
+func RunTable3Env(e *Env, scale float64) *Table3 {
 	benches := sortedNames(workloads.All())
 	t := &Table3{Rows: make([]Table3Row, len(benches))}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for i, w := range benches {
-		wg.Add(1)
-		go func(i int, w workloads.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			base := sim.RunSingle(w, policy.NewLRU(), sim.SingleOptions{Scale: scale})
-			t.Rows[i] = Table3Row{
-				Name:     w.Name,
-				Class:    w.Class,
-				InSubset: w.InSubset,
-				MPKILRU:  base.MPKI,
-				MPKIMin:  OptimalMPKI(w, scale),
-				IPCLRU:   base.IPC,
-			}
-		}(i, w)
+	key := func(bench string) string {
+		return fmt.Sprintf("table3|s=%g|%s", scaleOr1(scale), bench)
 	}
-	wg.Wait()
+	var jobs []runner.Job[Table3Row]
+	for _, w := range benches {
+		w := w
+		jobs = append(jobs, runner.Job[Table3Row]{
+			Key: key(w.Name),
+			Run: func(context.Context) (Table3Row, error) {
+				base := sim.RunSingle(w, policy.NewLRU(), sim.SingleOptions{Scale: scale})
+				return Table3Row{
+					Name:     w.Name,
+					Class:    w.Class,
+					InSubset: w.InSubset,
+					MPKILRU:  base.MPKI,
+					MPKIMin:  OptimalMPKI(w, scale),
+					IPCLRU:   base.IPC,
+				}, nil
+			},
+		})
+	}
+	set := runJobs(e, jobs)
+	for i, w := range benches {
+		if row, ok := set.Value(key(w.Name)); ok {
+			t.Rows[i] = row
+		} else {
+			t.Rows[i] = Table3Row{
+				Name: w.Name, Class: w.Class, InSubset: w.InSubset,
+				MPKILRU: errVal(), MPKIMin: errVal(), IPCLRU: errVal(),
+			}
+		}
+	}
 	return t
 }
 
@@ -144,9 +163,9 @@ func (t *Table3) Render() string {
 		}
 		rows = append(rows, []string{
 			name, r.Class,
-			fmt.Sprintf("%.2f", r.MPKILRU),
-			fmt.Sprintf("%.2f", r.MPKIMin),
-			fmt.Sprintf("%.3f", r.IPCLRU),
+			fmtVal("%.2f", r.MPKILRU),
+			fmtVal("%.2f", r.MPKIMin),
+			fmtVal("%.3f", r.IPCLRU),
 		})
 	}
 	return renderTable("Table III: benchmark characterization (2MB LLC; * = memory-intensive subset)", header, rows)
@@ -166,51 +185,61 @@ type Table4 struct {
 // RunTable4 computes the sensitivity curves. Each distinct benchmark is
 // simulated once per size and shared across mixes.
 func RunTable4(scale float64) *Table4 {
+	return RunTable4Env(DefaultEnv(), scale)
+}
+
+// RunTable4Env is RunTable4 on a shared environment. A failed point
+// poisons (only) the curve points of mixes containing that benchmark,
+// which render as ERR.
+func RunTable4Env(e *Env, scale float64) *Table4 {
 	mixes := workloads.Mixes()
 	needed := map[string]bool{}
+	var names []string
 	for _, m := range mixes {
 		for _, b := range m.Members {
-			needed[b] = true
+			if !needed[b] {
+				needed[b] = true
+				names = append(names, b)
+			}
 		}
 	}
 
-	type key struct {
-		bench string
-		size  int
+	key := func(bench string, size int) string {
+		return fmt.Sprintf("table4|s=%g|%s|%d", scaleOr1(scale), bench, size)
 	}
-	mpki := map[key]float64{}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for bench := range needed {
+	var jobs []runner.Job[float64]
+	for _, bench := range names {
 		w, err := workloads.ByName(bench)
 		if err != nil {
-			panic(err)
+			panic(err) // mixes reference only known benchmarks
 		}
 		for _, size := range SensitivitySizes {
-			wg.Add(1)
-			go func(w workloads.Workload, size int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				r := sim.RunSingle(w, policy.NewLRU(), sim.SingleOptions{
-					Scale: scale,
-					LLC:   cache.Config{Name: "LLC", SizeBytes: size, Ways: 16},
-				})
-				mu.Lock()
-				mpki[key{w.Name, size}] = r.MPKI
-				mu.Unlock()
-			}(w, size)
+			w, size := w, size
+			jobs = append(jobs, runner.Job[float64]{
+				Key: key(w.Name, size),
+				Run: func(context.Context) (float64, error) {
+					r := sim.RunSingle(w, policy.NewLRU(), sim.SingleOptions{
+						Scale: scale,
+						LLC:   cache.Config{Name: "LLC", SizeBytes: size, Ways: 16},
+					})
+					return r.MPKI, nil
+				},
+			})
 		}
 	}
-	wg.Wait()
+	set := runJobs(e, jobs)
 
 	t := &Table4{Mixes: mixes, Curves: make(map[string][]float64)}
 	for _, m := range mixes {
 		curve := make([]float64, len(SensitivitySizes))
 		for i, size := range SensitivitySizes {
 			for _, b := range m.Members {
-				curve[i] += mpki[key{b, size}]
+				if v, ok := set.Value(key(b, size)); ok {
+					curve[i] += v
+				} else {
+					curve[i] = errVal()
+					break
+				}
 			}
 		}
 		t.Curves[m.Name] = curve
@@ -232,7 +261,7 @@ func (t *Table4) Render() string {
 			if size >= 1<<20 {
 				label = fmt.Sprintf("%dM", size>>20)
 			}
-			fmt.Fprintf(&sb, "%s:%.1f", label, t.Curves[m.Name][i])
+			fmt.Fprintf(&sb, "%s:%s", label, fmtVal("%.1f", t.Curves[m.Name][i]))
 			if i < len(SensitivitySizes)-1 {
 				sb.WriteString("  ")
 			}

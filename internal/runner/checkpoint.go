@@ -1,0 +1,137 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Checkpoint is an append-only JSON-lines journal of completed job
+// results. Each line is {"key": ..., "value": ...}; the key embeds
+// everything that determines the result (section, workload, policy,
+// scale, geometry), so a lookup hit is exactly a finished cell and a
+// config change produces disjoint keys rather than stale hits.
+//
+// The journal is crash-safe by construction: a torn final line (the
+// process died mid-write) is ignored on load, and every complete line
+// is a finished, self-contained result. All methods are safe for
+// concurrent use and on a nil receiver (no-ops), so callers need not
+// branch on whether checkpointing is enabled.
+type Checkpoint struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]json.RawMessage
+}
+
+type checkpointEntry struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// OpenCheckpoint opens (or creates) the journal at path. With resume
+// set, existing entries are loaded and later Lookup calls hit them;
+// without it any existing journal is truncated and the run starts
+// fresh.
+func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
+	c := &Checkpoint{entries: make(map[string]json.RawMessage)}
+	if resume {
+		if err := c.load(path); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: open checkpoint: %w", err)
+	}
+	c.f = f
+	return c, nil
+}
+
+func (c *Checkpoint) load(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("runner: load checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		var e checkpointEntry
+		// A torn or corrupt line (interrupted write) ends the useful
+		// prefix; everything before it is intact.
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Key == "" {
+			break
+		}
+		c.entries[e.Key] = e.Value
+	}
+	return sc.Err()
+}
+
+// Len reports how many entries are loaded or recorded.
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Lookup unmarshals the journaled value for key into v and reports
+// whether it was present. A nil receiver never hits.
+func (c *Checkpoint) Lookup(key string, v any) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	raw, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, v) == nil
+}
+
+// Record journals one completed result and flushes it to disk. A nil
+// receiver is a no-op.
+func (c *Checkpoint) Record(key string, v any) error {
+	if c == nil {
+		return nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runner: marshal checkpoint %s: %w", key, err)
+	}
+	line, err := json.Marshal(checkpointEntry{Key: key, Value: raw})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = raw
+	if c.f == nil {
+		return nil
+	}
+	if _, err := c.f.Write(line); err != nil {
+		return fmt.Errorf("runner: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file. A nil receiver is a no-op.
+func (c *Checkpoint) Close() error {
+	if c == nil || c.f == nil {
+		return nil
+	}
+	return c.f.Close()
+}

@@ -1,0 +1,150 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ck, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		MPKI float64
+		IPC  float64
+	}
+	if err := ck.Record("a|b", result{MPKI: 1.5, IPC: 0.75}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck2, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if ck2.Len() != 1 {
+		t.Fatalf("loaded %d entries, want 1", ck2.Len())
+	}
+	var r result
+	if !ck2.Lookup("a|b", &r) || r.MPKI != 1.5 || r.IPC != 0.75 {
+		t.Fatalf("lookup = %+v", r)
+	}
+	if ck2.Lookup("a|c", &r) {
+		t.Error("lookup hit a missing key")
+	}
+}
+
+func TestCheckpointFreshRunTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ck, _ := OpenCheckpoint(path, false)
+	ck.Record("old", 1)
+	ck.Close()
+
+	ck2, err := OpenCheckpoint(path, false) // no resume: start fresh
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	var v int
+	if ck2.Lookup("old", &v) {
+		t.Error("fresh run saw a stale entry")
+	}
+}
+
+func TestCheckpointToleratesTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ck, _ := OpenCheckpoint(path, false)
+	ck.Record("good", 42)
+	ck.Close()
+	// Simulate a crash mid-write: a torn, incomplete final line.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString(`{"key":"torn","val`)
+	f.Close()
+
+	ck2, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	var v int
+	if !ck2.Lookup("good", &v) || v != 42 {
+		t.Error("intact prefix lost")
+	}
+	if ck2.Lookup("torn", &v) {
+		t.Error("torn entry restored")
+	}
+}
+
+func TestNilCheckpointIsNoOp(t *testing.T) {
+	var ck *Checkpoint
+	var v int
+	if ck.Lookup("k", &v) {
+		t.Error("nil checkpoint hit")
+	}
+	if err := ck.Record("k", 1); err != nil {
+		t.Error(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Error(err)
+	}
+	if ck.Len() != 0 {
+		t.Error("nil checkpoint non-empty")
+	}
+}
+
+func TestRunResumeSkipsCheckpointedJobs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ck, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Run(context.Background(), intJobs(8), Options{Workers: 2, Checkpoint: ck})
+	if len(first.Values) != 8 {
+		t.Fatalf("first run completed %d jobs", len(first.Values))
+	}
+	ck.Close()
+
+	// Second run: every job body is a tripwire. All results must come
+	// from the checkpoint.
+	ck2, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("job-%02d", i),
+			Run: func(context.Context) (int, error) { panic("job re-ran despite checkpoint") },
+		}
+	}
+	var fromCkpt int
+	set := Run(context.Background(), jobs, Options{
+		Workers:    2,
+		Checkpoint: ck2,
+		Progress: func(ev Event) {
+			if ev.FromCheckpoint {
+				fromCkpt++
+			}
+		},
+	})
+	if len(set.Errors) != 0 {
+		t.Fatalf("resume re-ran jobs: %v", set.Failed())
+	}
+	if fromCkpt != 8 {
+		t.Errorf("checkpoint restores = %d, want 8", fromCkpt)
+	}
+	for i := 0; i < 8; i++ {
+		if v, ok := set.Value(fmt.Sprintf("job-%02d", i)); !ok || v != i*i {
+			t.Errorf("job-%02d = %d, %t", i, v, ok)
+		}
+	}
+}

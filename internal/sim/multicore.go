@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"sdbp/internal/cache"
 	"sdbp/internal/cpu"
 	"sdbp/internal/hier"
@@ -63,7 +65,11 @@ type mcCore struct {
 // each core's IPC is measured at the end of its own first pass. Cores
 // interleave by simulated time: each step advances the core whose clock
 // is furthest behind.
-func RunMulticore(mix workloads.Mix, pol cache.Policy, opts MulticoreOptions) MulticoreResult {
+//
+// Construction problems — an unknown mix member, an empty stream — are
+// returned as errors rather than panicking, so one bad mix config
+// cannot kill a whole evaluation campaign.
+func RunMulticore(mix workloads.Mix, pol cache.Policy, opts MulticoreOptions) (MulticoreResult, error) {
 	opts.normalize()
 
 	llc := cache.New(opts.LLC, pol)
@@ -73,7 +79,7 @@ func RunMulticore(mix workloads.Mix, pol cache.Policy, opts MulticoreOptions) Mu
 	for i, name := range mix.Members {
 		w, err := workloads.ByName(name)
 		if err != nil {
-			panic(err)
+			return MulticoreResult{}, fmt.Errorf("sim: mix %s: %w", mix.Name, err)
 		}
 		cores[i] = &mcCore{
 			core:   hier.NewCore(hier.DefaultConfig(), llc),
@@ -107,7 +113,7 @@ func RunMulticore(mix workloads.Mix, pol cache.Policy, opts MulticoreOptions) Mu
 			next.gen.Reset()
 			a, ok = next.gen.Next()
 			if !ok {
-				panic("sim: empty workload stream")
+				return MulticoreResult{}, fmt.Errorf("sim: mix %s: empty workload stream on core %d", mix.Name, next.id)
 			}
 		}
 		a.Thread = uint8(next.id)
@@ -135,16 +141,17 @@ func RunMulticore(mix workloads.Mix, pol cache.Policy, opts MulticoreOptions) Mu
 	if totalInstr > 0 {
 		res.MPKI = float64(res.LLC.Misses) / (float64(totalInstr) / 1000)
 	}
-	return res
+	return res, nil
 }
 
 // SingleIPC returns a benchmark's IPC running alone with the given LLC
-// geometry under LRU — the denominator of the paper's weighted speedup.
-func SingleIPC(name string, llcCfg cache.Config, scale float64, makeLRU func() cache.Policy) float64 {
+// geometry under LRU — the denominator of the paper's weighted
+// speedup. An unknown benchmark name is an error, not a panic.
+func SingleIPC(name string, llcCfg cache.Config, scale float64, makeLRU func() cache.Policy) (float64, error) {
 	w, err := workloads.ByName(name)
 	if err != nil {
-		panic(err)
+		return 0, err
 	}
 	r := RunSingle(w, makeLRU(), SingleOptions{Scale: scale, LLC: llcCfg})
-	return r.IPC
+	return r.IPC, nil
 }

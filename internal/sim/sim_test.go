@@ -116,7 +116,10 @@ func TestLLCSizeOption(t *testing.T) {
 
 func TestRunMulticoreBasics(t *testing.T) {
 	mix := workloads.Mixes()[0]
-	r := RunMulticore(mix, policy.NewLRU(), MulticoreOptions{Scale: testScale})
+	r, err := RunMulticore(mix, policy.NewLRU(), MulticoreOptions{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.MixName != "mix1" {
 		t.Errorf("mix name = %s", r.MixName)
 	}
@@ -136,7 +139,11 @@ func TestRunMulticoreBasics(t *testing.T) {
 func TestRunMulticoreDeterministic(t *testing.T) {
 	mix := workloads.Mixes()[1]
 	run := func() MulticoreResult {
-		return RunMulticore(mix, policy.NewTADIP(4, 3), MulticoreOptions{Scale: testScale})
+		r, err := RunMulticore(mix, policy.NewTADIP(4, 3), MulticoreOptions{Scale: testScale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
 	}
 	a, b := run(), run()
 	if a.IPC != b.IPC || a.LLC != b.LLC {
@@ -144,14 +151,37 @@ func TestRunMulticoreDeterministic(t *testing.T) {
 	}
 }
 
+func TestRunMulticoreBadMixReturnsError(t *testing.T) {
+	mix := workloads.Mix{Name: "bad-mix"}
+	mix.Members = [4]string{"no.such", "no.such", "no.such", "no.such"}
+	_, err := RunMulticore(mix, policy.NewLRU(), MulticoreOptions{Scale: testScale})
+	if err == nil {
+		t.Fatal("unknown mix member did not error")
+	}
+}
+
+func TestSingleIPCBadNameReturnsError(t *testing.T) {
+	_, err := SingleIPC("no.such", hier.LLCConfig(4), testScale,
+		func() cache.Policy { return policy.NewLRU() })
+	if err == nil {
+		t.Fatal("unknown benchmark did not error")
+	}
+}
+
 func TestSharedCacheContention(t *testing.T) {
 	// Each benchmark's IPC under contention must not exceed its IPC
 	// running alone with the same total capacity.
 	mix := workloads.Mixes()[0]
-	r := RunMulticore(mix, policy.NewLRU(), MulticoreOptions{Scale: testScale})
+	r, err := RunMulticore(mix, policy.NewLRU(), MulticoreOptions{Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, name := range mix.Members {
-		solo := SingleIPC(name, hier.LLCConfig(4), testScale,
+		solo, err := SingleIPC(name, hier.LLCConfig(4), testScale,
 			func() cache.Policy { return policy.NewLRU() })
+		if err != nil {
+			t.Fatal(err)
+		}
 		if r.IPC[i] > solo*1.02 { // small tolerance: interleaving jitter
 			t.Errorf("%s: shared IPC %.3f exceeds solo IPC %.3f", name, r.IPC[i], solo)
 		}

@@ -292,11 +292,17 @@ func RunMix(mixName string, p Policy, o Options) MixResult {
 		panic(fmt.Errorf("sdbp: unknown mix %q", mixName))
 	}
 	llcCfg := o.llc(4)
-	r := sim.RunMulticore(mix, p.make(4), sim.MulticoreOptions{Scale: o.Scale, LLC: llcCfg})
+	r, err := sim.RunMulticore(mix, p.make(4), sim.MulticoreOptions{Scale: o.Scale, LLC: llcCfg})
+	if err != nil {
+		panic(fmt.Errorf("sdbp: %w", err))
+	}
 
 	out := MixResult{Mix: mixName, Policy: p.name, Benchmarks: mix.Members, IPC: r.IPC, MPKI: r.MPKI}
 	for i, name := range mix.Members {
-		single := sim.SingleIPC(name, llcCfg, orOne(o.Scale), func() cache.Policy { return policy.NewLRU() })
+		single, err := sim.SingleIPC(name, llcCfg, orOne(o.Scale), func() cache.Policy { return policy.NewLRU() })
+		if err != nil {
+			panic(fmt.Errorf("sdbp: %w", err))
+		}
 		if single > 0 {
 			out.WeightedSpeedup += r.IPC[i] / single
 		}
