@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` output into JSON so CI
+// can publish benchmark results as a machine-readable artifact
+// (BENCH_hotpath.json) and before/after comparisons can be scripted.
+//
+//	go test -bench 'LLCAccess|SingleCoreCampaign' -benchmem -run '^$' . |
+//	    benchjson -label after > BENCH_hotpath.json
+//
+// Each "BenchmarkName-P  N  X ns/op  Y B/op  Z allocs/op ..." line
+// becomes one record; unrecognized lines are ignored, so the raw test
+// output can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in JSON form. Extra is the tail of
+// custom metrics (unit -> value) benchmarks report via ReportMetric.
+type Result struct {
+	Name        string             `json:"name"`
+	Label       string             `json:"label,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	label := fs.String("label", "", "label attached to every record (e.g. baseline, after)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "benchjson: reads benchmark output on stdin; no positional arguments")
+		return 2
+	}
+
+	results, err := Parse(stdin, *label)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines found on stdin")
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+// Parse extracts benchmark records from go test -bench output.
+func Parse(r io.Reader, label string) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		res, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		res.Label = label
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// parseLine parses one "BenchmarkX-8 1000 123 ns/op ..." line. The
+// fields after the iteration count come in "<value> <unit>" pairs.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: name, Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		// v is declared per iteration, so storing &v is safe.
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			res.BytesPerOp = &v
+		case "allocs/op":
+			res.AllocsPerOp = &v
+		default:
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			res.Extra[unit] = v
+		}
+	}
+	return res, seenNs
+}

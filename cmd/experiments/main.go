@@ -21,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -71,7 +72,7 @@ func parseOnly(s string) (map[string]bool, error) {
 // progressLogger returns an Env progress callback that logs job
 // completions to stderr: failures immediately, successes throttled to
 // one line per second, with a done/total count and ETA.
-func progressLogger() func(runner.Event) {
+func progressLogger(stderr io.Writer) func(runner.Event) {
 	var mu sync.Mutex
 	var last time.Time
 	return func(ev runner.Event) {
@@ -94,27 +95,34 @@ func progressLogger() func(runner.Event) {
 		if !final && ev.ETA > 0 {
 			msg += fmt.Sprintf(" (ETA %s)", ev.ETA.Round(time.Second))
 		}
-		fmt.Fprintln(os.Stderr, msg)
+		fmt.Fprintln(stderr, msg)
 	}
 }
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	scale := flag.Float64("scale", 1.0, "stream length multiplier")
-	only := flag.String("only", "", "comma-separated subset: "+strings.Join(sections, ","))
-	timeout := flag.Duration("timeout", 0, "per-job timeout (0 = none)")
-	retries := flag.Int("retries", 0, "per-job retry budget for transient failures")
-	checkpoint := flag.String("checkpoint", "", "journal completed cells to this file")
-	resume := flag.Bool("resume", false, "skip cells already in the checkpoint (default file experiments.ckpt)")
-	quiet := flag.Bool("quiet", false, "suppress per-job progress logging")
-	flag.Parse()
+// run is the whole command with its streams and arguments made
+// explicit, so tests (notably the golden-output harness) can drive it
+// in-process and capture exactly the bytes a user would see.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 1.0, "stream length multiplier")
+	only := fs.String("only", "", "comma-separated subset: "+strings.Join(sections, ","))
+	timeout := fs.Duration("timeout", 0, "per-job timeout (0 = none)")
+	retries := fs.Int("retries", 0, "per-job retry budget for transient failures")
+	checkpoint := fs.String("checkpoint", "", "journal completed cells to this file")
+	resume := fs.Bool("resume", false, "skip cells already in the checkpoint (default file experiments.ckpt)")
+	quiet := fs.Bool("quiet", false, "suppress per-job progress logging")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	want, err := parseOnly(*only)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
@@ -129,7 +137,7 @@ func run() int {
 	env.Timeout = *timeout
 	env.Retries = *retries
 	if !*quiet {
-		env.Progress = progressLogger()
+		env.Progress = progressLogger(stderr)
 	}
 	if *resume && *checkpoint == "" {
 		*checkpoint = "experiments.ckpt"
@@ -137,13 +145,13 @@ func run() int {
 	if *checkpoint != "" {
 		ck, err := runner.OpenCheckpoint(*checkpoint, *resume)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		defer ck.Close()
 		env.Checkpoint = ck
 		if *resume {
-			fmt.Fprintf(os.Stderr, "resume: %d checkpointed results loaded from %s\n", ck.Len(), *checkpoint)
+			fmt.Fprintf(stderr, "resume: %d checkpointed results loaded from %s\n", ck.Len(), *checkpoint)
 		}
 	}
 
@@ -154,91 +162,91 @@ func run() int {
 		}
 		start := time.Now()
 		f()
-		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	section("table1", func() { fmt.Print(figures.RenderTable1()) })
-	section("table2", func() { fmt.Print(figures.RenderTable2()) })
+	section("table1", func() { fmt.Fprint(stdout, figures.RenderTable1()) })
+	section("table2", func() { fmt.Fprint(stdout, figures.RenderTable2()) })
 
 	var sc *figures.SingleCore
 	needSC := run("fig4") || run("fig5") || run("fig9") || run("claim")
 	if needSC && ctx.Err() == nil {
 		sc = figures.RunSingleCoreEnv(env, *scale)
 	}
-	section("claim", func() { fmt.Print(sc.RenderClaim()) })
-	section("fig1", func() { fmt.Print(figures.RunFig1Env(env, *scale).Render()) })
+	section("claim", func() { fmt.Fprint(stdout, sc.RenderClaim()) })
+	section("fig1", func() { fmt.Fprint(stdout, figures.RunFig1Env(env, *scale).Render()) })
 	section("fig4", func() {
-		fmt.Print(sc.RenderFig4())
+		fmt.Fprint(stdout, sc.RenderFig4())
 		labels, vals := sc.Fig4Summary()
-		fmt.Print(figures.SummaryChart("\nFigure 4 summary: amean misses normalized to LRU ('|' = LRU)", labels, vals))
+		fmt.Fprint(stdout, figures.SummaryChart("\nFigure 4 summary: amean misses normalized to LRU ('|' = LRU)", labels, vals))
 	})
 	section("fig5", func() {
-		fmt.Print(sc.RenderFig5())
+		fmt.Fprint(stdout, sc.RenderFig5())
 		labels, vals := sc.Fig5Summary()
-		fmt.Print(figures.SummaryChart("\nFigure 5 summary: gmean speedup over LRU ('|' = LRU)", labels, vals))
+		fmt.Fprint(stdout, figures.SummaryChart("\nFigure 5 summary: gmean speedup over LRU ('|' = LRU)", labels, vals))
 	})
-	section("fig6", func() { fmt.Print(figures.RunAblationEnv(env, *scale).Render()) })
+	section("fig6", func() { fmt.Fprint(stdout, figures.RunAblationEnv(env, *scale).Render()) })
 
 	var rb *figures.RandomBaseline
 	if (run("fig7") || run("fig8")) && ctx.Err() == nil {
 		rb = figures.RunRandomBaselineEnv(env, *scale)
 	}
-	section("fig7", func() { fmt.Print(rb.RenderFig7()) })
-	section("fig8", func() { fmt.Print(rb.RenderFig8()) })
-	section("fig9", func() { fmt.Print(sc.RenderFig9()) })
+	section("fig7", func() { fmt.Fprint(stdout, rb.RenderFig7()) })
+	section("fig8", func() { fmt.Fprint(stdout, rb.RenderFig8()) })
+	section("fig9", func() { fmt.Fprint(stdout, sc.RenderFig9()) })
 
 	section("fig10", func() {
 		mc := figures.RunMulticoreFigureEnv(env, figures.MulticorePolicies(), *scale)
-		fmt.Print(mc.Render("Figure 10(a): normalized weighted speedup, 8MB shared LLC, LRU default"))
-		fmt.Println()
+		fmt.Fprint(stdout, mc.Render("Figure 10(a): normalized weighted speedup, 8MB shared LLC, LRU default"))
+		fmt.Fprintln(stdout)
 		mcr := figures.RunMulticoreFigureEnv(env, figures.RandomPolicies(), *scale)
-		fmt.Print(mcr.Render("Figure 10(b): normalized weighted speedup, 8MB shared LLC, random default"))
+		fmt.Fprint(stdout, mcr.Render("Figure 10(b): normalized weighted speedup, 8MB shared LLC, random default"))
 	})
 
-	section("table3", func() { fmt.Print(figures.RunTable3Env(env, *scale).Render()) })
-	section("table4", func() { fmt.Print(figures.RunTable4Env(env, *scale).Render()) })
+	section("table3", func() { fmt.Fprint(stdout, figures.RunTable3Env(env, *scale).Render()) })
+	section("table4", func() { fmt.Fprint(stdout, figures.RunTable4Env(env, *scale).Render()) })
 
-	section("extensions", func() { fmt.Print(figures.RunExtensionsEnv(env, *scale).Render()) })
-	section("prefetch", func() { fmt.Print(figures.RunPrefetchStudyEnv(env, *scale).Render()) })
-	section("victim", func() { fmt.Print(figures.RunVictimStudyEnv(env, *scale).Render()) })
+	section("extensions", func() { fmt.Fprint(stdout, figures.RunExtensionsEnv(env, *scale).Render()) })
+	section("prefetch", func() { fmt.Fprint(stdout, figures.RunPrefetchStudyEnv(env, *scale).Render()) })
+	section("victim", func() { fmt.Fprint(stdout, figures.RunVictimStudyEnv(env, *scale).Render()) })
 	section("sweeps", func() {
 		sets := []int{8, 16, 32, 64, 128}
-		fmt.Print(figures.RenderSweep(
+		fmt.Fprint(stdout, figures.RenderSweep(
 			"Sampler set count sweep (paper SIII-A: 32 is the trade-off point)",
 			"sampler sets", figures.SamplerSetsSweepEnv(env, *scale, sets), sets))
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		thrs := []int{2, 4, 6, 8, 9}
-		fmt.Print(figures.RenderSweep(
+		fmt.Fprint(stdout, figures.RenderSweep(
 			"Confidence threshold sweep (paper SIII-E: 8 gives the best accuracy)",
 			"threshold", figures.ThresholdSweepEnv(env, *scale, thrs), thrs))
 	})
 
-	return summarize(env, ctx, *checkpoint)
+	return summarize(env, ctx, *checkpoint, stderr)
 }
 
 // summarize prints the end-of-run failure report and picks the exit
 // status: 0 only when every job completed and the run was not
 // interrupted.
-func summarize(env *figures.Env, ctx context.Context, checkpoint string) int {
+func summarize(env *figures.Env, ctx context.Context, checkpoint string, stderr io.Writer) int {
 	failures := env.Failures()
 	if len(failures) == 0 && ctx.Err() == nil {
 		return 0
 	}
 	if ctx.Err() != nil {
-		fmt.Fprintln(os.Stderr, "experiments: interrupted; partial tables rendered above")
+		fmt.Fprintln(stderr, "experiments: interrupted; partial tables rendered above")
 	}
 	if len(failures) > 0 {
-		fmt.Fprintf(os.Stderr, "\nexperiments: %d job(s) failed; their cells are marked ERR above\n", len(failures))
+		fmt.Fprintf(stderr, "\nexperiments: %d job(s) failed; their cells are marked ERR above\n", len(failures))
 		for _, f := range failures {
-			fmt.Fprintf(os.Stderr, "  %s: %v (attempt %d, ran %s)\n",
+			fmt.Fprintf(stderr, "  %s: %v (attempt %d, ran %s)\n",
 				f.Key, f.Err, f.Attempts, f.Duration.Round(time.Millisecond))
 		}
 	}
 	switch {
 	case checkpoint != "":
-		fmt.Fprintf(os.Stderr, "re-run with -resume -checkpoint %s to recompute only the missing cells\n", checkpoint)
+		fmt.Fprintf(stderr, "re-run with -resume -checkpoint %s to recompute only the missing cells\n", checkpoint)
 	default:
-		fmt.Fprintln(os.Stderr, "run with -checkpoint FILE to make campaigns resumable with -resume")
+		fmt.Fprintln(stderr, "run with -checkpoint FILE to make campaigns resumable with -resume")
 	}
 	return 1
 }

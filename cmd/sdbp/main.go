@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
@@ -21,40 +22,50 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "", "benchmark name, 'subset', or 'all'")
-	mix := flag.String("mix", "", "quad-core mix name ('mix1'..'mix10') or 'all'")
-	policies := flag.String("policy", "LRU,Sampler", "comma-separated policy list")
-	scale := flag.Float64("scale", 1.0, "stream length multiplier")
-	llcMB := flag.Int("llc", 0, "LLC capacity in MB (default 2 single-core, 8 mix)")
-	list := flag.Bool("list", false, "list benchmarks, mixes and policies")
-	diff := flag.Bool("diff", false, "lockstep-compare exactly two policies per benchmark (classifies every LLC access)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sdbp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "", "benchmark name, 'subset', or 'all'")
+	mix := fs.String("mix", "", "quad-core mix name ('mix1'..'mix10') or 'all'")
+	policies := fs.String("policy", "LRU,Sampler", "comma-separated policy list")
+	scale := fs.Float64("scale", 1.0, "stream length multiplier")
+	llcMB := fs.Int("llc", 0, "LLC capacity in MB (default 2 single-core, 8 mix)")
+	list := fs.Bool("list", false, "list benchmarks, mixes and policies")
+	diff := fs.Bool("diff", false, "lockstep-compare exactly two policies per benchmark (classifies every LLC access)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "sdbp: unexpected positional arguments:", fs.Args())
+		return 2
+	}
 
 	if *list {
-		fmt.Println("benchmarks:", strings.Join(sdbp.Benchmarks(), " "))
-		fmt.Println("subset:    ", strings.Join(sdbp.SubsetBenchmarks(), " "))
-		fmt.Println("mixes:     ", strings.Join(sdbp.Mixes(), " "))
-		fmt.Println("policies:   LRU Random DIP TADIP RRIP Sampler TDBP CDBP",
+		fmt.Fprintln(stdout, "benchmarks:", strings.Join(sdbp.Benchmarks(), " "))
+		fmt.Fprintln(stdout, "subset:    ", strings.Join(sdbp.SubsetBenchmarks(), " "))
+		fmt.Fprintln(stdout, "mixes:     ", strings.Join(sdbp.Mixes(), " "))
+		fmt.Fprintln(stdout, "policies:   LRU Random DIP TADIP RRIP Sampler TDBP CDBP",
 			"RandomSampler RandomCDBP Optimal PLRU NRU PLRUSampler NRUSampler",
 			"Bursts AIP SamplingCounting TimeBased DuelingSampler")
-		fmt.Println("variants:  ", strings.Join(sdbp.SamplerVariantNames(), " | "))
-		return
+		fmt.Fprintln(stdout, "variants:  ", strings.Join(sdbp.SamplerVariantNames(), " | "))
+		return 0
 	}
 	if *bench == "" && *mix == "" {
-		fmt.Fprintln(os.Stderr, "sdbp: need -bench or -mix (try -list)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "sdbp: need -bench or -mix (try -list)")
+		return 2
 	}
 
 	opts := sdbp.Options{Scale: *scale, LLCMegabytes: *llcMB}
 	if *diff {
-		runDiff(*bench, splitList(*policies), opts)
-		return
+		return runDiff(*bench, splitList(*policies), opts, stdout, stderr)
 	}
 	if *mix != "" {
-		runMixes(*mix, splitList(*policies), opts)
-		return
+		return runMixes(*mix, splitList(*policies), opts, stdout, stderr)
 	}
-	runBenches(*bench, splitList(*policies), opts)
+	return runBenches(*bench, splitList(*policies), opts, stdout, stderr)
 }
 
 func splitList(s string) []string {
@@ -118,7 +129,7 @@ func lookupPolicy(name string) (sdbp.Policy, bool, error) {
 	return sdbp.Policy{}, false, fmt.Errorf("unknown policy %q", name)
 }
 
-func runBenches(bench string, policies []string, opts sdbp.Options) {
+func runBenches(bench string, policies []string, opts sdbp.Options, stdout, stderr io.Writer) int {
 	var names []string
 	switch bench {
 	case "all":
@@ -129,14 +140,14 @@ func runBenches(bench string, policies []string, opts sdbp.Options) {
 		names = splitList(bench)
 	}
 
-	fmt.Printf("%-16s %-28s %9s %7s %7s %7s %7s\n",
+	fmt.Fprintf(stdout, "%-16s %-28s %9s %7s %7s %7s %7s\n",
 		"benchmark", "policy", "MPKI", "IPC", "eff%", "cov%", "fp%")
 	for _, b := range names {
 		for _, pname := range policies {
 			p, isOptimal, err := lookupPolicy(pname)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "sdbp:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "sdbp:", err)
+				return 2
 			}
 			var r sdbp.Result
 			if isOptimal {
@@ -144,14 +155,15 @@ func runBenches(bench string, policies []string, opts sdbp.Options) {
 			} else {
 				r = sdbp.Run(b, p, opts)
 			}
-			fmt.Printf("%-16s %-28s %9.3f %7.3f %7.1f %7s %7s\n",
+			fmt.Fprintf(stdout, "%-16s %-28s %9.3f %7.3f %7.1f %7s %7s\n",
 				b, r.Policy, r.MPKI, r.IPC, r.Efficiency*100,
 				pct(r.Coverage), pct(r.FalsePositiveRate))
 		}
 	}
+	return 0
 }
 
-func runMixes(mix string, policies []string, opts sdbp.Options) {
+func runMixes(mix string, policies []string, opts sdbp.Options, stdout, stderr io.Writer) int {
 	var names []string
 	if mix == "all" {
 		names = sdbp.Mixes()
@@ -159,20 +171,21 @@ func runMixes(mix string, policies []string, opts sdbp.Options) {
 		names = splitList(mix)
 	}
 
-	fmt.Printf("%-8s %-28s %9s %10s   %s\n", "mix", "policy", "MPKI", "wspeedup", "per-core IPC")
+	fmt.Fprintf(stdout, "%-8s %-28s %9s %10s   %s\n", "mix", "policy", "MPKI", "wspeedup", "per-core IPC")
 	for _, m := range names {
 		for _, pname := range policies {
 			p, isOptimal, err := lookupPolicy(pname)
 			if err != nil || isOptimal {
-				fmt.Fprintf(os.Stderr, "sdbp: policy %q not available for mixes\n", pname)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "sdbp: policy %q not available for mixes\n", pname)
+				return 2
 			}
 			r := sdbp.RunMix(m, p, opts)
-			fmt.Printf("%-8s %-28s %9.3f %10.4f   %.3f %.3f %.3f %.3f\n",
+			fmt.Fprintf(stdout, "%-8s %-28s %9.3f %10.4f   %.3f %.3f %.3f %.3f\n",
 				m, r.Policy, r.MPKI, r.WeightedSpeedup,
 				r.IPC[0], r.IPC[1], r.IPC[2], r.IPC[3])
 		}
 	}
+	return 0
 }
 
 func pct(x float64) string {
@@ -182,16 +195,16 @@ func pct(x float64) string {
 	return fmt.Sprintf("%.1f", x*100)
 }
 
-func runDiff(bench string, policies []string, opts sdbp.Options) {
+func runDiff(bench string, policies []string, opts sdbp.Options, stdout, stderr io.Writer) int {
 	if len(policies) != 2 {
-		fmt.Fprintln(os.Stderr, "sdbp: -diff needs exactly two policies")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "sdbp: -diff needs exactly two policies")
+		return 2
 	}
 	pa, optA, errA := lookupPolicy(policies[0])
 	pb, optB, errB := lookupPolicy(policies[1])
 	if errA != nil || errB != nil || optA || optB {
-		fmt.Fprintln(os.Stderr, "sdbp: -diff needs two simulatable policies")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "sdbp: -diff needs two simulatable policies")
+		return 2
 	}
 	var names []string
 	switch bench {
@@ -202,12 +215,13 @@ func runDiff(bench string, policies []string, opts sdbp.Options) {
 	default:
 		names = splitList(bench)
 	}
-	fmt.Printf("%-16s %10s %10s %10s %10s %8s %8s\n",
+	fmt.Fprintf(stdout, "%-16s %10s %10s %10s %10s %8s %8s\n",
 		"benchmark", "bothHit", "only"+policies[0], "only"+policies[1], "bothMiss", "damage%", "gain%")
 	for _, b := range names {
 		d := sdbp.Compare(b, pa, pb, opts)
-		fmt.Printf("%-16s %10d %10d %10d %10d %8.2f %8.2f\n",
+		fmt.Fprintf(stdout, "%-16s %10d %10d %10d %10d %8.2f %8.2f\n",
 			b, d.BothHit, d.OnlyAHit, d.OnlyBHit, d.BothMiss,
 			d.DamageRate()*100, d.GainRate()*100)
 	}
+	return 0
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown flag", []string{"-nope"}, 2},
+		{"positional args", []string{"-list", "extra"}, 2},
+		{"no bench or mix", nil, 2},
+		{"unknown policy", []string{"-bench", "456.hmmer", "-scale", "0.01", "-policy", "NotAPolicy"}, 2},
+		{"optimal in mix", []string{"-mix", "mix1", "-scale", "0.01", "-policy", "Optimal"}, 2},
+		{"diff needs two policies", []string{"-bench", "456.hmmer", "-diff", "-policy", "LRU"}, 2},
+		{"diff rejects optimal", []string{"-bench", "456.hmmer", "-diff", "-policy", "LRU,Optimal"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.want {
+				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.want, stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"benchmarks:", "mixes:", "policies:", "Sampler", "mix1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLookupPolicyCoversListedNames(t *testing.T) {
+	names := []string{
+		"LRU", "Random", "DIP", "TADIP", "RRIP", "Sampler", "TDBP", "CDBP",
+		"RandomSampler", "RandomCDBP", "Optimal", "PLRU", "NRU", "PLRUSampler",
+		"NRUSampler", "Bursts", "AIP", "SamplingCounting", "TimeBased",
+		"DuelingSampler",
+	}
+	for _, n := range names {
+		if _, _, err := lookupPolicy(n); err != nil {
+			t.Errorf("listed policy %q does not resolve: %v", n, err)
+		}
+	}
+	if _, isOptimal, _ := lookupPolicy("Optimal"); !isOptimal {
+		t.Error("Optimal not flagged as the optimal policy")
+	}
+	if _, _, err := lookupPolicy("NotAPolicy"); err == nil {
+		t.Error("unknown policy resolved without error")
+	}
+}
+
+// TestRunBenchSmoke runs one tiny single-core simulation end to end
+// through the CLI and checks the table shape.
+func TestRunBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test skipped in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "456.hmmer", "-scale", "0.01", "-policy", "LRU"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected header + 1 result row, got %d lines:\n%s", len(lines), stdout.String())
+	}
+	if !strings.Contains(lines[0], "MPKI") || !strings.Contains(lines[1], "456.hmmer") {
+		t.Errorf("unexpected table:\n%s", stdout.String())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sdbp/internal/mem"
@@ -21,35 +22,47 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "456.hmmer", "benchmark to generate")
-	scale := flag.Float64("scale", 0.05, "stream length multiplier")
-	head := flag.Int("head", 0, "print the first N accesses")
-	csv := flag.Bool("csv", false, "dump the whole trace as CSV (pc,addr,write,dep,gap)")
-	summary := flag.Bool("summary", true, "print trace statistics")
-	outFile := flag.String("out", "", "write the trace in sdbp binary format to this file")
-	inFile := flag.String("in", "", "read a binary trace file instead of generating")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "456.hmmer", "benchmark to generate")
+	scale := fs.Float64("scale", 0.05, "stream length multiplier")
+	head := fs.Int("head", 0, "print the first N accesses")
+	csv := fs.Bool("csv", false, "dump the whole trace as CSV (pc,addr,write,dep,gap)")
+	summary := fs.Bool("summary", true, "print trace statistics")
+	outFile := fs.String("out", "", "write the trace in sdbp binary format to this file")
+	inFile := fs.String("in", "", "read a binary trace file instead of generating")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "tracegen: unexpected positional arguments:", fs.Args())
+		return 2
+	}
 
 	var gen trace.Generator
 	var name, class string
 	if *inFile != "" {
 		f, err := os.Open(*inFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 2
 		}
 		defer f.Close()
 		r, err := trace.NewReader(f)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 2
 		}
 		gen, name, class = r, *inFile, "trace file"
 	} else {
 		w, err := workloads.ByName(*bench)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 2
 		}
 		gen, name, class = w.Generator(*scale), w.Name, w.Class
 	}
@@ -57,21 +70,21 @@ func main() {
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 2
 		}
 		n, err := trace.Write(f, gen)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 2
 		}
-		fmt.Fprintf(os.Stderr, "tracegen: wrote %d accesses to %s\n", n, *outFile)
+		fmt.Fprintf(stderr, "tracegen: wrote %d accesses to %s\n", n, *outFile)
 		gen.Reset()
 	}
-	out := bufio.NewWriter(os.Stdout)
+	out := bufio.NewWriter(stdout)
 	defer out.Flush()
 
 	if *csv {
@@ -79,7 +92,7 @@ func main() {
 		for {
 			a, ok := gen.Next()
 			if !ok {
-				return
+				return 0
 			}
 			fmt.Fprintf(out, "%#x,%#x,%t,%t,%d\n", a.PC, a.Addr, a.Write, a.DependentLoad, a.Gap)
 		}
@@ -98,7 +111,7 @@ func main() {
 	}
 
 	if !*summary {
-		return
+		return 0
 	}
 	var (
 		accesses, writes, deps uint64
@@ -124,7 +137,7 @@ func main() {
 	}
 	if accesses == 0 {
 		fmt.Fprintln(out, "empty trace")
-		return
+		return 0
 	}
 	var maxTouch uint64
 	for _, n := range blocks {
@@ -142,4 +155,5 @@ func main() {
 	fmt.Fprintf(out, "dependent:      %.1f%%\n", float64(deps)/float64(accesses)*100)
 	fmt.Fprintf(out, "touches/block:  mean %.2f, max %d\n",
 		float64(accesses)/float64(len(blocks)), maxTouch)
+	return 0
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown flag", []string{"-nope"}, 2},
+		{"positional args", []string{"extra"}, 2},
+		{"unknown benchmark", []string{"-bench", "999.nothing"}, 2},
+		{"missing input file", []string{"-in", filepath.Join(t.TempDir(), "absent.trc")}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.want {
+				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.want, stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunSummary(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "456.hmmer", "-scale", "0.01"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"benchmark:", "456.hmmer", "accesses:", "footprint:", "writes:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunHeadAndCSV(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "429.mcf", "-scale", "0.01", "-head", "5", "-summary=false"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	// Header plus five access rows.
+	if lines := strings.Count(strings.TrimRight(stdout.String(), "\n"), "\n") + 1; lines != 6 {
+		t.Errorf("-head 5 printed %d lines, want 6:\n%s", lines, stdout.String())
+	}
+
+	stdout.Reset()
+	code = run([]string{"-bench", "429.mcf", "-scale", "0.01", "-csv", "-summary=false"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "pc,addr,write,dependent,gap\n") {
+		t.Errorf("CSV output missing header:\n%.100s", stdout.String())
+	}
+	if strings.Count(stdout.String(), "\n") < 10 {
+		t.Errorf("CSV output suspiciously short:\n%s", stdout.String())
+	}
+}
+
+// TestRunTraceFileRoundTrip writes a binary trace with -out, reads it
+// back with -in, and checks the summaries agree — the end-to-end
+// contract between the generator, the file format and the CLI.
+func TestRunTraceFileRoundTrip(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "hmmer.trc")
+
+	var genOut, genErr bytes.Buffer
+	code := run([]string{"-bench", "456.hmmer", "-scale", "0.01", "-out", traceFile}, &genOut, &genErr)
+	if code != 0 {
+		t.Fatalf("generate: exit %d, stderr: %s", code, genErr.String())
+	}
+	if !strings.Contains(genErr.String(), "wrote") {
+		t.Errorf("generate did not report a write: %s", genErr.String())
+	}
+
+	var readOut, readErr bytes.Buffer
+	code = run([]string{"-in", traceFile}, &readOut, &readErr)
+	if code != 0 {
+		t.Fatalf("read back: exit %d, stderr: %s", code, readErr.String())
+	}
+
+	// Everything after the "benchmark:" line (name/class differ by
+	// construction) must be identical between generated and reloaded.
+	tail := func(s string) string {
+		_, rest, ok := strings.Cut(s, "\n")
+		if !ok {
+			t.Fatalf("summary too short: %q", s)
+		}
+		return rest
+	}
+	if g, r := tail(genOut.String()), tail(readOut.String()); g != r {
+		t.Errorf("summaries diverge across the file round trip:\ngenerated:\n%s\nreloaded:\n%s", g, r)
+	}
+}
