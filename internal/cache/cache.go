@@ -20,6 +20,10 @@ type Config struct {
 	SizeBytes int
 	// Ways is the associativity.
 	Ways int
+	// SkipEfficiency disables live/dead-time accounting for this cache.
+	// The hierarchy sets it for the L1 and L2, whose efficiency is never
+	// reported, so their hit path touches no per-line metadata at all.
+	SkipEfficiency bool
 }
 
 // Sets returns the number of sets implied by the configuration.
@@ -39,17 +43,26 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// line is one cache block's bookkeeping.
+// line is one cache block's efficiency bookkeeping, in units of the
+// cache's access clock. It exists only when the cache tracks
+// efficiency; all other per-block state lives in the key word.
 type line struct {
-	tag        uint64
-	valid      bool
-	dirty      bool
-	prefetched bool // placed by a prefetch and not yet demanded
-
-	// Efficiency accounting, in units of the cache's access clock.
 	filledAt  uint64
 	lastHitAt uint64
 }
+
+// lineKey packs a line's tag and valid bit into the single word the
+// lookup loop scans: tag<<1|1 when valid, 0 when invalid. Block
+// numbers are 58 bits (64 minus mem.BlockBits), so the shifted tag
+// tops out at bit 59, leaving the top bits free for the dirty and
+// prefetched flags — hits and evictions then need no second load.
+func lineKey(tag uint64) uint64 { return tag<<1 | 1 }
+
+const (
+	keyDirty      = 1 << 63 // block has been written since fill
+	keyPrefetched = 1 << 62 // placed by a prefetch and not yet demanded
+	keyFlags      = keyDirty | keyPrefetched
+)
 
 // Result reports what a single access did.
 type Result struct {
@@ -74,8 +87,21 @@ type Cache struct {
 	sets    int
 	setBits int
 	ways    int
-	lines   []line // sets*ways, row-major by set
+	keys    []uint64 // sets*ways lookup keys (see lineKey), row-major by set
+	lines   []line   // sets*ways efficiency clocks; nil when not tracked
 	policy  Policy
+
+	// setMask and tagShift are precomputed from the geometry so the
+	// per-access path extracts set and tag with one mask and one shift
+	// of the block number instead of re-deriving them.
+	setMask  uint64
+	tagShift uint
+
+	// lru and lruInsert are set when the policy is exactly the plain
+	// LRU (see PlainLRU); Access then replaces every policy interface
+	// call with direct calls on the recency state.
+	lru       *Recency
+	lruInsert *bool
 
 	clock uint64 // accesses so far; drives efficiency accounting
 	stats Stats
@@ -89,15 +115,25 @@ func New(cfg Config, p Policy) *Cache {
 		panic(err)
 	}
 	c := &Cache{
-		cfg:     cfg,
-		sets:    cfg.Sets(),
-		setBits: mem.Log2(cfg.Sets()),
-		ways:    cfg.Ways,
-		lines:   make([]line, cfg.Sets()*cfg.Ways),
-		policy:  p,
+		cfg:      cfg,
+		sets:     cfg.Sets(),
+		setBits:  mem.Log2(cfg.Sets()),
+		ways:     cfg.Ways,
+		keys:     make([]uint64, cfg.Sets()*cfg.Ways),
+		policy:   p,
+		setMask:  uint64(cfg.Sets() - 1),
+		tagShift: uint(mem.Log2(cfg.Sets())),
 	}
 	p.Reset(c.sets, c.ways)
-	c.eff.reset(c.sets, c.ways)
+	if !cfg.SkipEfficiency {
+		c.lines = make([]line, cfg.Sets()*cfg.Ways)
+		c.eff.reset(c.sets, c.ways)
+	}
+	if pl, ok := p.(PlainLRU); ok {
+		if rec, ins, self := pl.PlainLRU(); self == Policy(p) {
+			c.lru, c.lruInsert = rec, ins
+		}
+	}
 	return c
 }
 
@@ -120,6 +156,13 @@ func (c *Cache) line(set uint32, way int) *line {
 	return &c.lines[int(set)*c.ways+way]
 }
 
+// setKeys returns one set's ways as a full-capacity subslice, so the
+// per-access loops index with a single bounds check.
+func (c *Cache) setKeys(set uint32) []uint64 {
+	base := int(set) * c.ways
+	return c.keys[base : base+c.ways : base+c.ways]
+}
+
 // Access performs one reference. On a miss the block is filled
 // (write-allocate) unless the policy bypasses it; dirty victims report a
 // write-back address.
@@ -129,72 +172,104 @@ func (c *Cache) Access(a mem.Access) Result {
 	if a.Write {
 		c.stats.Writes++
 	}
-	set := mem.SetIndex(a.Addr, c.sets)
-	tag := mem.Tag(a.Addr, c.setBits)
+	bn := a.Addr >> mem.BlockBits
+	set := uint32(bn & c.setMask)
+	tag := bn >> c.tagShift
 
-	c.policy.OnAccess(set, a)
+	// The plain-LRU fast path (c.lru != nil) substitutes direct calls on
+	// the recency state for each policy hook: no access or evict hooks,
+	// never bypasses, hits and fills promote, victims come off the stack.
+	if c.lru == nil {
+		c.policy.OnAccess(set, a)
+	}
 
-	// Lookup.
-	for w := 0; w < c.ways; w++ {
-		ln := c.line(set, w)
-		if ln.valid && ln.tag == tag {
+	// Lookup over the packed key array (one word per way), noting the
+	// first invalid way so a non-bypassed miss does not rescan the set.
+	keys := c.setKeys(set)
+	want := lineKey(tag)
+	invalid := -1
+	for w, k := range keys {
+		if k&^keyFlags == want {
 			c.stats.Hits++
-			if ln.prefetched {
-				ln.prefetched = false
+			if k&keyPrefetched != 0 {
+				k &^= keyPrefetched
 				c.stats.UsefulPrefetches++
 			}
-			ln.lastHitAt = c.clock
 			if a.Write {
-				ln.dirty = true
+				k |= keyDirty
 			}
-			c.policy.OnHit(set, w, a)
+			keys[w] = k
+			if c.lines != nil {
+				c.lines[int(set)*c.ways+w].lastHitAt = c.clock
+			}
+			if c.lru != nil {
+				c.lru.Promote(set, w)
+			} else {
+				c.policy.OnHit(set, w, a)
+			}
 			return Result{Hit: true}
+		}
+		if k == 0 && invalid < 0 {
+			invalid = w
 		}
 	}
 
 	// Miss.
 	c.stats.Misses++
-	if c.policy.Bypass(set, a) {
+	if c.lru == nil && c.policy.Bypass(set, a) {
 		c.stats.Bypasses++
 		return Result{Bypassed: true}
 	}
 
 	// Prefer an invalid way.
-	victim := -1
-	for w := 0; w < c.ways; w++ {
-		if !c.line(set, w).valid {
-			victim = w
-			break
-		}
-	}
+	victim := invalid
 	res := Result{}
 	if victim < 0 {
-		victim = c.policy.Victim(set, a)
-		if victim < 0 || victim >= c.ways {
-			panic(fmt.Sprintf("cache %q: policy %s returned victim way %d of %d",
-				c.cfg.Name, c.policy.Name(), victim, c.ways))
+		if c.lru != nil {
+			victim = c.lru.Victim(set)
+		} else {
+			victim = c.policy.Victim(set, a)
+			if victim < 0 || victim >= c.ways {
+				panic(fmt.Sprintf("cache %q: policy %s returned victim way %d of %d",
+					c.cfg.Name, c.policy.Name(), victim, c.ways))
+			}
 		}
-		ln := c.line(set, victim)
+		k := keys[victim]
 		c.stats.Evictions++
 		res.Evicted = true
-		res.EvictedAddr = c.blockAddr(set, ln.tag)
-		if ln.dirty {
+		res.EvictedAddr = c.blockAddr(set, (k&^keyFlags)>>1)
+		if k&keyDirty != 0 {
 			res.EvictedDirty = true
-			res.WritebackAddr = c.blockAddr(set, ln.tag)
+			res.WritebackAddr = res.EvictedAddr
 			c.stats.Writebacks++
 		}
-		c.eff.account(set, victim, ln, c.clock)
-		c.policy.OnEvict(set, victim)
+		if c.lines != nil {
+			c.eff.account(set, victim, &c.lines[int(set)*c.ways+victim], c.clock)
+		}
+		if c.lru == nil {
+			c.policy.OnEvict(set, victim)
+		}
 	}
 
-	ln := c.line(set, victim)
-	ln.tag = tag
-	ln.valid = true
-	ln.dirty = a.Write
-	ln.prefetched = false
-	ln.filledAt = c.clock
-	ln.lastHitAt = c.clock
-	c.policy.OnFill(set, victim, a)
+	nk := want
+	if a.Write {
+		nk |= keyDirty
+	}
+	keys[victim] = nk
+	if c.lines != nil {
+		ln := &c.lines[int(set)*c.ways+victim]
+		ln.filledAt = c.clock
+		ln.lastHitAt = c.clock
+	}
+	if c.lru != nil {
+		if *c.lruInsert {
+			c.lru.Demote(set, victim)
+		} else {
+			c.lru.Promote(set, victim)
+		}
+	} else {
+		c.policy.OnFill(set, victim, a)
+	}
 	return res
 }
 
@@ -212,19 +287,18 @@ type PrefetchPlacer interface {
 // dropped. It reports whether the block was placed (false also when it
 // was already resident).
 func (c *Cache) InsertPrefetch(a mem.Access) bool {
-	set := mem.SetIndex(a.Addr, c.sets)
-	tag := mem.Tag(a.Addr, c.setBits)
-	for w := 0; w < c.ways; w++ {
-		ln := c.line(set, w)
-		if ln.valid && ln.tag == tag {
+	bn := a.Addr >> mem.BlockBits
+	set := uint32(bn & c.setMask)
+	tag := bn >> c.tagShift
+	keys := c.setKeys(set)
+	want := lineKey(tag)
+	victim := -1
+	for w, k := range keys {
+		if k&^keyFlags == want {
 			return false // already resident
 		}
-	}
-	victim := -1
-	for w := 0; w < c.ways; w++ {
-		if !c.line(set, w).valid {
+		if k == 0 && victim < 0 {
 			victim = w
-			break
 		}
 	}
 	if victim < 0 {
@@ -237,22 +311,22 @@ func (c *Cache) InsertPrefetch(a mem.Access) bool {
 			return false
 		}
 		victim = v
-		ln := c.line(set, victim)
 		c.stats.Evictions++
-		if ln.dirty {
+		if keys[victim]&keyDirty != 0 {
 			c.stats.Writebacks++
 		}
 		c.clock++ // prefetch fills advance residency time like accesses
-		c.eff.account(set, victim, ln, c.clock)
+		if c.lines != nil {
+			c.eff.account(set, victim, c.line(set, victim), c.clock)
+		}
 		c.policy.OnEvict(set, victim)
 	}
-	ln := c.line(set, victim)
-	ln.tag = tag
-	ln.valid = true
-	ln.dirty = false
-	ln.prefetched = true
-	ln.filledAt = c.clock
-	ln.lastHitAt = c.clock
+	keys[victim] = want | keyPrefetched
+	if c.lines != nil {
+		ln := c.line(set, victim)
+		ln.filledAt = c.clock
+		ln.lastHitAt = c.clock
+	}
 	c.stats.Prefetches++
 	c.policy.OnFill(set, victim, a)
 	return true
@@ -267,11 +341,11 @@ func (c *Cache) blockAddr(set uint32, tag uint64) uint64 {
 // not perturb policy or statistics state; tests and the hierarchy's
 // inclusion checks use it.
 func (c *Cache) Contains(addr uint64) bool {
-	set := mem.SetIndex(addr, c.sets)
-	tag := mem.Tag(addr, c.setBits)
-	for w := 0; w < c.ways; w++ {
-		ln := c.line(set, w)
-		if ln.valid && ln.tag == tag {
+	bn := addr >> mem.BlockBits
+	want := lineKey(bn >> c.tagShift)
+	keys := c.setKeys(uint32(bn & c.setMask))
+	for _, k := range keys {
+		if k&^keyFlags == want {
 			return true
 		}
 	}
@@ -281,8 +355,8 @@ func (c *Cache) Contains(addr uint64) bool {
 // ValidCount returns the number of valid lines (for occupancy tests).
 func (c *Cache) ValidCount() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid {
+	for _, k := range c.keys {
+		if k != 0 {
 			n++
 		}
 	}
@@ -293,14 +367,18 @@ func (c *Cache) ValidCount() int {
 // still-resident lines as if evicted now. Call it once, after the last
 // access, before reading Efficiency or LineEfficiencies.
 func (c *Cache) Finish() {
+	if c.lines == nil {
+		return
+	}
 	for s := 0; s < c.sets; s++ {
 		for w := 0; w < c.ways; w++ {
-			ln := c.line(uint32(s), w)
-			if ln.valid {
-				c.eff.account(uint32(s), w, ln, c.clock)
-				ln.filledAt = c.clock
-				ln.lastHitAt = c.clock
+			if c.keys[s*c.ways+w] == 0 {
+				continue
 			}
+			ln := c.line(uint32(s), w)
+			c.eff.account(uint32(s), w, ln, c.clock)
+			ln.filledAt = c.clock
+			ln.lastHitAt = c.clock
 		}
 	}
 }
@@ -354,6 +432,10 @@ func (e *efficiency) perLine(sets, ways int) [][]float64 {
 	out := make([][]float64, sets)
 	for s := 0; s < sets; s++ {
 		row := make([]float64, ways)
+		if e.total == nil {
+			out[s] = row
+			continue
+		}
 		for w := 0; w < ways; w++ {
 			i := s*ways + w
 			if e.total[i] > 0 {

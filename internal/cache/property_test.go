@@ -173,7 +173,7 @@ func TestPropertyEfficiencyAccounting(t *testing.T) {
 	c.Access(mem.Access{Addr: addr(0)}) // clock 1: fill block 0
 	c.Access(mem.Access{Addr: addr(1)}) // clock 2: fill block 1
 	c.Access(mem.Access{Addr: addr(0)}) // clock 3: hit block 0 (last touch)
-	for i := 0; i < 4; i++ { // clocks 4..7: four dead accesses elsewhere
+	for i := 0; i < 4; i++ {            // clocks 4..7: four dead accesses elsewhere
 		c.Access(mem.Access{Addr: addr(1)})
 	}
 	r := c.Access(mem.Access{Addr: addr(2)}) // clock 8: evicts block 0 (LRU)

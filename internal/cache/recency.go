@@ -1,0 +1,86 @@
+package cache
+
+import "bytes"
+
+// Recency is an exact per-set LRU recency stack: position 0 is MRU,
+// ways-1 is LRU. It is the state behind the plain LRU policy, defined
+// here so the cache can drive it through direct calls on the hot path
+// (see PlainLRU) while the policy package re-exports it through the
+// Policy interface for every composed variant (DIP, TADIP, dead-block
+// replacement bases).
+type Recency struct {
+	ways int
+	pos  []uint8 // sets*ways stack positions, row-major by set
+}
+
+// Reset sizes the stack for a geometry and installs an arbitrary valid
+// permutation per set.
+func (s *Recency) Reset(sets, ways int) {
+	s.ways = ways
+	s.pos = make([]uint8, sets*ways)
+	for i := range s.pos {
+		s.pos[i] = uint8(i % ways)
+	}
+}
+
+// set returns one set's positions as a full-capacity subslice so the
+// per-access loops index with a single bounds check.
+func (s *Recency) set(set uint32) []uint8 {
+	base := int(set) * s.ways
+	return s.pos[base : base+s.ways : base+s.ways]
+}
+
+// Promote moves way to the MRU position of set.
+func (s *Recency) Promote(set uint32, way int) {
+	pos := s.set(set)
+	old := pos[way]
+	for w := range pos {
+		if pos[w] < old {
+			pos[w]++
+		}
+	}
+	pos[way] = 0
+}
+
+// Demote moves way to the LRU position of set.
+func (s *Recency) Demote(set uint32, way int) {
+	pos := s.set(set)
+	old := pos[way]
+	for w := range pos {
+		if pos[w] > old {
+			pos[w]--
+		}
+	}
+	pos[way] = uint8(s.ways - 1)
+}
+
+// Victim returns the LRU way of set.
+func (s *Recency) Victim(set uint32) int {
+	if w := bytes.IndexByte(s.set(set), uint8(s.ways-1)); w >= 0 {
+		return w
+	}
+	// Unreachable while pos holds a permutation per set.
+	return s.ways - 1
+}
+
+// Pos returns way's stack position in set (0 = MRU).
+func (s *Recency) Pos(set uint32, way int) int {
+	return int(s.pos[int(set)*s.ways+way])
+}
+
+// PlainLRU is implemented by the plain true-LRU policy. When a cache's
+// policy is exactly that — no overriding wrapper, no bypass, no access
+// or evict hooks — the cache runs the replacement bookkeeping through
+// direct calls on the Recency state instead of interface dispatch. The
+// L1 and L2 caches are always plain LRU, so this devirtualizes the most
+// executed path in the simulator.
+type PlainLRU interface {
+	Policy
+	// PlainLRU returns the policy's recency state, the location of its
+	// insert-at-LRU flag (read at every fill, so toggling it stays
+	// visible), and the policy itself. The self return lets the cache
+	// reject a method promoted through struct embedding: a wrapper that
+	// embeds the plain LRU would return the inner policy, not itself,
+	// and must keep full interface dispatch.
+	PlainLRU() (rec *Recency, insertLRU *bool, self Policy)
+}

@@ -50,6 +50,11 @@ type memOp struct {
 type Core struct {
 	cfg Config
 
+	// invWidth is 1/Width when that reciprocal is exact (Width a power
+	// of two), else 0; Record then multiplies instead of dividing with
+	// bit-identical results.
+	invWidth float64
+
 	instructions uint64  // total instructions fetched (gap + memory ops)
 	fetch        float64 // cycle the fetch frontier has reached
 	lastRetire   float64 // retire time of the newest retired-order op
@@ -69,7 +74,29 @@ func New(cfg Config) *Core {
 	if cfg.Width < 1 || cfg.WindowSize < 1 {
 		panic("cpu: invalid core configuration")
 	}
-	return &Core{cfg: cfg, fetch: float64(cfg.PipelineDepth)}
+	// The window slice is compacted once windowHead passes 4096. At most
+	// WindowSize ops are ever live (each op retires a distinct
+	// instruction), and windowHead can overshoot the compaction mark by
+	// one windowful in a single Record, so this capacity is the slice's
+	// high-water mark: Record never grows it.
+	c := &Core{
+		cfg:    cfg,
+		fetch:  float64(cfg.PipelineDepth),
+		window: make([]memOp, 0, 4096+2*cfg.WindowSize+16),
+	}
+	if cfg.Width&(cfg.Width-1) == 0 {
+		c.invWidth = 1 / float64(cfg.Width)
+	}
+	return c
+}
+
+// perWidth converts an instruction count to fetch cycles: n/Width, via
+// the exact reciprocal when one exists.
+func (c *Core) perWidth(n float64) float64 {
+	if c.invWidth != 0 {
+		return n * c.invWidth
+	}
+	return n / float64(c.cfg.Width)
 }
 
 // Record accounts one memory instruction preceded by gap non-memory
@@ -77,11 +104,9 @@ func New(cfg Config) *Core {
 // (LatL1..LatMem); dependent marks a load whose address depends on the
 // previous load.
 func (c *Core) Record(gap uint32, latency int, dependent bool) {
-	w := float64(c.cfg.Width)
-
 	// Fetch the gap instructions and the memory op itself.
 	c.instructions += uint64(gap) + 1
-	c.fetch += (float64(gap) + 1) / w
+	c.fetch += c.perWidth(float64(gap) + 1)
 
 	// Window constraint: the op cannot be fetched until the instruction
 	// WindowSize older has retired. Pop ops that have fallen out of the
@@ -137,7 +162,7 @@ func (c *Core) ChargeDRAM() {
 // Tail accounts trailing non-memory instructions after the last access.
 func (c *Core) Tail(gap uint32) {
 	c.instructions += uint64(gap)
-	c.fetch += float64(gap) / float64(c.cfg.Width)
+	c.fetch += c.perWidth(float64(gap))
 }
 
 // Instructions returns the number of instructions accounted so far.

@@ -111,9 +111,14 @@ type Core struct {
 // NewCore builds a private L1/L2 stack in front of llc (which may be
 // shared with other cores, or nil for capture-only runs).
 func NewCore(cfg Config, llc *cache.Cache) *Core {
+	// Only the LLC's efficiency is ever reported; skipping the private
+	// levels' accounting keeps their hit path free of per-line metadata.
+	l1, l2 := cfg.L1, cfg.L2
+	l1.SkipEfficiency = true
+	l2.SkipEfficiency = true
 	return &Core{
-		L1:         cache.New(cfg.L1, policy.NewLRU()),
-		L2:         cache.New(cfg.L2, policy.NewLRU()),
+		L1:         cache.New(l1, policy.NewLRU()),
+		L2:         cache.New(l2, policy.NewLRU()),
 		LLC:        llc,
 		writebacks: cfg.PropagateWritebacks,
 	}

@@ -1,0 +1,67 @@
+package mem
+
+import "math/bits"
+
+// Divisor performs exact modulo reduction by a fixed divisor using
+// multiplies instead of the hardware divide. The generators draw two to
+// three bounded randoms per access, always with loop-invariant divisors
+// (gap ranges, mix weights, region sizes); a 64-bit divide costs tens of
+// cycles, while this direct-remainder computation (Lemire & Kaser,
+// "Faster Remainder by Direct Computation") is a handful of multiplies.
+// Mod(x) equals x % d bit-for-bit for every x, so streams are unchanged.
+type Divisor struct {
+	d uint64
+	// chi:clo is ceil(2^128 / d) as a 128-bit integer. With a 64-bit
+	// numerator the required fixed-point width is 128 bits: the theorem
+	// needs 2^N >= 2^W * d, and N = 128, W = 64 covers every d.
+	chi, clo uint64
+	// mask is d-1 when d is a power of two; those reduce with one AND.
+	mask  uint64
+	isPow bool
+}
+
+// NewDivisor returns a Divisor computing x % d. It panics if d is zero.
+func NewDivisor(d uint64) Divisor {
+	if d == 0 {
+		panic("mem.NewDivisor: zero divisor")
+	}
+	v := Divisor{d: d}
+	if d&(d-1) == 0 {
+		v.mask = d - 1
+		v.isPow = true
+		return v
+	}
+	// ceil(2^128/d): divide 2^128 = 2^64 * 2^64 by d in two long-division
+	// steps, then round up (d is not a power of two here, so the division
+	// is inexact and ceil = floor + 1).
+	q0, r0 := bits.Div64(1, 0, d) // 2^64 = q0*d + r0
+	q1, _ := bits.Div64(r0, 0, d) // 2^128 = (q0<<64 + q1)*d + r1, r1 > 0
+	var carry uint64
+	v.clo, carry = bits.Add64(q1, 1, 0)
+	v.chi = q0 + carry
+	return v
+}
+
+// D returns the divisor value (0 for the zero Divisor).
+func (v Divisor) D() uint64 { return v.d }
+
+// Mod returns x % d.
+func (v Divisor) Mod(x uint64) uint64 {
+	if v.isPow {
+		return x & v.mask
+	}
+	// lowbits = c*x mod 2^128; the remainder is then the integer part of
+	// lowbits * d / 2^128.
+	p1h, p1l := bits.Mul64(v.clo, x)
+	lh := p1h + v.chi*x
+	ah, al := bits.Mul64(lh, v.d)
+	bh, _ := bits.Mul64(p1l, v.d)
+	_, carry := bits.Add64(al, bh, 0)
+	return ah + carry
+}
+
+// IntnDiv returns a pseudo-random int in [0, v.D()), drawing exactly one
+// Uint64 — the same stream position and value Intn(v.D()) would produce.
+func (r *Rand) IntnDiv(v Divisor) int {
+	return int(v.Mod(r.Uint64()))
+}

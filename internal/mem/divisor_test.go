@@ -1,0 +1,67 @@
+package mem
+
+import "testing"
+
+// TestDivisorMatchesHardwareModulo checks Mod against % for edge-case
+// divisors and a randomized sweep — the generators' determinism depends
+// on the two being bit-identical.
+func TestDivisorMatchesHardwareModulo(t *testing.T) {
+	divisors := []uint64{
+		1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 33, 100, 101,
+		255, 256, 257, 1 << 20, 1<<20 + 1, 1<<32 - 1, 1 << 32, 1<<32 + 1,
+		1<<63 - 1, 1 << 63, 1<<63 + 1, ^uint64(0) - 1, ^uint64(0),
+	}
+	xs := []uint64{
+		0, 1, 2, 3, 15, 16, 255, 1<<32 - 1, 1 << 32, 1<<63 - 1, 1 << 63,
+		^uint64(0) - 1, ^uint64(0),
+	}
+	for _, d := range divisors {
+		v := NewDivisor(d)
+		if v.D() != d {
+			t.Fatalf("D() = %d, want %d", v.D(), d)
+		}
+		for _, x := range xs {
+			if got, want := v.Mod(x), x%d; got != want {
+				t.Fatalf("Divisor(%d).Mod(%d) = %d, want %d", d, x, got, want)
+			}
+		}
+	}
+
+	r := NewRand(0xd1f)
+	for i := 0; i < 200000; i++ {
+		d := r.Uint64()
+		if i%3 == 0 {
+			d &= 0xffff // small divisors dominate real call sites
+		}
+		if d == 0 {
+			d = 1
+		}
+		x := r.Uint64()
+		if got, want := NewDivisor(d).Mod(x), x%d; got != want {
+			t.Fatalf("Divisor(%d).Mod(%d) = %d, want %d", d, x, got, want)
+		}
+	}
+}
+
+// TestIntnDivMatchesIntn checks that IntnDiv consumes the stream exactly
+// like Intn and yields the same values.
+func TestIntnDivMatchesIntn(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 1000, 1 << 30} {
+		a, b := NewRand(42), NewRand(42)
+		v := NewDivisor(uint64(n))
+		for i := 0; i < 1000; i++ {
+			if got, want := a.IntnDiv(v), b.Intn(n); got != want {
+				t.Fatalf("IntnDiv(%d) draw %d = %d, want %d", n, i, got, want)
+			}
+		}
+	}
+}
+
+func TestNewDivisorZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDivisor(0) did not panic")
+		}
+	}()
+	NewDivisor(0)
+}

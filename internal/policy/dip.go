@@ -47,9 +47,9 @@ func (p *DIP) OnFill(set uint32, way int, _ mem.Access) {
 	p.d.onMiss(set)
 	useBIP := p.d.choose(set)
 	if useBIP && !p.rng.Chance(bipEpsilon) {
-		p.lru.demote(set, way)
+		p.lru.rec.Demote(set, way)
 	} else {
-		p.lru.promote(set, way)
+		p.lru.rec.Promote(set, way)
 	}
 }
 
@@ -110,9 +110,9 @@ func (p *TADIP) OnFill(set uint32, way int, a mem.Access) {
 	d := p.duelFor(a)
 	d.onMiss(set)
 	if d.choose(set) && !p.rng.Chance(bipEpsilon) {
-		p.lru.demote(set, way)
+		p.lru.rec.Demote(set, way)
 	} else {
-		p.lru.promote(set, way)
+		p.lru.rec.Promote(set, way)
 	}
 }
 

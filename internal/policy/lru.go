@@ -20,11 +20,12 @@ type Ranked interface {
 }
 
 // LRU is a true least-recently-used policy: each set maintains an exact
-// recency stack. The paper's baseline LLC and its L1/L2 caches use it.
+// recency stack (a cache.Recency). The paper's baseline LLC and its
+// L1/L2 caches use it; via cache.PlainLRU the cache drives the stack
+// directly when the policy is exactly this one.
 type LRU struct {
 	cache.Base
-	ways int
-	pos  []uint8 // sets*ways; 0 = MRU, ways-1 = LRU
+	rec cache.Recency
 
 	// InsertLRU, when true, places new blocks in the LRU position
 	// instead of MRU (the LIP building block of DIP).
@@ -38,77 +39,40 @@ func NewLRU() *LRU { return &LRU{} }
 func (p *LRU) Name() string { return "LRU" }
 
 // Reset implements cache.Policy.
-func (p *LRU) Reset(sets, ways int) {
-	p.ways = ways
-	p.pos = make([]uint8, sets*ways)
-	for i := range p.pos {
-		p.pos[i] = uint8(i % ways) // arbitrary valid permutation per set
-	}
-}
+func (p *LRU) Reset(sets, ways int) { p.rec.Reset(sets, ways) }
 
-func (p *LRU) idx(set uint32, way int) int { return int(set)*p.ways + way }
-
-// promote moves way to the MRU position of set.
-func (p *LRU) promote(set uint32, way int) {
-	old := p.pos[p.idx(set, way)]
-	base := int(set) * p.ways
-	for w := 0; w < p.ways; w++ {
-		if p.pos[base+w] < old {
-			p.pos[base+w]++
-		}
-	}
-	p.pos[p.idx(set, way)] = 0
-}
-
-// demote moves way to the LRU position of set.
-func (p *LRU) demote(set uint32, way int) {
-	old := p.pos[p.idx(set, way)]
-	base := int(set) * p.ways
-	for w := 0; w < p.ways; w++ {
-		if p.pos[base+w] > old {
-			p.pos[base+w]--
-		}
-	}
-	p.pos[p.idx(set, way)] = uint8(p.ways - 1)
+// PlainLRU implements cache.PlainLRU, enabling the cache's
+// devirtualized hot path when this policy is used unwrapped.
+func (p *LRU) PlainLRU() (*cache.Recency, *bool, cache.Policy) {
+	return &p.rec, &p.InsertLRU, p
 }
 
 // OnHit implements cache.Policy: hits promote to MRU.
-func (p *LRU) OnHit(set uint32, way int, _ mem.Access) { p.promote(set, way) }
+func (p *LRU) OnHit(set uint32, way int, _ mem.Access) { p.rec.Promote(set, way) }
 
 // OnFill implements cache.Policy: fills insert at MRU (or LRU when
 // InsertLRU is set).
 func (p *LRU) OnFill(set uint32, way int, _ mem.Access) {
 	if p.InsertLRU {
-		p.demote(set, way)
+		p.rec.Demote(set, way)
 	} else {
-		p.promote(set, way)
+		p.rec.Promote(set, way)
 	}
 }
 
 // Victim implements cache.Policy: evict the LRU way.
-func (p *LRU) Victim(set uint32, _ mem.Access) int {
-	base := int(set) * p.ways
-	for w := 0; w < p.ways; w++ {
-		if p.pos[base+w] == uint8(p.ways-1) {
-			return w
-		}
-	}
-	// Unreachable while pos holds a permutation per set.
-	return p.ways - 1
-}
+func (p *LRU) Victim(set uint32, _ mem.Access) int { return p.rec.Victim(set) }
 
 // Rank implements Ranked: the stack position itself.
-func (p *LRU) Rank(set uint32, way int) int {
-	return int(p.pos[p.idx(set, way)])
-}
+func (p *LRU) Rank(set uint32, way int) int { return p.rec.Pos(set, way) }
 
 // StackPos returns way's recency position in set (0 = MRU). Tests and
 // the dead-block policy use it.
-func (p *LRU) StackPos(set uint32, way int) int { return p.Rank(set, way) }
+func (p *LRU) StackPos(set uint32, way int) int { return p.rec.Pos(set, way) }
 
 // PrefetchVictim implements cache.PrefetchPlacer: plain LRU lets a
 // prefetch displace the LRU block — the polluting placement the
 // dead-block-directed prefetcher is compared against.
 func (p *LRU) PrefetchVictim(set uint32) (int, bool) {
-	return p.Victim(set, mem.Access{}), true
+	return p.rec.Victim(set), true
 }

@@ -94,12 +94,21 @@ type samplerEntry struct {
 type Sampler struct {
 	cfg SamplerConfig
 
-	tables  [][]uint8 // cfg.Tables tables of 2-bit counters
+	// table holds cfg.Tables banks of 2-bit counters flattened into one
+	// contiguous slice (bank t occupies [t*TableEntries, (t+1)*TableEntries))
+	// so the per-prediction loop walks one allocation.
+	table   []uint8
 	salts   []uint64
 	entries []samplerEntry // SamplerSets*SamplerAssoc, row-major
 
-	llcSets  int
-	interval int // LLC sets per sampler set (llcSets/SamplerSets)
+	llcSets    int
+	llcSetBits uint
+	interval   int // LLC sets per sampler set (llcSets/SamplerSets)
+
+	// interval is always a power of two (both set counts are), so the
+	// per-access sampled-set test is a mask and a shift.
+	intervalMask  uint32
+	intervalShift uint
 
 	// Per-LLC-block signatures, used only when UseSampler is false
 	// (the predictor then trains directly from the LLC like reftrace).
@@ -146,16 +155,16 @@ func (s *Sampler) Config() SamplerConfig { return s.cfg }
 // Reset implements Predictor.
 func (s *Sampler) Reset(sets, ways int) {
 	s.llcSets = sets
+	s.llcSetBits = uint(mem.Log2(sets))
 	s.ways = ways
-	s.tables = make([][]uint8, s.cfg.Tables)
-	for i := range s.tables {
-		s.tables[i] = make([]uint8, s.cfg.TableEntries)
-	}
+	s.table = make([]uint8, s.cfg.Tables*s.cfg.TableEntries)
 	if s.cfg.UseSampler {
 		s.interval = sets / s.cfg.SamplerSets
 		if s.interval < 1 {
 			s.interval = 1
 		}
+		s.intervalMask = uint32(s.interval - 1)
+		s.intervalShift = uint(mem.Log2(s.interval))
 		s.entries = make([]samplerEntry, s.cfg.SamplerSets*s.cfg.SamplerAssoc)
 		for i := range s.entries {
 			s.entries[i].lru = uint8(i % s.cfg.SamplerAssoc)
@@ -177,8 +186,8 @@ func (s *Sampler) tableIndex(t int, sig uint32) int {
 // confidence sums the counters the signature maps to.
 func (s *Sampler) confidence(sig uint32) int {
 	c := 0
-	for t := range s.tables {
-		c += int(s.tables[t][s.tableIndex(t, sig)])
+	for t := 0; t < s.cfg.Tables; t++ {
+		c += int(s.table[t*s.cfg.TableEntries+s.tableIndex(t, sig)])
 	}
 	return c
 }
@@ -195,14 +204,14 @@ func (s *Sampler) train(sig uint32, dead bool) {
 	if s.TrainHook != nil {
 		s.TrainHook(sig, dead)
 	}
-	for t := range s.tables {
-		i := s.tableIndex(t, sig)
+	for t := 0; t < s.cfg.Tables; t++ {
+		i := t*s.cfg.TableEntries + s.tableIndex(t, sig)
 		if dead {
-			if s.tables[t][i] < 3 {
-				s.tables[t][i]++
+			if s.table[i] < 3 {
+				s.table[i]++
 			}
-		} else if s.tables[t][i] > 0 {
-			s.tables[t][i]--
+		} else if s.table[i] > 0 {
+			s.table[i]--
 		}
 	}
 }
@@ -210,10 +219,10 @@ func (s *Sampler) train(sig uint32, dead bool) {
 // sampled reports whether an LLC set is tracked by the sampler, and
 // which sampler set tracks it.
 func (s *Sampler) sampled(set uint32) (int, bool) {
-	if int(set)%s.interval != 0 {
+	if set&s.intervalMask != 0 {
 		return 0, false
 	}
-	ss := int(set) / s.interval
+	ss := int(set >> s.intervalShift)
 	if ss >= s.cfg.SamplerSets {
 		return 0, false
 	}
@@ -228,6 +237,12 @@ func (s *Sampler) sampled(set uint32) (int, bool) {
 // vanishingly rare.
 func partialTag(addr uint64, llcSets int) uint32 {
 	return uint32(mem.Mix64(mem.BlockNumber(addr)>>uint(mem.Log2(llcSets)))) & sigMask
+}
+
+// partialTagShifted is partialTag with the set-bit count precomputed
+// (the per-access path avoids re-deriving Log2(llcSets)).
+func partialTagShifted(addr uint64, llcSetBits uint) uint32 {
+	return uint32(mem.Mix64(mem.BlockNumber(addr)>>llcSetBits)) & sigMask
 }
 
 // OnAccess implements Predictor: on an access to a sampled LLC set, the
@@ -246,19 +261,27 @@ func (s *Sampler) OnAccess(set uint32, a mem.Access) {
 		return
 	}
 	s.updates++
-	tag := partialTag(a.Addr, s.llcSets)
+	tag := partialTagShifted(a.Addr, s.llcSetBits)
 	sig := pcSignature(a.PC)
 	base := ss * s.cfg.SamplerAssoc
+	ents := s.entries[base : base+s.cfg.SamplerAssoc : base+s.cfg.SamplerAssoc]
 
-	// Search.
-	for w := 0; w < s.cfg.SamplerAssoc; w++ {
-		e := &s.entries[base+w]
-		if e.valid && e.tag == tag {
+	// Search, noting the first invalid entry so a miss does not rescan.
+	invalid := -1
+	for w := range ents {
+		e := &ents[w]
+		if !e.valid {
+			if invalid < 0 {
+				invalid = w
+			}
+			continue
+		}
+		if e.tag == tag {
 			// The previous signature was not the last touch.
 			s.train(e.sig, false)
 			e.sig = sig
 			e.dead = s.predict(sig)
-			s.promote(base, w)
+			s.promote(ents, w)
 			return
 		}
 	}
@@ -266,22 +289,17 @@ func (s *Sampler) OnAccess(set uint32, a mem.Access) {
 	// Miss: fill an invalid entry, else replace the LRU entry (the
 	// paper's sampler is plain LRU; its reduced associativity is what
 	// evicts likely-dead tags sooner).
-	victim := -1
-	for w := 0; w < s.cfg.SamplerAssoc; w++ {
-		if !s.entries[base+w].valid {
-			victim = w
-			break
-		}
-	}
+	victim := invalid
 	if victim < 0 {
-		for w := 0; w < s.cfg.SamplerAssoc; w++ {
-			if s.entries[base+w].lru == uint8(s.cfg.SamplerAssoc-1) {
+		lru := uint8(s.cfg.SamplerAssoc - 1)
+		for w := range ents {
+			if ents[w].lru == lru {
 				victim = w
 				break
 			}
 		}
 	}
-	e := &s.entries[base+victim]
+	e := &ents[victim]
 	if e.valid {
 		// The victim's signature was the last touch of its tag.
 		s.train(e.sig, true)
@@ -290,18 +308,18 @@ func (s *Sampler) OnAccess(set uint32, a mem.Access) {
 	e.sig = sig
 	e.valid = true
 	e.dead = s.predict(sig)
-	s.promote(base, victim)
+	s.promote(ents, victim)
 }
 
 // promote moves sampler entry way to MRU within its set.
-func (s *Sampler) promote(base, way int) {
-	old := s.entries[base+way].lru
-	for w := 0; w < s.cfg.SamplerAssoc; w++ {
-		if s.entries[base+w].lru < old {
-			s.entries[base+w].lru++
+func (s *Sampler) promote(ents []samplerEntry, way int) {
+	old := ents[way].lru
+	for w := range ents {
+		if ents[w].lru < old {
+			ents[w].lru++
 		}
 	}
-	s.entries[base+way].lru = 0
+	ents[way].lru = 0
 }
 
 // PredictArriving implements Predictor: prediction is a pure function of

@@ -12,8 +12,13 @@ import (
 	"sdbp/internal/hier"
 	"sdbp/internal/mem"
 	"sdbp/internal/predictor"
+	"sdbp/internal/trace"
 	"sdbp/internal/workloads"
 )
+
+// genBatch is the drive loop's generation buffer, in accesses: big
+// enough to amortize per-batch overhead, small enough to stay in L1.
+const genBatch = 256
 
 // SingleResult reports one single-core run.
 type SingleResult struct {
@@ -81,13 +86,30 @@ func RunSingle(w workloads.Workload, pol cache.Policy, opts SingleOptions) Singl
 	}
 
 	gen := w.Generator(opts.Scale)
-	for {
-		a, ok := gen.Next()
-		if !ok {
-			break
+	if bg, ok := gen.(trace.BatchGenerator); ok {
+		// Pull accesses in batches so the generator's interface dispatch
+		// is paid once per buffer instead of once per access.
+		var buf [genBatch]mem.Access
+		for {
+			n := bg.NextBatch(buf[:])
+			if n == 0 {
+				break
+			}
+			for i := range buf[:n] {
+				a := buf[i]
+				level := core.Access(a)
+				timing.Record(a.Gap, level.Latency(), a.DependentLoad)
+			}
 		}
-		level := core.Access(a)
-		timing.Record(a.Gap, level.Latency(), a.DependentLoad)
+	} else {
+		for {
+			a, ok := gen.Next()
+			if !ok {
+				break
+			}
+			level := core.Access(a)
+			timing.Record(a.Gap, level.Latency(), a.DependentLoad)
+		}
 	}
 	llc.Finish()
 

@@ -169,5 +169,13 @@ func (r *Reader) Next() (mem.Access, bool) {
 	return a, true
 }
 
+// NextBatch implements BatchGenerator: a bulk copy from the decoded
+// records.
+func (r *Reader) NextBatch(dst []mem.Access) int {
+	n := copy(dst, r.records[r.pos:])
+	r.pos += n
+	return n
+}
+
 // Len returns the number of records in the trace.
 func (r *Reader) Len() int { return len(r.records) }

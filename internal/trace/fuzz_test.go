@@ -31,9 +31,9 @@ func FuzzTraceFileRoundTrip(f *testing.F) {
 	f.Add(seedTrace(f, &Stream{Region: region, Burst: 2, Lag: 4, GapMean: 3}, 200))
 	f.Add(seedTrace(f, &PointerChase{Region: region, PCCount: 4}, 100))
 	f.Add(seedTrace(f, &RandomAccess{Region: region, PCCount: 8, WriteFrac: 0.5}, 100))
-	f.Add(traceMagic[:])       // header only, truncated count
-	f.Add([]byte("SDBPTRC9"))  // wrong magic
-	f.Add([]byte{})            // empty input
+	f.Add(traceMagic[:])                                    // header only, truncated count
+	f.Add([]byte("SDBPTRC9"))                               // wrong magic
+	f.Add([]byte{})                                         // empty input
 	f.Add(append(append([]byte{}, traceMagic[:]...), 0x05)) // count 5, no records
 
 	f.Fuzz(func(t *testing.T, data []byte) {

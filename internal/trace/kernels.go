@@ -36,6 +36,7 @@ type Stream struct {
 	pos   int
 	burst int
 	lag   bool
+	gaps  gapCache
 }
 
 // Reset implements Kernel.
@@ -54,13 +55,13 @@ func (k *Stream) Step(r *mem.Rand) mem.Access {
 			PC:    k.PCBase + 0x400,
 			Addr:  k.Region.Addr(k.pos-1-k.Lag, 0),
 			Write: k.WriteLag,
-			Gap:   gapFor(r, k.GapMean),
+			Gap:   k.gaps.draw(r, k.GapMean),
 		}
 	}
 	a := mem.Access{
 		PC:   k.PCBase + uint64(k.burst)*8,
 		Addr: k.Region.Addr(k.pos, k.burst*8),
-		Gap:  gapFor(r, k.GapMean),
+		Gap:  k.gaps.draw(r, k.GapMean),
 	}
 	k.burst++
 	if k.burst >= k.Burst {
@@ -123,6 +124,7 @@ type Generational struct {
 	passes int // total passes this generation (uses + 2)
 	pos    int // block within segment
 	epoch  int // completed laps over the region (Fresh addressing)
+	gaps   gapCache
 }
 
 // Reset implements Kernel.
@@ -205,7 +207,7 @@ func (k *Generational) Step(r *mem.Rand) mem.Access {
 			PC:    pc,
 			Addr:  addr,
 			Write: write,
-			Gap:   gapFor(r, k.GapMean),
+			Gap:   k.gaps.draw(r, k.GapMean),
 		}
 	}
 }
@@ -268,6 +270,8 @@ type PointerChase struct {
 
 	perm []int32
 	cur  int32
+	gaps gapCache
+	pcs  intnCache
 }
 
 // Reset implements Kernel: builds a fresh single-cycle permutation
@@ -294,10 +298,10 @@ func (k *PointerChase) Step(r *mem.Rand) mem.Access {
 		pcs = 1
 	}
 	a := mem.Access{
-		PC:            k.PCBase + uint64(r.Intn(pcs))*8,
+		PC:            k.PCBase + uint64(k.pcs.draw(r, pcs))*8,
 		Addr:          k.Region.Addr(int(k.cur), 0),
 		DependentLoad: true,
-		Gap:           gapFor(r, k.GapMean),
+		Gap:           k.gaps.draw(r, k.GapMean),
 	}
 	k.cur = k.perm[k.cur]
 	return a
@@ -317,6 +321,10 @@ type RandomAccess struct {
 	PCBase uint64
 	// GapMean is the mean non-memory instruction gap per access.
 	GapMean int
+
+	gaps   gapCache
+	pcs    intnCache
+	blocks intnCache
 }
 
 // Reset implements Kernel.
@@ -329,10 +337,10 @@ func (k *RandomAccess) Step(r *mem.Rand) mem.Access {
 		pcs = 1
 	}
 	return mem.Access{
-		PC:    k.PCBase + uint64(r.Intn(pcs))*8,
-		Addr:  k.Region.Addr(r.Intn(k.Region.Blocks), 0),
+		PC:    k.PCBase + uint64(k.pcs.draw(r, pcs))*8,
+		Addr:  k.Region.Addr(k.blocks.draw(r, k.Region.Blocks), 0),
 		Write: r.Chance(k.WriteFrac),
-		Gap:   gapFor(r, k.GapMean),
+		Gap:   k.gaps.draw(r, k.GapMean),
 	}
 }
 
@@ -347,7 +355,8 @@ type HotSet struct {
 	// GapMean is the mean non-memory instruction gap per access.
 	GapMean int
 
-	pos int
+	pos  int
+	gaps gapCache
 }
 
 // Reset implements Kernel.
@@ -358,7 +367,7 @@ func (k *HotSet) Step(r *mem.Rand) mem.Access {
 	a := mem.Access{
 		PC:   k.PCBase + uint64(k.pos&7)*8,
 		Addr: k.Region.Addr(k.pos, 0),
-		Gap:  gapFor(r, k.GapMean),
+		Gap:  k.gaps.draw(r, k.GapMean),
 	}
 	k.pos++
 	if k.pos >= k.Region.Blocks {
@@ -383,6 +392,7 @@ type Mix struct {
 	Members []Weighted
 
 	total int
+	pick  intnCache
 }
 
 // NewMix builds an interleaving of the given members.
@@ -409,11 +419,11 @@ func (m *Mix) Reset(r *mem.Rand) {
 
 // Step implements Kernel.
 func (m *Mix) Step(r *mem.Rand) mem.Access {
-	pick := r.Intn(m.total)
-	for _, w := range m.Members {
-		pick -= w.Weight
+	pick := m.pick.draw(r, m.total)
+	for i := range m.Members {
+		pick -= m.Members[i].Weight
 		if pick < 0 {
-			return w.Kernel.Step(r)
+			return m.Members[i].Kernel.Step(r)
 		}
 	}
 	return m.Members[len(m.Members)-1].Kernel.Step(r)

@@ -26,9 +26,13 @@ type Region struct {
 // Addr returns the byte address of block i (mod the region length) at
 // the given intra-block offset.
 func (r Region) Addr(i int, offset int) uint64 {
-	i %= r.Blocks
-	if i < 0 {
-		i += r.Blocks
+	// Kernels almost always pass an in-range index; the reduction is
+	// only needed for wrapped cursors and negative strides.
+	if uint(i) >= uint(r.Blocks) {
+		i %= r.Blocks
+		if i < 0 {
+			i += r.Blocks
+		}
 	}
 	return r.Base + uint64(i)*mem.BlockSize + uint64(offset&(mem.BlockSize-1))
 }
@@ -46,13 +50,42 @@ type Kernel interface {
 	Step(r *mem.Rand) mem.Access
 }
 
-// gapFor samples the non-memory instruction gap preceding an access,
-// uniform in [0, 2*mean] so the mean is mean.
-func gapFor(r *mem.Rand, mean int) uint32 {
+// intnCache memoizes the Divisor for one bounded-random call site whose
+// bound is loop-invariant in practice (gap ranges, mix weights, region
+// sizes), replacing the hardware divide in the generation hot path. The
+// draw matches r.Intn(n) bit-for-bit and re-derives the Divisor if the
+// bound ever changes. draw and its check stay small enough to inline
+// into the kernel Step methods; only the cold rebuild is a call.
+type intnCache struct {
+	div mem.Divisor
+}
+
+func (c *intnCache) draw(r *mem.Rand, n int) int {
+	if c.div.D() != uint64(n) {
+		c.rebuild(n)
+	}
+	return int(c.div.Mod(r.Uint64()))
+}
+
+func (c *intnCache) rebuild(n int) {
+	if n <= 0 {
+		panic("mem.Rand.Intn: n must be positive")
+	}
+	c.div = mem.NewDivisor(uint64(n))
+}
+
+// gapCache samples the non-memory instruction gap preceding an access,
+// uniform in [0, 2*mean] so the mean is mean; non-positive means draw
+// nothing and yield 0. It is an intnCache for the divisor 2m+1.
+type gapCache struct {
+	c intnCache
+}
+
+func (g *gapCache) draw(r *mem.Rand, mean int) uint32 {
 	if mean <= 0 {
 		return 0
 	}
-	return uint32(r.Intn(2*mean + 1))
+	return uint32(g.c.draw(r, 2*mean+1))
 }
 
 // Program adapts a Kernel to the Generator interface, bounding the
@@ -91,6 +124,31 @@ func (p *Program) Next() (mem.Access, bool) {
 	}
 	p.n++
 	return p.kernel.Step(p.r), true
+}
+
+// BatchGenerator is implemented by generators that can fill a caller's
+// buffer in one call, so drive loops pay the interface dispatch once
+// per batch instead of once per access. The stream produced is
+// identical to repeated Next calls.
+type BatchGenerator interface {
+	Generator
+	// NextBatch fills dst from the stream and returns how many accesses
+	// were produced; 0 means the stream is exhausted.
+	NextBatch(dst []mem.Access) int
+}
+
+// NextBatch implements BatchGenerator.
+func (p *Program) NextBatch(dst []mem.Access) int {
+	n := p.length - p.n
+	if n > len(dst) {
+		n = len(dst)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = p.kernel.Step(p.r)
+	}
+	p.n += n
+	return n
 }
 
 // Length returns the program's total access count.
