@@ -8,6 +8,8 @@
 //	experiments -timeout 10m          # bound each simulation job
 //	experiments -checkpoint run.ckpt  # journal finished cells
 //	experiments -resume -checkpoint run.ckpt  # skip finished cells
+//	experiments -metrics run.json     # write the run manifest + metrics
+//	experiments -pprof localhost:6060 # live net/http/pprof endpoint
 //
 // The harness is fault tolerant: a panicking, hung or failed
 // simulation job is isolated and reported, its table cell prints as
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"sdbp/internal/figures"
+	"sdbp/internal/obs"
 	"sdbp/internal/runner"
 )
 
@@ -116,6 +119,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checkpoint := fs.String("checkpoint", "", "journal completed cells to this file")
 	resume := fs.Bool("resume", false, "skip cells already in the checkpoint (default file experiments.ckpt)")
 	quiet := fs.Bool("quiet", false, "suppress per-job progress logging")
+	metrics := fs.String("metrics", "", "write the run manifest (config, counters, timing) to this JSON file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	snapshot := fs.Duration("snapshot", 30*time.Second, "interval between campaign progress snapshots on stderr (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -132,12 +138,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	started := time.Now()
+	reg := obs.NewRegistry()
 	env := figures.DefaultEnv()
 	env.Ctx = ctx
 	env.Timeout = *timeout
 	env.Retries = *retries
+	env.Obs = reg
 	if !*quiet {
 		env.Progress = progressLogger(stderr)
+	}
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr, stderr); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if *snapshot > 0 && !*quiet {
+		stop := startSnapshots(reg, *snapshot, stderr)
+		defer stop()
 	}
 	if *resume && *checkpoint == "" {
 		*checkpoint = "experiments.ckpt"
@@ -156,12 +175,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	run := func(key string) bool { return len(want) == 0 || want[key] }
+	var ranSections []string
 	section := func(name string, f func()) {
 		if !run(name) || ctx.Err() != nil {
 			return
 		}
+		sp := reg.StartSpan("section:" + name)
 		start := time.Now()
 		f()
+		sp.End()
+		ranSections = append(ranSections, name)
 		fmt.Fprintf(stdout, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
@@ -221,7 +244,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			"threshold", figures.ThresholdSweepEnv(env, *scale, thrs), thrs))
 	})
 
-	return summarize(env, ctx, *checkpoint, stderr)
+	code := summarize(env, ctx, *checkpoint, stderr)
+	if *metrics != "" {
+		// Written even after failures or an interrupt: a partial
+		// manifest is still the run's provenance record.
+		if err := writeManifest(*metrics, reg, fs, *scale, *only, ranSections, started); err != nil {
+			fmt.Fprintf(stderr, "experiments: writing manifest: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		} else if !*quiet {
+			fmt.Fprintf(stderr, "metrics: manifest written to %s\n", *metrics)
+		}
+	}
+	return code
 }
 
 // summarize prints the end-of-run failure report and picks the exit

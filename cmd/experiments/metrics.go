@@ -1,0 +1,111 @@
+package main
+
+// Observability plumbing for the experiments command: the -metrics run
+// manifest, the -pprof live-profiling endpoint, and the periodic
+// progress snapshots that extend the per-job ETA logging with
+// campaign-level throughput. All of it reads the obs.Registry the
+// runner and simulator populate at experiment boundaries; nothing here
+// touches the per-access hot path.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"strconv"
+	"strings"
+	"time"
+
+	"sdbp/internal/obs"
+)
+
+// simCounter reads one sim_* counter from the registry without
+// creating it.
+func simCounter(reg *obs.Registry, name string) uint64 {
+	return reg.CounterValue(obs.SimPrefix + name)
+}
+
+// writeManifest records the run's provenance — flag values, sections
+// run, deterministic aggregate simulator counters, job accounting and
+// wall-clock timing — as JSON at path. See EXPERIMENTS.md for the
+// schema and how to diff two manifests.
+func writeManifest(path string, reg *obs.Registry, fs *flag.FlagSet, scale float64, only string, ran []string, started time.Time) error {
+	m := obs.NewManifest("experiments")
+	m.Flags = map[string]string{}
+	fs.VisitAll(func(f *flag.Flag) { m.Flags[f.Name] = f.Value.String() })
+
+	// The deterministic section's config: everything that shapes the
+	// simulated work, and nothing (like output paths) that doesn't.
+	m.Sim.Config["scale"] = strconv.FormatFloat(scale, 'g', -1, 64)
+	m.Sim.Config["only"] = only
+	m.Sim.Config["sections"] = strings.Join(ran, ",")
+	m.Sim.Config["seed_scheme"] = "per-workload stable index (internal/workloads)"
+
+	// Campaign-level throughput, derived at the run boundary.
+	wall := time.Since(started)
+	if acc := simCounter(reg, "l1_accesses"); acc > 0 && wall > 0 {
+		reg.Gauge(obs.SimPrefix + "accesses_per_sec").Set(float64(acc) / wall.Seconds())
+	}
+	if cyc := simCounter(reg, "cycles"); cyc > 0 {
+		reg.Gauge(obs.SimPrefix + "aggregate_ipc").Set(
+			float64(simCounter(reg, "instructions")) / float64(cyc))
+	}
+
+	m.FillFromRegistry(reg)
+	m.Timing.Started = started.Format(time.RFC3339Nano)
+	m.Timing.WallMS = float64(wall) / float64(time.Millisecond)
+	return m.WriteFile(path)
+}
+
+// startPprof serves net/http/pprof on addr (host:port; port 0 picks a
+// free one) for live profiling of long campaigns. The listener stays
+// open for the life of the process.
+func startPprof(addr string, stderr io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("experiments: -pprof %s: %w", addr, err)
+	}
+	fmt.Fprintf(stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+	go func() { _ = http.Serve(ln, nil) }()
+	return nil
+}
+
+// startSnapshots logs a campaign-level progress line every interval:
+// jobs settled, accesses simulated, throughput since the last
+// snapshot, and aggregate simulated IPC. It complements the per-job
+// progress/ETA lines, which say nothing about simulation rate. The
+// returned stop function ends the loop.
+func startSnapshots(reg *obs.Registry, interval time.Duration, stderr io.Writer) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		start := time.Now()
+		lastAcc, lastAt := uint64(0), start
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				acc := simCounter(reg, "l1_accesses")
+				rate := float64(acc-lastAcc) / now.Sub(lastAt).Seconds()
+				settled := reg.CounterValue(obs.CtrJobsSucceeded) +
+					reg.CounterValue(obs.CtrJobsFailed) +
+					reg.CounterValue(obs.CtrJobsFromCheckpoint)
+				line := fmt.Sprintf("snapshot: %s elapsed, %d/%d jobs settled, %.1fM accesses (%.2fM/s)",
+					now.Sub(start).Round(time.Second),
+					settled, reg.CounterValue(obs.CtrJobsSubmitted),
+					float64(acc)/1e6, rate/1e6)
+				if cyc := simCounter(reg, "cycles"); cyc > 0 {
+					line += fmt.Sprintf(", sim IPC %.2f",
+						float64(simCounter(reg, "instructions"))/float64(cyc))
+				}
+				fmt.Fprintln(stderr, line)
+				lastAcc, lastAt = acc, now
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"sdbp/internal/obs"
 	"sdbp/internal/runner"
 	"sdbp/internal/sim"
 	"sdbp/internal/stats"
@@ -30,6 +31,10 @@ type Env struct {
 	Checkpoint *runner.Checkpoint
 	// Progress receives per-job completion events.
 	Progress func(runner.Event)
+	// Obs, when non-nil, accumulates campaign metrics: runner job
+	// accounting and the aggregate simulator counters of every
+	// completed run (see package obs).
+	Obs *obs.Registry
 
 	mu       sync.Mutex
 	failures []*runner.JobError
@@ -52,6 +57,7 @@ func (e *Env) options() runner.Options {
 		Retries:    e.Retries,
 		Checkpoint: e.Checkpoint,
 		Progress:   e.Progress,
+		Obs:        e.Obs,
 	}
 }
 

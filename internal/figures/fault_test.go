@@ -97,7 +97,15 @@ func TestMatrixDeterministicUnderParallelism(t *testing.T) {
 	benches := sortedNames(workloads.Subset())[:4]
 	specs := append([]PolicySpec{LRUSpec()}, StandardPolicies()[:2]...)
 	run := func() *Matrix {
-		return RunMatrix(benches, specs, sim.SingleOptions{Scale: tinyScale})
+		m := RunMatrix(benches, specs, sim.SingleOptions{Scale: tinyScale})
+		// Duration is wall-clock observability metadata, not simulated
+		// work; normalize it the way the golden tests strip section
+		// footers.
+		for k, r := range m.Results {
+			r.Duration = 0
+			m.Results[k] = r
+		}
+		return m
 	}
 	a, b := run(), run()
 	if !reflect.DeepEqual(a.Results, b.Results) {

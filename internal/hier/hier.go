@@ -124,6 +124,31 @@ func NewCore(cfg Config, llc *cache.Cache) *Core {
 	}
 }
 
+// LevelStats aggregates one core stack's counters across its levels.
+// Each level's Stats satisfies Hits+Misses == Accesses; the LLC entry
+// is shared-cache-wide when the LLC is shared.
+type LevelStats struct {
+	L1  cache.Stats
+	L2  cache.Stats
+	LLC cache.Stats
+}
+
+// Total sums the counters across levels — the campaign-level "work
+// simulated" figure the observability layer reports.
+func (s LevelStats) Total() cache.Stats {
+	return s.L1.Add(s.L2).Add(s.LLC)
+}
+
+// Stats returns the stack's per-level counters (a zero LLC entry for
+// capture-only cores with no LLC).
+func (c *Core) Stats() LevelStats {
+	s := LevelStats{L1: c.L1.Stats(), L2: c.L2.Stats()}
+	if c.LLC != nil {
+		s.LLC = c.LLC.Stats()
+	}
+	return s
+}
+
 // CaptureLLC registers fn to observe the core's LLC access stream.
 func (c *Core) CaptureLLC(fn func(a mem.Access)) { c.onLLC = fn }
 

@@ -146,3 +146,47 @@ func TestNilLLCIsCaptureOnly(t *testing.T) {
 		t.Errorf("nil-LLC miss reported %v", lvl)
 	}
 }
+
+func TestCoreStatsReconcile(t *testing.T) {
+	c := newTestCore()
+	for i := 0; i < 5000; i++ {
+		c.Access(mem.Access{Addr: uint64(i%700) * 64})
+	}
+	ls := c.Stats()
+	for _, lvl := range []struct {
+		name string
+		s    cache.Stats
+	}{{"L1", ls.L1}, {"L2", ls.L2}, {"LLC", ls.LLC}} {
+		if lvl.s.Hits+lvl.s.Misses != lvl.s.Accesses {
+			t.Errorf("%s: hits(%d)+misses(%d) != accesses(%d)",
+				lvl.name, lvl.s.Hits, lvl.s.Misses, lvl.s.Accesses)
+		}
+	}
+	if ls.L1.Accesses != 5000 {
+		t.Errorf("L1 accesses = %d, want 5000", ls.L1.Accesses)
+	}
+	// Inclusive-path filtering: each level only sees the misses of the
+	// one above it.
+	if ls.L2.Accesses != ls.L1.Misses {
+		t.Errorf("L2 accesses (%d) != L1 misses (%d)", ls.L2.Accesses, ls.L1.Misses)
+	}
+	if ls.LLC.Accesses != ls.L2.Misses {
+		t.Errorf("LLC accesses (%d) != L2 misses (%d)", ls.LLC.Accesses, ls.L2.Misses)
+	}
+	tot := ls.Total()
+	if tot.Accesses != ls.L1.Accesses+ls.L2.Accesses+ls.LLC.Accesses {
+		t.Errorf("Total().Accesses = %d, want sum of levels", tot.Accesses)
+	}
+}
+
+func TestCoreStatsNilLLC(t *testing.T) {
+	c := NewCore(DefaultConfig(), nil)
+	c.Access(mem.Access{Addr: 0x40})
+	ls := c.Stats()
+	if ls.LLC != (cache.Stats{}) {
+		t.Errorf("nil-LLC core reported LLC stats: %+v", ls.LLC)
+	}
+	if ls.L1.Accesses != 1 {
+		t.Errorf("L1 accesses = %d, want 1", ls.L1.Accesses)
+	}
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("Counter did not return the same instance on re-lookup")
+	}
+	if got := r.CounterValue("c"); got != 42 {
+		t.Errorf("CounterValue = %d, want 42", got)
+	}
+	if got := r.CounterValue("absent"); got != 0 {
+		t.Errorf("CounterValue(absent) = %d, want 0", got)
+	}
+	if _, ok := r.Snapshot().Counters["absent"]; ok {
+		t.Error("CounterValue created the counter it looked up")
+	}
+
+	g := r.Gauge("g")
+	g.Set(1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+	g.Set(-2)
+	if got := r.Gauge("g").Value(); got != -2 {
+		t.Errorf("gauge after reset = %v, want -2", got)
+	}
+}
+
+// TestHistogramReconciliation pins the satellite contract: the
+// histogram's count equals the observations recorded, exactly, even
+// past the retained-sample cap, and sum/extrema stay exact.
+func TestHistogramReconciliation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	const n = histSampleCap + 500
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := float64(i%100) + 1
+		h.Observe(v)
+		sum += v
+	}
+	if got := h.Count(); got != n {
+		t.Errorf("Count = %d, want %d observations", got, n)
+	}
+	s := r.Snapshot().Histograms["h"]
+	if s.Count != n {
+		t.Errorf("snapshot count = %d, want %d", s.Count, n)
+	}
+	if !almost(s.Sum, sum) {
+		t.Errorf("snapshot sum = %v, want %v", s.Sum, sum)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Errorf("extrema = [%v, %v], want [1, 100]", s.Min, s.Max)
+	}
+}
+
+// TestHistogramQuantiles is the table-driven quantile contract,
+// including the edge cases the manifest can hit: empty histogram,
+// single sample, all-equal samples.
+func TestHistogramQuantiles(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		q       float64
+		want    float64
+	}{
+		{"empty p50", nil, 0.5, 0},
+		{"empty p99", nil, 0.99, 0},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p50", []float64{7}, 0.5, 7},
+		{"single p100", []float64{7}, 1, 7},
+		{"all equal p50", []float64{3, 3, 3, 3}, 0.5, 3},
+		{"all equal p99", []float64{3, 3, 3, 3}, 0.99, 3},
+		{"two samples p50", []float64{1, 3}, 0.5, 2},
+		{"uniform p0", []float64{4, 1, 3, 2, 5}, 0, 1},
+		{"uniform p25", []float64{4, 1, 3, 2, 5}, 0.25, 2},
+		{"uniform p50", []float64{4, 1, 3, 2, 5}, 0.5, 3},
+		{"uniform p100", []float64{4, 1, 3, 2, 5}, 1, 5},
+		{"clamp below", []float64{1, 2}, -0.5, 1},
+		{"clamp above", []float64{1, 2}, 1.5, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewRegistry().Histogram("h")
+			for _, v := range tc.samples {
+				h.Observe(v)
+			}
+			if got := h.Quantile(tc.q); !almost(got, tc.want) {
+				t.Errorf("Quantile(%v) over %v = %v, want %v", tc.q, tc.samples, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHistogramStatsEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	empty := r.Snapshot() // no histograms yet
+	if len(empty.Histograms) != 0 {
+		t.Fatalf("unexpected histograms: %v", empty.Histograms)
+	}
+
+	r.Histogram("zero") // created but never observed
+	s := r.Snapshot().Histograms["zero"]
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.CI95 != 0 {
+		t.Errorf("empty histogram stats = %+v, want all zero", s)
+	}
+
+	r.Histogram("one").Observe(2.5)
+	s = r.Snapshot().Histograms["one"]
+	if s.Count != 1 || s.Mean != 2.5 || s.P50 != 2.5 || s.P99 != 2.5 || s.CI95 != 0 {
+		t.Errorf("single-sample stats = %+v", s)
+	}
+
+	for i := 0; i < 10; i++ {
+		r.Histogram("flat").Observe(4)
+	}
+	s = r.Snapshot().Histograms["flat"]
+	if s.Mean != 4 || s.P50 != 4 || s.P90 != 4 || s.CI95 != 0 {
+		t.Errorf("all-equal stats = %+v", s)
+	}
+}
+
+func TestSpans(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("section:test")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Errorf("span duration = %v, want > 0", d)
+	}
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Name != "section:test" || spans[0].Duration != d {
+		t.Errorf("Spans() = %+v, want one %q span of %v", spans, "section:test", d)
+	}
+}
+
+// TestNilRegistryIsNoOp pins the nil-safety contract instrumented code
+// relies on: a disabled registry must never panic or record.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(5)
+	r.Counter("c").Inc()
+	if r.Counter("c").Value() != 0 {
+		t.Error("nil counter recorded a value")
+	}
+	if r.CounterValue("c") != 0 {
+		t.Error("nil CounterValue non-zero")
+	}
+	r.Gauge("g").Set(1)
+	if r.Gauge("g").Value() != 0 {
+		t.Error("nil gauge recorded a value")
+	}
+	r.Histogram("h").Observe(1)
+	if r.Histogram("h").Count() != 0 || r.Histogram("h").Quantile(0.5) != 0 {
+		t.Error("nil histogram recorded a value")
+	}
+	if r.StartSpan("s").End() != 0 {
+		t.Error("nil span returned nonzero duration")
+	}
+	if r.Spans() != nil {
+		t.Error("nil Spans() non-nil")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Spans) != 0 {
+		t.Errorf("nil snapshot not empty: %+v", s)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// the shared-mutable-structure race smoke the CI -race step runs —
+// and then reconciles the exact totals.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Set(float64(i))
+				r.Histogram("h").Observe(1)
+				r.StartSpan("s").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := len(r.Spans()); got != workers*perWorker {
+		t.Errorf("spans = %d, want %d", got, workers*perWorker)
+	}
+}

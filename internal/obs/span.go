@@ -1,0 +1,54 @@
+package obs
+
+import "time"
+
+// SpanRecord is one finished span: a named stretch of wall time, used
+// for per-section and per-figure timing in the manifest.
+type SpanRecord struct {
+	// Name identifies the span (e.g. "section:fig4").
+	Name string `json:"name"`
+	// Start is when the span began.
+	Start time.Time `json:"start"`
+	// Duration is the span's wall time.
+	Duration time.Duration `json:"duration"`
+}
+
+// Span is an in-flight timing measurement. End it exactly once.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a named span. On a nil registry it returns nil,
+// whose End is a no-op.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, name: name, start: time.Now()}
+}
+
+// End finishes the span, records it in the registry, and returns its
+// duration (0 on nil).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.r.mu.Lock()
+	s.r.spans = append(s.r.spans, SpanRecord{Name: s.name, Start: s.start, Duration: d})
+	s.r.mu.Unlock()
+	return d
+}
+
+// Spans returns the finished spans in End order (nil on a nil
+// registry).
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]SpanRecord(nil), r.spans...)
+}

@@ -26,6 +26,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"sdbp/internal/obs"
 )
 
 // Job is one unit of work. Key must be unique within a Run call and
@@ -98,6 +100,13 @@ type Options struct {
 	// Progress, when non-nil, is called after each job settles. It may
 	// be called from multiple goroutines; Run serializes the calls.
 	Progress func(Event)
+	// Obs, when non-nil, receives job accounting (the obs.Ctr*
+	// counters and the obs.HistJobSeconds histogram) and the aggregate
+	// simulator counters of every live successful result that
+	// implements obs.Observable. Checkpoint-restored results are
+	// counted but not observed: sim_* counters cover simulated work
+	// only.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -153,6 +162,7 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) *Set[T] {
 	}
 	total := len(jobs)
 	start := time.Now()
+	opts.Obs.Counter(obs.CtrJobsSubmitted).Add(uint64(total))
 
 	var mu sync.Mutex
 	done, live := 0, 0
@@ -160,6 +170,20 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) *Set[T] {
 		done++
 		if !fromCkpt {
 			live++
+		}
+		switch {
+		case fromCkpt:
+			opts.Obs.Counter(obs.CtrJobsFromCheckpoint).Inc()
+		case jerr != nil:
+			opts.Obs.Counter(obs.CtrJobsFailed).Inc()
+			if jerr.TimedOut {
+				opts.Obs.Counter(obs.CtrJobTimeouts).Inc()
+			}
+			if jerr.Stack != "" {
+				opts.Obs.Counter(obs.CtrJobPanics).Inc()
+			}
+		default:
+			opts.Obs.Counter(obs.CtrJobsSucceeded).Inc()
 		}
 		if opts.Progress == nil {
 			return
@@ -199,6 +223,7 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) *Set[T] {
 			for j := range ch {
 				if err := ctx.Err(); err != nil {
 					// Drain: account for the job without running it.
+					opts.Obs.Counter(obs.CtrJobsDrained).Inc()
 					jerr := &JobError{Key: j.Key, Err: err}
 					mu.Lock()
 					set.Errors[j.Key] = jerr
@@ -206,7 +231,17 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) *Set[T] {
 					mu.Unlock()
 					continue
 				}
+				jobStart := time.Now()
 				v, jerr := attempt(ctx, j, opts)
+				opts.Obs.Histogram(obs.HistJobSeconds).Observe(time.Since(jobStart).Seconds())
+				if jerr == nil && opts.Obs != nil {
+					// Fold the result's aggregate simulator counters into
+					// the registry at the experiment boundary, keeping the
+					// per-access path metric-free.
+					if o, ok := any(v).(obs.Observable); ok {
+						o.ObserveInto(opts.Obs)
+					}
+				}
 				mu.Lock()
 				if jerr != nil {
 					set.Errors[j.Key] = jerr
@@ -245,6 +280,7 @@ func attempt[T any](ctx context.Context, job Job[T], opts Options) (T, *JobError
 		if try >= opts.Retries || !retryable {
 			return zero, jerr
 		}
+		opts.Obs.Counter(obs.CtrJobRetries).Inc()
 		select {
 		case <-ctx.Done():
 			return zero, jerr

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"sdbp/internal/cache"
 	"sdbp/internal/cpu"
@@ -23,9 +24,16 @@ type MulticoreResult struct {
 	Instructions [4]uint64
 	// LLC is the shared cache's statistics over the whole run.
 	LLC cache.Stats
+	// L1 and L2 are the private levels' statistics summed over cores.
+	L1, L2 cache.Stats
+	// Cycles is the cores' cycle counts summed (truncated per core for
+	// schedule-independent aggregation).
+	Cycles uint64
 	// MPKI is shared-LLC misses per thousand instructions summed over
 	// cores (for the paper's multicore normalized MPKI).
 	MPKI float64
+	// Duration is the run's wall time.
+	Duration time.Duration
 }
 
 // MulticoreOptions tunes a multicore run.
@@ -71,6 +79,7 @@ type mcCore struct {
 // cannot kill a whole evaluation campaign.
 func RunMulticore(mix workloads.Mix, pol cache.Policy, opts MulticoreOptions) (MulticoreResult, error) {
 	opts.normalize()
+	start := time.Now()
 
 	llc := cache.New(opts.LLC, pol)
 	res := MulticoreResult{MixName: mix.Name, Policy: pol.Name()}
@@ -136,11 +145,16 @@ func RunMulticore(mix workloads.Mix, pol cache.Policy, opts MulticoreOptions) (M
 	for i, c := range cores {
 		res.IPC[i] = c.doneIPC
 		totalInstr += res.Instructions[i]
+		levels := c.core.Stats()
+		res.L1 = res.L1.Add(levels.L1)
+		res.L2 = res.L2.Add(levels.L2)
+		res.Cycles += uint64(c.timing.Cycles())
 	}
 	res.LLC = llc.Stats()
 	if totalInstr > 0 {
 		res.MPKI = float64(res.LLC.Misses) / (float64(totalInstr) / 1000)
 	}
+	res.Duration = time.Since(start)
 	return res, nil
 }
 

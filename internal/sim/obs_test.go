@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"testing"
+
+	"sdbp/internal/dbrb"
+	"sdbp/internal/obs"
+	"sdbp/internal/policy"
+	"sdbp/internal/predictor"
+	"sdbp/internal/workloads"
+)
+
+// levelCounters reads one level's sim_ counters back out of a registry.
+func levelCounters(reg *obs.Registry, level string) (accesses, hits, misses uint64) {
+	pfx := obs.SimPrefix + level + "_"
+	return reg.CounterValue(pfx + "accesses"),
+		reg.CounterValue(pfx + "hits"),
+		reg.CounterValue(pfx + "misses")
+}
+
+// TestSingleObserveReconciles is the sim half of the reconciliation
+// suite: the counters ObserveInto folds into the registry must equal
+// the per-level cache.Stats on the result, field for field, and the
+// hits+misses==accesses invariant must hold at every level.
+func TestSingleObserveReconciles(t *testing.T) {
+	r := RunSingle(hmmer(t), policy.NewLRU(), SingleOptions{Scale: testScale})
+	reg := obs.NewRegistry()
+	r.ObserveInto(reg)
+
+	for level, s := range map[string]struct{ acc, hit, miss uint64 }{
+		"l1":  {r.L1.Accesses, r.L1.Hits, r.L1.Misses},
+		"l2":  {r.L2.Accesses, r.L2.Hits, r.L2.Misses},
+		"llc": {r.LLC.Accesses, r.LLC.Hits, r.LLC.Misses},
+	} {
+		acc, hit, miss := levelCounters(reg, level)
+		if acc != s.acc || hit != s.hit || miss != s.miss {
+			t.Errorf("%s counters = %d/%d/%d, result has %d/%d/%d",
+				level, acc, hit, miss, s.acc, s.hit, s.miss)
+		}
+		if hit+miss != acc {
+			t.Errorf("%s: hits(%d)+misses(%d) != accesses(%d)", level, hit, miss, acc)
+		}
+		if acc == 0 {
+			t.Errorf("%s saw no traffic", level)
+		}
+	}
+	if got := reg.CounterValue(obs.SimPrefix + "runs"); got != 1 {
+		t.Errorf("sim_runs = %d, want 1", got)
+	}
+	if got := reg.CounterValue(obs.SimPrefix + "instructions"); got != r.Instructions {
+		t.Errorf("sim_instructions = %d, want %d", got, r.Instructions)
+	}
+	if got := reg.CounterValue(obs.SimPrefix + "cycles"); got != r.Cycles {
+		t.Errorf("sim_cycles = %d, want %d", got, r.Cycles)
+	}
+	if r.Cycles == 0 {
+		t.Error("result recorded no cycles")
+	}
+	if got := reg.Histogram(obs.SimPrefix + "run_seconds").Count(); got != 1 {
+		t.Errorf("run_seconds observations = %d, want 1", got)
+	}
+	if r.Duration <= 0 {
+		t.Errorf("duration = %v, want > 0", r.Duration)
+	}
+	if r.Throughput() <= 0 {
+		t.Errorf("throughput = %v, want > 0", r.Throughput())
+	}
+}
+
+// TestObserveAccumulates pins that observing two results sums rather
+// than overwrites — the property the campaign-level aggregates rely on.
+func TestObserveAccumulates(t *testing.T) {
+	r := RunSingle(hmmer(t), policy.NewLRU(), SingleOptions{Scale: testScale})
+	reg := obs.NewRegistry()
+	r.ObserveInto(reg)
+	r.ObserveInto(reg)
+	if got := reg.CounterValue(obs.SimPrefix + "runs"); got != 2 {
+		t.Errorf("sim_runs = %d, want 2", got)
+	}
+	if got := reg.CounterValue(obs.SimPrefix + "llc_accesses"); got != 2*r.LLC.Accesses {
+		t.Errorf("llc_accesses = %d, want %d", got, 2*r.LLC.Accesses)
+	}
+}
+
+// TestObservePredictorCounters checks the predictor-verdict counters
+// appear exactly when the policy reports accuracy.
+func TestObservePredictorCounters(t *testing.T) {
+	pol := dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+	r := RunSingle(hmmer(t), pol, SingleOptions{Scale: testScale})
+	if r.Accuracy == nil {
+		t.Fatal("DBRB run reported no accuracy")
+	}
+	reg := obs.NewRegistry()
+	r.ObserveInto(reg)
+	if got := reg.CounterValue(obs.SimPrefix + "predictions"); got != r.Accuracy.Predictions {
+		t.Errorf("sim_predictions = %d, want %d", got, r.Accuracy.Predictions)
+	}
+	if got := reg.CounterValue(obs.SimPrefix + "dead_predictions"); got != r.Accuracy.Positives {
+		t.Errorf("sim_dead_predictions = %d, want %d", got, r.Accuracy.Positives)
+	}
+
+	// A plain-policy run must not create them.
+	plain := obs.NewRegistry()
+	RunSingle(hmmer(t), policy.NewLRU(), SingleOptions{Scale: testScale}).ObserveInto(plain)
+	if _, ok := plain.Snapshot().Counters[obs.SimPrefix+"predictions"]; ok {
+		t.Error("plain policy created predictor counters")
+	}
+}
+
+// TestMulticoreObserveReconciles runs one small quad-core mix and
+// reconciles the shared-LLC and summed private-level counters.
+func TestMulticoreObserveReconciles(t *testing.T) {
+	mix := workloads.Mixes()[0]
+	r, err := RunMulticore(mix, policy.NewLRU(), MulticoreOptions{Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	r.ObserveInto(reg)
+
+	acc, hit, miss := levelCounters(reg, "llc")
+	if acc != r.LLC.Accesses || hit != r.LLC.Hits || miss != r.LLC.Misses {
+		t.Errorf("llc counters = %d/%d/%d, result has %d/%d/%d",
+			acc, hit, miss, r.LLC.Accesses, r.LLC.Hits, r.LLC.Misses)
+	}
+	if hit+miss != acc {
+		t.Errorf("llc: hits(%d)+misses(%d) != accesses(%d)", hit, miss, acc)
+	}
+	var instr uint64
+	for _, n := range r.Instructions {
+		instr += n
+	}
+	if got := reg.CounterValue(obs.SimPrefix + "instructions"); got != instr {
+		t.Errorf("sim_instructions = %d, want %d (summed cores)", got, instr)
+	}
+	if got := reg.CounterValue(obs.SimPrefix + "multicore_runs"); got != 1 {
+		t.Errorf("sim_multicore_runs = %d, want 1", got)
+	}
+	if reg.CounterValue(obs.SimPrefix+"l1_accesses") != r.L1.Accesses || r.L1.Accesses == 0 {
+		t.Errorf("summed L1 accesses = %d (registry %d)",
+			r.L1.Accesses, reg.CounterValue(obs.SimPrefix+"l1_accesses"))
+	}
+}

@@ -6,6 +6,8 @@
 package sim
 
 import (
+	"time"
+
 	"sdbp/internal/cache"
 	"sdbp/internal/cpu"
 	"sdbp/internal/dbrb"
@@ -28,10 +30,20 @@ type SingleResult struct {
 	Policy string
 	// Instructions is the total instruction count (gaps + memory ops).
 	Instructions uint64
+	// Cycles is the timing model's cycle count, truncated to an
+	// integer so aggregate counters built from it are exact and
+	// schedule-independent.
+	Cycles uint64
 	// IPC is instructions per cycle under the core timing model.
 	IPC float64
 	// LLC is the last-level cache's statistics.
 	LLC cache.Stats
+	// L1 and L2 are the private levels' statistics, so campaign
+	// counters can reconcile total work across the whole hierarchy.
+	L1, L2 cache.Stats
+	// Duration is the run's wall time (not serialized into goldens;
+	// feeds throughput gauges only).
+	Duration time.Duration
 	// MPKI is LLC misses per thousand instructions.
 	MPKI float64
 	// Efficiency is the LLC's live-time ratio (Figure 1's metric).
@@ -75,6 +87,7 @@ func (o *SingleOptions) normalize() {
 // policy and returns the run's metrics.
 func RunSingle(w workloads.Workload, pol cache.Policy, opts SingleOptions) SingleResult {
 	opts.normalize()
+	start := time.Now()
 
 	llc := cache.New(opts.LLC, pol)
 	core := hier.NewCore(hier.DefaultConfig(), llc)
@@ -114,8 +127,12 @@ func RunSingle(w workloads.Workload, pol cache.Policy, opts SingleOptions) Singl
 	llc.Finish()
 
 	res.Instructions = timing.Instructions()
+	res.Cycles = uint64(timing.Cycles())
 	res.IPC = timing.IPC()
-	res.LLC = llc.Stats()
+	levels := core.Stats()
+	res.LLC = levels.LLC
+	res.L1 = levels.L1
+	res.L2 = levels.L2
 	if res.Instructions > 0 {
 		res.MPKI = float64(res.LLC.Misses) / (float64(res.Instructions) / 1000)
 	}
@@ -124,6 +141,7 @@ func RunSingle(w workloads.Workload, pol cache.Policy, opts SingleOptions) Singl
 		res.LineEfficiencies = llc.LineEfficiencies()
 	}
 	fillAccuracy(&res, pol)
+	res.Duration = time.Since(start)
 	return res
 }
 

@@ -48,6 +48,34 @@ func Normalize(xs, base []float64) []float64 {
 	return out
 }
 
+// Stddev returns the sample standard deviation of xs (n-1
+// denominator); 0 for fewer than two values. NaN or Inf inputs
+// propagate, matching Mean: callers on the partial-result path must
+// filter non-finite cells first.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// MeanCI95 returns the arithmetic mean of xs and the half-width of its
+// 95% confidence interval under a normal approximation (1.96 times the
+// standard error); the half-width is 0 for fewer than two values.
+func MeanCI95(xs []float64) (mean, half float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	return mean, 1.96 * Stddev(xs) / math.Sqrt(float64(len(xs)))
+}
+
 // WeightedSpeedup computes the multiprogrammed weighted speedup: the sum
 // over threads of IPC_i / SingleIPC_i.
 func WeightedSpeedup(ipcs, singleIPCs []float64) float64 {

@@ -76,3 +76,76 @@ func TestWeightedSpeedup(t *testing.T) {
 		t.Error("zero single IPC not guarded")
 	}
 }
+
+func TestStddevAndMeanCI95(t *testing.T) {
+	cases := []struct {
+		name     string
+		xs       []float64
+		sd, half float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{3}, 0, 0},
+		{"all equal", []float64{4, 4, 4, 4}, 0, 0},
+		// sample stddev of {1,2,3,4,5} is sqrt(2.5)
+		{"uniform", []float64{1, 2, 3, 4, 5}, 1.5811388300841898, 1.386},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Stddev(tc.xs); math.Abs(got-tc.sd) > 1e-9 {
+				t.Errorf("Stddev = %v, want %v", got, tc.sd)
+			}
+			mean, half := MeanCI95(tc.xs)
+			if got := Mean(tc.xs); mean != got {
+				t.Errorf("MeanCI95 mean = %v, Mean = %v", mean, got)
+			}
+			if math.Abs(half-tc.half) > 1e-3 {
+				t.Errorf("CI95 half-width = %v, want %v", half, tc.half)
+			}
+		})
+	}
+}
+
+// TestNonFiniteInputs pins the documented contract: NaN and Inf
+// propagate through the mean-family helpers rather than being silently
+// dropped, so callers on the partial-result path must filter first.
+func TestNonFiniteInputs(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+
+	if got := Mean([]float64{1, nan}); !math.IsNaN(got) {
+		t.Errorf("Mean with NaN = %v, want NaN", got)
+	}
+	if got := Mean([]float64{1, inf}); !math.IsInf(got, 1) {
+		t.Errorf("Mean with +Inf = %v, want +Inf", got)
+	}
+	if got := Stddev([]float64{1, 2, nan}); !math.IsNaN(got) {
+		t.Errorf("Stddev with NaN = %v, want NaN", got)
+	}
+	if _, half := MeanCI95([]float64{1, 2, inf}); !math.IsNaN(half) && !math.IsInf(half, 1) {
+		t.Errorf("CI95 half with Inf = %v, want non-finite", half)
+	}
+
+	// GeoMean: NaN fails the x <= 0 comparison (comparisons with NaN
+	// are false) so it propagates through the log-sum; +Inf yields +Inf.
+	if got := GeoMean([]float64{1, nan}); !math.IsNaN(got) {
+		t.Errorf("GeoMean with NaN = %v, want NaN", got)
+	}
+	if got := GeoMean([]float64{1, inf}); !math.IsInf(got, 1) {
+		t.Errorf("GeoMean with +Inf = %v, want +Inf", got)
+	}
+	// -Inf is <= 0 and takes the defined-empty path.
+	if got := GeoMean([]float64{1, math.Inf(-1)}); got != 0 {
+		t.Errorf("GeoMean with -Inf = %v, want 0", got)
+	}
+
+	// Normalize divides elementwise; non-finite cells stay local to
+	// their slot.
+	got := Normalize([]float64{nan, 4}, []float64{2, 2})
+	if !math.IsNaN(got[0]) || got[1] != 2 {
+		t.Errorf("Normalize with NaN cell = %v", got)
+	}
+	// A non-finite base still divides: x/Inf is 0, x/NaN is NaN.
+	got = Normalize([]float64{1, 1}, []float64{inf, nan})
+	if got[0] != 0 || !math.IsNaN(got[1]) {
+		t.Errorf("Normalize with non-finite base = %v", got)
+	}
+}
