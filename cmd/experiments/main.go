@@ -10,6 +10,8 @@
 //	experiments -resume -checkpoint run.ckpt  # skip finished cells
 //	experiments -metrics run.json     # write the run manifest + metrics
 //	experiments -pprof localhost:6060 # live net/http/pprof endpoint
+//	experiments -interval 100000 -trace-out probe.jsonl
+//	                                  # interval telemetry + per-PC tables
 //
 // The harness is fault tolerant: a panicking, hung or failed
 // simulation job is isolated and reported, its table cell prints as
@@ -34,6 +36,7 @@ import (
 
 	"sdbp/internal/figures"
 	"sdbp/internal/obs"
+	"sdbp/internal/probe"
 	"sdbp/internal/runner"
 )
 
@@ -122,6 +125,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metrics := fs.String("metrics", "", "write the run manifest (config, counters, timing) to this JSON file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	snapshot := fs.Duration("snapshot", 30*time.Second, "interval between campaign progress snapshots on stderr (0 = off)")
+	interval := fs.Uint64("interval", 0, "interval telemetry granularity in retired instructions (0 = off)")
+	traceOut := fs.String("trace-out", "", "write interval telemetry JSONL here (and Chrome trace events next to it); requires -interval")
+	topk := fs.Int("topk", 0, fmt.Sprintf("per-PC attribution rows exported per run (0 = %d)", probe.DefaultTopK))
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -129,6 +135,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	want, err := parseOnly(*only)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *interval > 0 && *traceOut == "" {
+		fmt.Fprintln(stderr, "experiments: -interval requires -trace-out FILE to receive the telemetry")
+		return 2
+	}
+	if *traceOut != "" && *interval == 0 {
+		fmt.Fprintln(stderr, "experiments: -trace-out requires -interval N to enable telemetry")
 		return 2
 	}
 
@@ -244,11 +258,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 			"threshold", figures.ThresholdSweepEnv(env, *scale, thrs), thrs))
 	})
 
+	var probeCfg *probe.Config
+	probeFailed := false
+	if *interval > 0 && ctx.Err() == nil {
+		probeCfg = &probe.Config{Interval: *interval, TopK: *topk}
+		sp := reg.StartSpan("section:probe")
+		if err := runIntrospection(env, reg, *scale, *probeCfg, *traceOut, stderr, *quiet); err != nil {
+			fmt.Fprintln(stderr, err)
+			probeFailed = true
+		}
+		sp.End()
+	}
+
 	code := summarize(env, ctx, *checkpoint, stderr)
+	if probeFailed && code == 0 {
+		code = 1
+	}
 	if *metrics != "" {
 		// Written even after failures or an interrupt: a partial
 		// manifest is still the run's provenance record.
-		if err := writeManifest(*metrics, reg, fs, *scale, *only, ranSections, started); err != nil {
+		if err := writeManifest(*metrics, reg, fs, *scale, *only, ranSections, started, probeCfg); err != nil {
 			fmt.Fprintf(stderr, "experiments: writing manifest: %v\n", err)
 			if code == 0 {
 				code = 1

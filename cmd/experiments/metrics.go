@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"sdbp/internal/obs"
+	"sdbp/internal/probe"
 )
 
 // simCounter reads one sim_* counter from the registry without
@@ -31,7 +32,7 @@ func simCounter(reg *obs.Registry, name string) uint64 {
 // run, deterministic aggregate simulator counters, job accounting and
 // wall-clock timing — as JSON at path. See EXPERIMENTS.md for the
 // schema and how to diff two manifests.
-func writeManifest(path string, reg *obs.Registry, fs *flag.FlagSet, scale float64, only string, ran []string, started time.Time) error {
+func writeManifest(path string, reg *obs.Registry, fs *flag.FlagSet, scale float64, only string, ran []string, started time.Time, probeCfg *probe.Config) error {
 	m := obs.NewManifest("experiments")
 	m.Flags = map[string]string{}
 	fs.VisitAll(func(f *flag.Flag) { m.Flags[f.Name] = f.Value.String() })
@@ -42,6 +43,9 @@ func writeManifest(path string, reg *obs.Registry, fs *flag.FlagSet, scale float
 	m.Sim.Config["only"] = only
 	m.Sim.Config["sections"] = strings.Join(ran, ",")
 	m.Sim.Config["seed_scheme"] = "per-workload stable index (internal/workloads)"
+	if probeCfg != nil {
+		probeConfigInto(m, *probeCfg)
+	}
 
 	// Campaign-level throughput, derived at the run boundary.
 	wall := time.Since(started)

@@ -1,0 +1,76 @@
+package main
+
+// Interval-telemetry wiring for the experiments command: the
+// -interval/-trace-out/-topk flags run the introspection pass (the
+// paper's memory-intensive subset under the sampling DBRB policy with
+// per-PC attribution) and export its series as interval JSONL plus
+// Chrome trace-event JSON. cmd/report renders the JSONL into a
+// self-contained HTML report; chrome://tracing and Perfetto load the
+// trace file directly. See EXPERIMENTS.md for the record schema.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sdbp/internal/figures"
+	"sdbp/internal/obs"
+	"sdbp/internal/probe"
+)
+
+// tracePath derives the Chrome trace-event file's path from the JSONL
+// path: probe.jsonl -> probe.trace.json.
+func tracePath(jsonlPath string) string {
+	return strings.TrimSuffix(jsonlPath, ".jsonl") + ".trace.json"
+}
+
+// runIntrospection executes the telemetry pass and writes both export
+// files. The deterministic aggregates land in the registry as
+// sim_probe_* counters so the run manifest records what the pass saw;
+// the file paths stay out of the deterministic section (they are
+// already in Flags).
+func runIntrospection(env *figures.Env, reg *obs.Registry, scale float64, cfg probe.Config, out string, stderr io.Writer, quiet bool) error {
+	in := figures.RunIntrospectionEnv(env, scale, cfg)
+	reg.Counter(obs.SimPrefix + "probe_runs").Add(uint64(len(in.Series)))
+	reg.Counter(obs.SimPrefix + "probe_intervals").Add(uint64(in.Intervals()))
+	reg.Counter(obs.SimPrefix + "probe_pc_rows").Add(uint64(in.PCRows()))
+
+	f, err := os.Create(out)
+	if err != nil {
+		return fmt.Errorf("experiments: -trace-out: %w", err)
+	}
+	if err := probe.WriteJSONL(f, in.Series); err != nil {
+		f.Close()
+		return fmt.Errorf("experiments: writing %s: %w", out, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("experiments: writing %s: %w", out, err)
+	}
+
+	tp := tracePath(out)
+	tf, err := os.Create(tp)
+	if err != nil {
+		return fmt.Errorf("experiments: -trace-out: %w", err)
+	}
+	if err := probe.WriteTraceEvents(tf, in.Series); err != nil {
+		tf.Close()
+		return fmt.Errorf("experiments: writing %s: %w", tp, err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("experiments: writing %s: %w", tp, err)
+	}
+	if !quiet {
+		fmt.Fprintf(stderr, "probe: %d series, %d intervals written to %s (trace events: %s)\n",
+			len(in.Series), in.Intervals(), out, tp)
+	}
+	return nil
+}
+
+// probeConfigInto records the pass's shape in the manifest's
+// deterministic config section.
+func probeConfigInto(m *obs.Manifest, cfg probe.Config) {
+	m.Sim.Config["probe_interval"] = strconv.FormatUint(cfg.Interval, 10)
+	m.Sim.Config["probe_topk"] = strconv.Itoa(cfg.TopKOrDefault())
+}

@@ -1,0 +1,269 @@
+package main
+
+// HTML rendering for the telemetry report. Everything is inline —
+// one <style> block and per-metric SVG sparklines — so the file opens
+// anywhere with no network access and no scripts. Rendering is
+// deterministic: fixed-precision number formatting, slice-ordered
+// iteration, no timestamps.
+
+import (
+	"bytes"
+	"fmt"
+	"html/template"
+	"io"
+	"strings"
+
+	"sdbp/internal/probe"
+)
+
+// readSeries decodes the interval JSONL stream.
+func readSeries(r io.Reader) ([]probe.Series, error) {
+	return probe.ReadJSONL(r)
+}
+
+// Sparkline viewport in CSS pixels.
+const (
+	sparkW   = 260
+	sparkH   = 44
+	sparkPad = 3
+)
+
+// sparkSVG renders vals as an inline SVG polyline scaled to the
+// series' own [min, max] range (a flat series draws a midline). The
+// markup contains only numbers we format ourselves, so it is safe to
+// emit as template.HTML.
+func sparkSVG(vals []float64) template.HTML {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg class="spark" width="%d" height="%d" viewBox="0 0 %d %d" role="img">`,
+		sparkW, sparkH, sparkW, sparkH)
+	if len(vals) > 0 {
+		min, max := vals[0], vals[0]
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		span := max - min
+		b.WriteString(`<polyline fill="none" stroke="#2563eb" stroke-width="1.5" points="`)
+		for i, v := range vals {
+			x := float64(sparkPad)
+			if len(vals) > 1 {
+				x += float64(i) / float64(len(vals)-1) * float64(sparkW-2*sparkPad)
+			}
+			y := float64(sparkH) / 2
+			if span > 0 {
+				y = float64(sparkH-sparkPad) - (v-min)/span*float64(sparkH-2*sparkPad)
+			}
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.1f,%.1f", x, y)
+		}
+		b.WriteString(`"/>`)
+	}
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
+}
+
+// spark is one rendered metric strip: title, SVG and range labels.
+type spark struct {
+	Title    string
+	SVG      template.HTML
+	Min, Max string
+}
+
+func newSpark(title string, vals []float64) spark {
+	min, max := 0.0, 0.0
+	if len(vals) > 0 {
+		min, max = vals[0], vals[0]
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return spark{Title: title, SVG: sparkSVG(vals), Min: rate(min), Max: rate(max)}
+}
+
+// rate formats the report's derived ratios with fixed precision so
+// output is deterministic and columns align.
+func rate(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// pcView is one attribution table row plus its derived rates.
+type pcView struct {
+	probe.PCRow
+	DeadRate string
+	FPRate   string
+}
+
+// seriesView is one benchmark's fully formatted section.
+type seriesView struct {
+	Run       probe.Run
+	IPC       string
+	MissRate  string
+	DeadRate  string
+	FPRate    string
+	NInterval int
+	Sparks    []spark
+	PCs       []pcView
+	// Totals over the (possibly re-truncated) PC table, and whether
+	// they reconcile with the Run aggregates.
+	TotPred, TotPos, TotFP, TotEvict uint64
+	Reconciles                       bool
+}
+
+// truncatePCs bounds the table to k named rows, folding the remainder
+// (including any existing rollup) into one "other" row so the column
+// sums still reconcile with the run aggregates. k <= 0 keeps the table
+// as exported.
+func truncatePCs(rows []probe.PCRow, k int) []probe.PCRow {
+	if k <= 0 {
+		return rows
+	}
+	var named, folded []probe.PCRow
+	for _, r := range rows {
+		if !r.Other && len(named) < k {
+			named = append(named, r)
+		} else {
+			folded = append(folded, r)
+		}
+	}
+	if len(folded) == 0 {
+		return named
+	}
+	roll := probe.PCRow{PC: "(other)", Other: true}
+	for _, r := range folded {
+		roll.Predictions += r.Predictions
+		roll.Positives += r.Positives
+		roll.FalsePositives += r.FalsePositives
+		roll.Evictions += r.Evictions
+	}
+	return append(named, roll)
+}
+
+func newSeriesView(s *probe.Series, topk int) seriesView {
+	miss, ipc, dead, fp := make([]float64, len(s.Intervals)), make([]float64, len(s.Intervals)), make([]float64, len(s.Intervals)), make([]float64, len(s.Intervals))
+	for i, iv := range s.Intervals {
+		miss[i], ipc[i], dead[i], fp[i] = iv.MissRate, iv.IPC, iv.DeadRate, iv.FPRate
+	}
+	v := seriesView{
+		Run:       s.Run,
+		IPC:       rate(s.Run.IPC),
+		MissRate:  rate(ratio(s.Run.Misses, s.Run.Accesses)),
+		DeadRate:  rate(ratio(s.Run.Positives, s.Run.Predictions)),
+		FPRate:    rate(ratio(s.Run.FalsePositives, s.Run.Predictions)),
+		NInterval: len(s.Intervals),
+		Sparks: []spark{
+			newSpark("LLC miss rate", miss),
+			newSpark("IPC", ipc),
+			newSpark("dead prediction rate", dead),
+			newSpark("false positive rate", fp),
+		},
+	}
+	for _, r := range truncatePCs(s.PCs, topk) {
+		v.PCs = append(v.PCs, pcView{
+			PCRow:    r,
+			DeadRate: rate(ratio(r.Positives, r.Predictions)),
+			FPRate:   rate(ratio(r.FalsePositives, r.Predictions)),
+		})
+		v.TotPred += r.Predictions
+		v.TotPos += r.Positives
+		v.TotFP += r.FalsePositives
+		v.TotEvict += r.Evictions
+	}
+	v.Reconciles = v.TotPred == s.Run.Predictions &&
+		v.TotPos == s.Run.Positives &&
+		v.TotFP == s.Run.FalsePositives
+	return v
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// renderHTML produces the complete self-contained report.
+func renderHTML(series []probe.Series, topk int) ([]byte, error) {
+	data := struct {
+		Interval uint64
+		Series   []seriesView
+	}{Series: make([]seriesView, 0, len(series))}
+	if len(series) > 0 {
+		data.Interval = series[0].Run.Interval
+	}
+	for i := range series {
+		data.Series = append(data.Series, newSeriesView(&series[i], topk))
+	}
+	var buf bytes.Buffer
+	if err := reportTmpl.Execute(&buf, data); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+var reportTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>SDBP telemetry report</title>
+<style>
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; padding: 0 1rem; color: #111; }
+h1 { font-size: 1.4rem; }
+h2 { font-size: 1.1rem; border-top: 1px solid #ddd; padding-top: 1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.5rem 0 1rem; }
+th, td { padding: 0.2rem 0.7rem; text-align: right; border-bottom: 1px solid #eee; }
+th { background: #f6f6f6; }
+td:first-child, th:first-child { text-align: left; font-family: ui-monospace, monospace; }
+.sparks { display: flex; flex-wrap: wrap; gap: 1.2rem; margin: 0.6rem 0; }
+.spark-box { font-size: 12px; color: #555; }
+.spark { display: block; background: #f8fafc; border: 1px solid #e5e7eb; }
+.ok { color: #15803d; }
+.bad { color: #b91c1c; font-weight: bold; }
+.other td { color: #777; font-style: italic; }
+.tot td { border-top: 2px solid #999; font-weight: bold; }
+.meta { color: #555; font-size: 0.9em; }
+</style>
+</head>
+<body>
+<h1>SDBP microarchitectural telemetry</h1>
+<p class="meta">Interval granularity: {{.Interval}} retired instructions.
+Sparklines plot per-interval deltas over each run; each strip is scaled
+to its own min&#8211;max range. The per-PC tables attribute dead-block
+predictions, dead verdicts, false positives and evictions to the
+program counters that caused them; column sums reconcile exactly with
+the run&#8217;s aggregate counters.</p>
+
+<h2 id="overview">Overview</h2>
+<table>
+<tr><th>benchmark</th><th>policy</th><th>instructions</th><th>IPC</th><th>LLC miss rate</th><th>dead rate</th><th>FP rate</th><th>intervals</th></tr>
+{{range .Series}}<tr><td><a href="#b-{{.Run.Benchmark}}">{{.Run.Benchmark}}</a></td><td>{{.Run.Policy}}</td><td>{{.Run.Instructions}}</td><td>{{.IPC}}</td><td>{{.MissRate}}</td><td>{{.DeadRate}}</td><td>{{.FPRate}}</td><td>{{.NInterval}}</td></tr>
+{{end}}</table>
+{{range .Series}}
+<h2 id="b-{{.Run.Benchmark}}">{{.Run.Benchmark}}</h2>
+<p class="meta">{{.Run.Policy}} &#8212; {{.Run.Instructions}} instructions,
+{{.Run.Cycles}} cycles, IPC {{.IPC}}; LLC: {{.Run.Accesses}} accesses,
+{{.Run.Misses}} misses (rate {{.MissRate}}), {{.Run.Evictions}} evictions;
+predictor: {{.Run.Predictions}} predictions, {{.Run.Positives}} dead
+verdicts, {{.Run.FalsePositives}} false positives.</p>
+<div class="sparks">
+{{range .Sparks}}<div class="spark-box">{{.Title}}<br>{{.SVG}}<span>min {{.Min}} &#183; max {{.Max}}</span></div>
+{{end}}</div>
+{{if .PCs}}<table>
+<tr><th>PC</th><th>predictions</th><th>dead</th><th>false pos</th><th>evictions</th><th>dead rate</th><th>FP rate</th></tr>
+{{range .PCs}}<tr{{if .Other}} class="other"{{end}}><td>{{.PC}}</td><td>{{.Predictions}}</td><td>{{.Positives}}</td><td>{{.FalsePositives}}</td><td>{{.Evictions}}</td><td>{{.DeadRate}}</td><td>{{.FPRate}}</td></tr>
+{{end}}<tr class="tot"><td>total</td><td>{{.TotPred}}</td><td>{{.TotPos}}</td><td>{{.TotFP}}</td><td>{{.TotEvict}}</td><td></td><td></td></tr>
+</table>
+<p class="meta">{{if .Reconciles}}<span class="ok">&#10003; totals reconcile with the run&#8217;s aggregate accuracy counters.</span>{{else}}<span class="bad">&#10007; totals do NOT reconcile with the run aggregates.</span>{{end}}</p>
+{{else}}<p class="meta">No per-PC attribution (non-DBRB policy).</p>
+{{end}}{{end}}
+</body>
+</html>
+`))

@@ -1,0 +1,79 @@
+// Command report renders interval-telemetry JSONL (written by
+// experiments -interval N -trace-out FILE) into a self-contained HTML
+// report: per-benchmark sparklines of LLC miss rate, IPC,
+// dead-prediction rate and false-positive rate over the run, plus the
+// per-PC death-attribution tables with reconciliation against the run
+// aggregates.
+//
+//	report -in probe.jsonl -out report.html
+//	report -in probe.jsonl -out - > report.html   # stdout
+//	report -in probe.jsonl -topk 10               # tighter PC tables
+//
+// The output embeds everything inline (CSS and SVG, no scripts, no
+// external references) and is a pure function of the input bytes, so
+// re-rendering the same JSONL is byte-identical.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command with streams and arguments explicit so
+// tests drive it in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "interval telemetry JSONL (from experiments -trace-out)")
+	out := fs.String("out", "report.html", `output HTML path ("-" = stdout)`)
+	topk := fs.Int("topk", 0, "bound each per-PC table to this many named rows (0 = all rows in the file)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *in == "" {
+		fmt.Fprintln(stderr, "report: -in FILE is required (the JSONL experiments wrote with -trace-out)")
+		return 2
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(stderr, "report: %v\n", err)
+		return 1
+	}
+	series, err := readSeries(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "report: reading %s: %v\n", *in, err)
+		return 1
+	}
+	if len(series) == 0 {
+		fmt.Fprintf(stderr, "report: %s holds no telemetry series\n", *in)
+		return 1
+	}
+
+	html, err := renderHTML(series, *topk)
+	if err != nil {
+		fmt.Fprintf(stderr, "report: rendering: %v\n", err)
+		return 1
+	}
+
+	if *out == "-" {
+		if _, err := stdout.Write(html); err != nil {
+			fmt.Fprintf(stderr, "report: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := os.WriteFile(*out, html, 0o644); err != nil {
+		fmt.Fprintf(stderr, "report: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "report: %d benchmark(s) rendered to %s\n", len(series), *out)
+	return 0
+}

@@ -1,0 +1,188 @@
+package main
+
+// Report tests: the generated HTML must be self-contained (no external
+// references, no scripts), deterministic, and its per-PC tables must
+// reconcile with the run aggregates — including after -topk
+// re-truncation folds rows into the rollup.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdbp/internal/probe"
+)
+
+// fixtureSeries builds two synthetic runs: one with a PC table and a
+// rollup row, one without attribution (non-DBRB policy).
+func fixtureSeries() []probe.Series {
+	iv := func(idx int, instr, dInstr, dCyc, dAcc, dMiss, dPred, dPos, dFP uint64) probe.Interval {
+		v := probe.Interval{
+			Index: idx, Instructions: instr,
+			DInstructions: dInstr, DCycles: dCyc,
+			DAccesses: dAcc, DHits: dAcc - dMiss, DMisses: dMiss,
+			DPredictions: dPred, DPositives: dPos, DFalsePositives: dFP,
+		}
+		v.ComputeRates()
+		return v
+	}
+	return []probe.Series{
+		{
+			Run: probe.Run{
+				Benchmark: "429.mcf", Policy: "SDBP", Interval: 1000,
+				Instructions: 2500, Cycles: 4000, IPC: 0.625,
+				Accesses: 300, Misses: 120, Evictions: 90,
+				Predictions: 50, Positives: 30, FalsePositives: 5,
+			},
+			Intervals: []probe.Interval{
+				iv(0, 1000, 1000, 1600, 120, 50, 20, 12, 2),
+				iv(1, 2000, 1000, 1500, 100, 40, 20, 12, 2),
+				iv(2, 2500, 500, 900, 80, 30, 10, 6, 1),
+			},
+			PCs: []probe.PCRow{
+				{PC: "0x400", Predictions: 30, Positives: 20, FalsePositives: 3, Evictions: 40},
+				{PC: "0x8a0", Predictions: 15, Positives: 8, FalsePositives: 1, Evictions: 30},
+				{PC: "(other)", Other: true, Predictions: 5, Positives: 2, FalsePositives: 1, Evictions: 20},
+			},
+		},
+		{
+			Run: probe.Run{
+				Benchmark: "470.lbm", Policy: "LRU", Interval: 1000,
+				Instructions: 1000, Cycles: 2000, IPC: 0.5,
+				Accesses: 100, Misses: 60, Evictions: 55,
+			},
+			Intervals: []probe.Interval{iv(0, 1000, 1000, 2000, 100, 60, 0, 0, 0)},
+		},
+	}
+}
+
+// writeFixture marshals the fixture to a JSONL file and returns its
+// path.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	b, err := probe.MarshalJSONL(fixtureSeries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "probe.jsonl")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// render runs the command in-process and returns the HTML bytes.
+func render(t *testing.T, args ...string) []byte {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := run(append(args, "-out", "-"), &stdout, &stderr); code != 0 {
+		t.Fatalf("report %v exited %d\nstderr:\n%s", args, code, stderr.String())
+	}
+	return stdout.Bytes()
+}
+
+func TestReportSelfContained(t *testing.T) {
+	html := string(render(t, "-in", writeFixture(t)))
+	if !strings.HasPrefix(html, "<!DOCTYPE html>") {
+		t.Error("missing doctype")
+	}
+	for _, banned := range []string{"<script", "http://", "https://", "src=", "@import"} {
+		if strings.Contains(html, banned) {
+			t.Errorf("output is not self-contained: found %q", banned)
+		}
+	}
+	for _, want := range []string{
+		"429.mcf", "470.lbm", "SDBP", "LRU",
+		"<svg", "<polyline", "0x400", "0x8a0", "(other)",
+		"totals reconcile",
+		"No per-PC attribution",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Every series renders the four metric sparklines.
+	if got, want := strings.Count(html, "<svg"), 2*4; got != want {
+		t.Errorf("%d sparklines, want %d", got, want)
+	}
+}
+
+// TestReportReconciliation checks the rendered totals row carries the
+// run's aggregate accuracy counters — the reconciliation a reader
+// checks by eye is asserted here by value.
+func TestReportReconciliation(t *testing.T) {
+	html := string(render(t, "-in", writeFixture(t)))
+	s := fixtureSeries()[0]
+	totals := fmt.Sprintf(`<tr class="tot"><td>total</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td>`,
+		s.Run.Predictions, s.Run.Positives, s.Run.FalsePositives, s.Run.Evictions)
+	if !strings.Contains(html, totals) {
+		t.Errorf("totals row %q not found in output", totals)
+	}
+	if strings.Contains(html, "do NOT reconcile") {
+		t.Error("report flags a reconciliation failure on a consistent fixture")
+	}
+}
+
+// TestReportTopKRefold bounds the table to one named row; the fold
+// must preserve the column sums so reconciliation still holds.
+func TestReportTopKRefold(t *testing.T) {
+	html := string(render(t, "-in", writeFixture(t), "-topk", "1"))
+	if strings.Contains(html, "0x8a0") {
+		t.Error("-topk 1 left a second named row in the table")
+	}
+	if !strings.Contains(html, "0x400") || !strings.Contains(html, "(other)") {
+		t.Error("-topk 1 lost the top row or the rollup")
+	}
+	if !strings.Contains(html, "totals reconcile") || strings.Contains(html, "do NOT reconcile") {
+		t.Error("re-truncated table no longer reconciles")
+	}
+}
+
+// TestReportBrokenInputFlagged renders a series whose PC table was
+// tampered with; the report must render and call out the mismatch.
+func TestReportBrokenInputFlagged(t *testing.T) {
+	series := fixtureSeries()
+	series[0].PCs[0].Positives += 7
+	b, err := probe.MarshalJSONL(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "broken.jsonl")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	html := string(render(t, "-in", path))
+	if !strings.Contains(html, "do NOT reconcile") {
+		t.Error("tampered totals not flagged")
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	path := writeFixture(t)
+	if !bytes.Equal(render(t, "-in", path), render(t, "-in", path)) {
+		t.Error("two renders of the same input differ")
+	}
+}
+
+func TestReportUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("missing -in: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-in", filepath.Join(t.TempDir(), "absent.jsonl")}, &stdout, &stderr); code != 1 {
+		t.Errorf("absent input: exit %d, want 1", code)
+	}
+	// An empty stream is an error, not an empty report.
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := run([]string{"-in", empty}, &stdout, &stderr); code != 1 {
+		t.Errorf("empty input: exit %d, want 1", code)
+	}
+}

@@ -62,6 +62,26 @@ func BenchmarkLLCAccess(b *testing.B) {
 	}
 }
 
+// BenchmarkLLCAccessAttribution is the same loop with per-PC death
+// attribution enabled (experiments -interval). The delta against
+// BenchmarkLLCAccess is the introspection tax a probed run pays; the
+// disabled path's zero-cost contract is pinned separately by
+// TestLLCAccessSteadyStateAllocs.
+func BenchmarkLLCAccessAttribution(b *testing.B) {
+	stream := llcStream(b, "456.hmmer")
+	pol := dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+	pol.EnableAttribution()
+	llc := cache.New(hier.LLCConfig(1), pol)
+	for _, a := range stream {
+		llc.Access(a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		llc.Access(stream[i%len(stream)])
+	}
+}
+
 // BenchmarkLLCAccessLRU is the same loop under plain LRU — the floor
 // any policy-side overhead is judged against.
 func BenchmarkLLCAccessLRU(b *testing.B) {
@@ -105,9 +125,12 @@ func BenchmarkSingleCoreCampaign(b *testing.B) {
 // sneaks back in.
 func TestLLCAccessSteadyStateAllocs(t *testing.T) {
 	stream := llcStream(t, "456.hmmer")
+	attrPol := dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+	attrPol.EnableAttribution()
 	caches := map[string]*cache.Cache{
-		"LRU":     cache.New(hier.LLCConfig(1), policy.NewLRU()),
-		"Sampler": samplerLLC(),
+		"LRU":         cache.New(hier.LLCConfig(1), policy.NewLRU()),
+		"Sampler":     samplerLLC(),
+		"SamplerAttr": cache.New(hier.LLCConfig(1), attrPol),
 	}
 	for name, llc := range caches {
 		for _, a := range stream {

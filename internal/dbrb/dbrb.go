@@ -25,6 +25,13 @@ type Policy struct {
 	tracked []bool
 
 	acc Accuracy
+
+	// attr is the per-PC death-attribution table (see attribution.go);
+	// nil unless EnableAttribution was called before Reset. Every hook
+	// below guards on the nil so the disabled access path pays one
+	// predictable branch and allocates nothing.
+	attr        *Attribution
+	attrEnabled bool
 }
 
 // Accuracy tallies the prediction quality measures of the paper's
@@ -86,6 +93,10 @@ func (p *Policy) Reset(sets, ways int) {
 	p.base.Reset(sets, ways)
 	p.pred.Reset(sets, ways)
 	p.acc = Accuracy{}
+	p.attr = nil
+	if p.attrEnabled {
+		p.attr = newAttribution(sets, ways)
+	}
 }
 
 func (p *Policy) idx(set uint32, way int) int { return int(set)*p.ways + way }
@@ -111,6 +122,9 @@ func (p *Policy) Bypass(set uint32, a mem.Access) bool {
 	p.acc.Predictions++
 	if dead {
 		p.acc.Positives++
+	}
+	if p.attr != nil {
+		p.attr.predicted(a.PC, dead)
 	}
 	return dead
 }
@@ -167,11 +181,21 @@ func (p *Policy) OnHit(set uint32, way int, a mem.Access) {
 		if p.dead[i] {
 			p.acc.Positives++
 		}
+		if p.attr != nil {
+			p.attr.predicted(a.PC, p.dead[i])
+			p.attr.fillPC[i] = a.PC
+			if p.dead[i] {
+				p.attr.deadPC[i] = a.PC
+			}
+		}
 		p.base.OnHit(set, way, a)
 		return
 	}
 	if p.dead[i] {
 		p.acc.FalsePositives++
+		if p.attr != nil {
+			p.attr.falsePositive(p.attr.deadPC[i])
+		}
 	}
 	d := p.pred.OnHit(set, way, a)
 	p.acc.Predictions++
@@ -179,6 +203,12 @@ func (p *Policy) OnHit(set uint32, way int, a mem.Access) {
 		p.acc.Positives++
 	}
 	p.dead[i] = d
+	if p.attr != nil {
+		p.attr.predicted(a.PC, d)
+		if d {
+			p.attr.deadPC[i] = a.PC
+		}
+	}
 	p.base.OnHit(set, way, a)
 }
 
@@ -189,9 +219,18 @@ func (p *Policy) OnFill(set uint32, way int, a mem.Access) {
 	if a.Writeback {
 		p.dead[i] = false
 		p.tracked[i] = false
+		if p.attr != nil {
+			p.attr.fillPC[i] = 0
+		}
 	} else {
 		p.dead[i] = p.pred.OnFill(set, way, a)
 		p.tracked[i] = true
+		if p.attr != nil {
+			p.attr.fillPC[i] = a.PC
+			if p.dead[i] {
+				p.attr.deadPC[i] = a.PC
+			}
+		}
 	}
 	p.base.OnFill(set, way, a)
 }
@@ -206,6 +245,10 @@ func (p *Policy) OnEvict(set uint32, way int) {
 		p.tracked[i] = false
 	}
 	p.dead[i] = false
+	if p.attr != nil {
+		p.attr.evicted(p.attr.fillPC[i])
+		p.attr.fillPC[i] = 0
+	}
 	p.base.OnEvict(set, way)
 }
 

@@ -1,0 +1,82 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+
+	"sdbp/internal/dbrb"
+	"sdbp/internal/policy"
+	"sdbp/internal/predictor"
+	"sdbp/internal/probe"
+	"sdbp/internal/runner"
+	"sdbp/internal/sim"
+	"sdbp/internal/workloads"
+)
+
+// Introspection holds the interval-telemetry pass: one probed run per
+// memory-intensive benchmark under the paper's sampling dead-block
+// policy, in deterministic (lexical benchmark) order. The exporters in
+// package probe and cmd/report consume Series directly.
+type Introspection struct {
+	// Series is the completed runs' telemetry, sorted by benchmark.
+	// Failed runs are absent here and recorded on the Env like any
+	// other job failure.
+	Series []probe.Series
+	Scale  float64
+	Config probe.Config
+}
+
+// RunIntrospectionEnv runs the telemetry pass: the paper's
+// memory-intensive subset under the sampling DBRB/LRU policy, with
+// interval telemetry and per-PC attribution enabled per cfg. The
+// result is a pure function of (scale, cfg): job scheduling and
+// GOMAXPROCS cannot reorder or perturb the series (pinned by a test in
+// cmd/experiments).
+func RunIntrospectionEnv(e *Env, scale float64, cfg probe.Config) *Introspection {
+	benches := sortedNames(workloads.Subset())
+	key := func(bench string) string {
+		return fmt.Sprintf("probe|s=%g|i=%d|k=%d|%s", scaleOr1(scale), cfg.Interval, cfg.TopKOrDefault(), bench)
+	}
+	var jobs []runner.Job[*probe.Series]
+	for _, w := range benches {
+		w := w
+		jobs = append(jobs, runner.Job[*probe.Series]{
+			Key: key(w.Name),
+			Run: func(context.Context) (*probe.Series, error) {
+				pol := dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+				r := sim.RunSingle(w, pol, sim.SingleOptions{Scale: scale, Probe: &cfg})
+				if r.Probe == nil {
+					return nil, fmt.Errorf("probe: run produced no telemetry series")
+				}
+				return r.Probe, nil
+			},
+		})
+	}
+	set := runJobs(e, jobs)
+	in := &Introspection{Scale: scale, Config: cfg}
+	for _, w := range benches {
+		if s, ok := set.Value(key(w.Name)); ok && s != nil {
+			in.Series = append(in.Series, *s)
+		}
+	}
+	return in
+}
+
+// Intervals returns the total interval count across the pass (a
+// deterministic aggregate the run manifest records).
+func (in *Introspection) Intervals() int {
+	n := 0
+	for i := range in.Series {
+		n += len(in.Series[i].Intervals)
+	}
+	return n
+}
+
+// PCRows returns the total exported per-PC row count.
+func (in *Introspection) PCRows() int {
+	n := 0
+	for i := range in.Series {
+		n += len(in.Series[i].PCs)
+	}
+	return n
+}

@@ -1,0 +1,51 @@
+package figures
+
+import (
+	"sort"
+	"testing"
+
+	"sdbp/internal/probe"
+	"sdbp/internal/workloads"
+)
+
+// TestIntrospectionPass runs the telemetry pass at a tiny scale and
+// checks its structural contract: one series per subset benchmark, in
+// lexical order, each reconciling internally.
+func TestIntrospectionPass(t *testing.T) {
+	cfg := probe.Config{Interval: 20_000, TopK: 5}
+	in := RunIntrospectionEnv(DefaultEnv(), 0.01, cfg)
+	if want := len(workloads.Subset()); len(in.Series) != want {
+		t.Fatalf("%d series, want %d (one per subset benchmark)", len(in.Series), want)
+	}
+	if !sort.SliceIsSorted(in.Series, func(i, j int) bool {
+		return in.Series[i].Run.Benchmark < in.Series[j].Run.Benchmark
+	}) {
+		t.Error("series not in lexical benchmark order")
+	}
+	for i := range in.Series {
+		s := &in.Series[i]
+		if s.Run.Interval != cfg.Interval {
+			t.Errorf("%s: header interval %d, want %d", s.Run.Benchmark, s.Run.Interval, cfg.Interval)
+		}
+		if len(s.Intervals) == 0 {
+			t.Errorf("%s: no intervals", s.Run.Benchmark)
+			continue
+		}
+		instr, cycles, _ := s.IntervalTotals()
+		if instr != s.Run.Instructions || cycles != s.Run.Cycles {
+			t.Errorf("%s: interval totals (%d,%d) != run totals (%d,%d)",
+				s.Run.Benchmark, instr, cycles, s.Run.Instructions, s.Run.Cycles)
+		}
+		pred, pos, fp, _ := s.PCTotals()
+		if pred != s.Run.Predictions || pos != s.Run.Positives || fp != s.Run.FalsePositives {
+			t.Errorf("%s: per-PC sums (%d,%d,%d) != run accuracy (%d,%d,%d)",
+				s.Run.Benchmark, pred, pos, fp, s.Run.Predictions, s.Run.Positives, s.Run.FalsePositives)
+		}
+		if len(s.PCs) > cfg.TopK+1 {
+			t.Errorf("%s: %d PC rows, want <= %d", s.Run.Benchmark, len(s.PCs), cfg.TopK+1)
+		}
+	}
+	if in.Intervals() == 0 || in.PCRows() == 0 {
+		t.Errorf("aggregates empty: %d intervals, %d pc rows", in.Intervals(), in.PCRows())
+	}
+}

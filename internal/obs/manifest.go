@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 )
@@ -41,13 +42,45 @@ type Manifest struct {
 	Timing TimingSection `json:"timing"`
 }
 
-// EnvInfo records the toolchain and machine the run executed on.
+// EnvInfo records the toolchain, build and machine the run executed
+// on. The build fields come from debug.ReadBuildInfo and are empty in
+// binaries built without module support (e.g. some test binaries).
 type EnvInfo struct {
 	GoVersion  string `json:"go_version"`
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Module is the main module path, ModVersion its version (often
+	// "(devel)" for local builds).
+	Module     string `json:"module,omitempty"`
+	ModVersion string `json:"mod_version,omitempty"`
+	// VCSRevision, VCSTime and VCSModified stamp the source state the
+	// binary was built from, when the build embedded VCS info.
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// buildInfo fills the EnvInfo build fields from the running binary's
+// embedded module and VCS metadata.
+func (e *EnvInfo) buildInfo() {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	e.Module = bi.Main.Path
+	e.ModVersion = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			e.VCSRevision = s.Value
+		case "vcs.time":
+			e.VCSTime = s.Value
+		case "vcs.modified":
+			e.VCSModified = s.Value == "true"
+		}
+	}
 }
 
 // JobCounts reconciles the runner's view of a campaign. For a run
@@ -105,7 +138,7 @@ type TimingSection struct {
 // NewManifest returns a manifest stamped with the schema version and
 // the current environment.
 func NewManifest(tool string) *Manifest {
-	return &Manifest{
+	m := &Manifest{
 		Schema: ManifestSchema,
 		Tool:   tool,
 		Env: EnvInfo{
@@ -124,6 +157,8 @@ func NewManifest(tool string) *Manifest {
 			Histograms: map[string]HistogramStats{},
 		},
 	}
+	m.Env.buildInfo()
+	return m
 }
 
 // FillFromRegistry folds a registry snapshot into the manifest:

@@ -99,6 +99,27 @@ func TestManifestSimSectionDeterministic(t *testing.T) {
 	}
 }
 
+// TestManifestBuildInfo checks the env section stamps the binary's
+// module identity. Test binaries are built with module support, so
+// the main module path must come through; the VCS fields are only
+// present when the build embedded them, so they are not asserted.
+func TestManifestBuildInfo(t *testing.T) {
+	m := NewManifest("test")
+	if m.Env.Module != "sdbp" {
+		t.Errorf("Env.Module = %q, want sdbp", m.Env.Module)
+	}
+	if m.Env.ModVersion == "" {
+		t.Error("Env.ModVersion empty; want a version (usually \"(devel)\")")
+	}
+	b, err := json.Marshal(m.Env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"module":"sdbp"`)) {
+		t.Errorf("env JSON missing module stamp: %s", b)
+	}
+}
+
 func TestManifestWriteFile(t *testing.T) {
 	r := NewRegistry()
 	fill(r)

@@ -1,0 +1,126 @@
+package probe
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The interval JSONL stream is a flat sequence of newline-delimited
+// JSON objects, each tagged with a "type" member:
+//
+//	{"type":"run", ...Run fields...}       one per simulated run, first
+//	{"type":"interval", ...Interval...}    the run's time series, in order
+//	{"type":"pc", ...PCRow...}             the run's per-PC table, in order
+//
+// Runs appear back to back; a run's interval and pc lines follow its
+// run line and precede the next run line. The format is append-only
+// and greppable; EXPERIMENTS.md documents the field schema.
+
+type runLine struct {
+	Type string `json:"type"`
+	Run
+}
+
+type intervalLine struct {
+	Type string `json:"type"`
+	Interval
+}
+
+type pcLine struct {
+	Type string `json:"type"`
+	PCRow
+}
+
+// WriteJSONL writes the series to w in the tagged-line format. The
+// output is deterministic: field order follows the struct definitions
+// and series are written in the order given.
+func WriteJSONL(w io.Writer, series []Series) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range series {
+		s := &series[i]
+		if err := enc.Encode(runLine{"run", s.Run}); err != nil {
+			return err
+		}
+		for _, iv := range s.Intervals {
+			if err := enc.Encode(intervalLine{"interval", iv}); err != nil {
+				return err
+			}
+		}
+		for _, pc := range s.PCs {
+			if err := enc.Encode(pcLine{"pc", pc}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// MarshalJSONL renders the series as JSONL bytes.
+func MarshalJSONL(series []Series) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, series); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadJSONL parses a tagged-line stream back into grouped series. It
+// rejects interval or pc lines that precede any run line, unknown
+// types, and malformed JSON, identifying the offending line number.
+func ReadJSONL(r io.Reader) ([]Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var out []Series
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var tag struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &tag); err != nil {
+			return nil, fmt.Errorf("probe: line %d: %w", lineno, err)
+		}
+		switch tag.Type {
+		case "run":
+			var rl runLine
+			if err := json.Unmarshal(line, &rl); err != nil {
+				return nil, fmt.Errorf("probe: line %d: %w", lineno, err)
+			}
+			out = append(out, Series{Run: rl.Run})
+		case "interval":
+			if len(out) == 0 {
+				return nil, fmt.Errorf("probe: line %d: interval record before any run record", lineno)
+			}
+			var il intervalLine
+			if err := json.Unmarshal(line, &il); err != nil {
+				return nil, fmt.Errorf("probe: line %d: %w", lineno, err)
+			}
+			s := &out[len(out)-1]
+			s.Intervals = append(s.Intervals, il.Interval)
+		case "pc":
+			if len(out) == 0 {
+				return nil, fmt.Errorf("probe: line %d: pc record before any run record", lineno)
+			}
+			var pl pcLine
+			if err := json.Unmarshal(line, &pl); err != nil {
+				return nil, fmt.Errorf("probe: line %d: %w", lineno, err)
+			}
+			s := &out[len(out)-1]
+			s.PCs = append(s.PCs, pl.PCRow)
+		default:
+			return nil, fmt.Errorf("probe: line %d: unknown record type %q", lineno, tag.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,183 @@
+// Package probe holds the microarchitectural introspection records the
+// simulator emits when interval telemetry is enabled: a deterministic
+// time series of per-interval deltas (miss rate, IPC, dead-prediction
+// rate, false-positive rate every N retired instructions) and a per-PC
+// death-attribution table, plus the exporters that turn them into
+// interval JSONL and Chrome trace-event JSON (chrome://tracing /
+// Perfetto).
+//
+// The package is pure data plus encoding: it depends only on the
+// standard library, every encoder is deterministic (struct-ordered
+// fields, no timestamps, no map iteration in output order), and every
+// float it serializes is finite by construction, so encoding can never
+// fail on values the simulator produces.
+package probe
+
+import "strconv"
+
+// Config enables and shapes introspection for a simulation run.
+type Config struct {
+	// Interval is the telemetry granularity in retired instructions; an
+	// interval record is emitted each time the instruction count crosses
+	// a multiple of it. 0 disables interval telemetry entirely.
+	Interval uint64
+	// TopK bounds the exported per-PC attribution table: the TopK PCs
+	// by dead verdicts are kept as rows and the remainder is rolled into
+	// a single "other" row so table sums still reconcile exactly with
+	// the run's aggregate accuracy counters. 0 means DefaultTopK.
+	TopK int
+}
+
+// DefaultTopK is the per-PC table size used when Config.TopK is 0.
+const DefaultTopK = 20
+
+// TopKOrDefault returns the effective table bound.
+func (c Config) TopKOrDefault() int {
+	if c.TopK <= 0 {
+		return DefaultTopK
+	}
+	return c.TopK
+}
+
+// Enabled reports whether the configuration asks for any telemetry.
+func (c Config) Enabled() bool { return c.Interval > 0 }
+
+// Run is one simulated run's telemetry header: identity, granularity
+// and end-of-run aggregates. The aggregates let a reader reconcile the
+// interval deltas and per-PC rows that follow it without re-running the
+// simulation: interval deltas sum to the totals, and the PC table's
+// prediction columns sum to the accuracy totals.
+type Run struct {
+	// Benchmark and Policy identify the run.
+	Benchmark string `json:"benchmark"`
+	Policy    string `json:"policy"`
+	// Interval is the telemetry granularity in retired instructions.
+	Interval uint64 `json:"interval"`
+	// Instructions and Cycles are the run's totals.
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+	// IPC is the run's aggregate instructions per cycle.
+	IPC float64 `json:"ipc"`
+	// Accesses, Misses and Evictions are the LLC's run totals.
+	Accesses  uint64 `json:"llc_accesses"`
+	Misses    uint64 `json:"llc_misses"`
+	Evictions uint64 `json:"llc_evictions"`
+	// Predictions, Positives and FalsePositives are the run's aggregate
+	// dbrb.Accuracy counters (all zero for non-DBRB policies).
+	Predictions    uint64 `json:"predictions"`
+	Positives      uint64 `json:"positives"`
+	FalsePositives uint64 `json:"false_positives"`
+}
+
+// Interval is one telemetry interval's deltas and derived rates. All
+// delta fields cover the half-open instruction range
+// (Instructions-DInstructions, Instructions]; the final interval of a
+// run may be shorter than Config.Interval.
+type Interval struct {
+	// Index numbers intervals from 0 within one run.
+	Index int `json:"index"`
+	// Instructions is the cumulative retired-instruction count at the
+	// interval's end.
+	Instructions uint64 `json:"instructions"`
+	// DInstructions and DCycles are the interval's instruction and
+	// cycle deltas.
+	DInstructions uint64 `json:"d_instructions"`
+	DCycles       uint64 `json:"d_cycles"`
+	// IPC is DInstructions/DCycles (0 when DCycles is 0).
+	IPC float64 `json:"ipc"`
+	// DAccesses..DEvictions are the LLC's cache.Stats deltas.
+	DAccesses  uint64 `json:"d_llc_accesses"`
+	DHits      uint64 `json:"d_llc_hits"`
+	DMisses    uint64 `json:"d_llc_misses"`
+	DBypasses  uint64 `json:"d_llc_bypasses"`
+	DEvictions uint64 `json:"d_llc_evictions"`
+	// MissRate is DMisses/DAccesses (0 when the interval saw no LLC
+	// traffic).
+	MissRate float64 `json:"miss_rate"`
+	// DPredictions, DPositives and DFalsePositives are the
+	// dbrb.Accuracy deltas (zero for non-DBRB policies).
+	DPredictions    uint64 `json:"d_predictions"`
+	DPositives      uint64 `json:"d_positives"`
+	DFalsePositives uint64 `json:"d_false_positives"`
+	// DeadRate is DPositives/DPredictions and FPRate is
+	// DFalsePositives/DPredictions (0 when no predictions were made).
+	DeadRate float64 `json:"dead_rate"`
+	FPRate   float64 `json:"fp_rate"`
+}
+
+// ComputeRates fills the derived-rate fields from the delta counters,
+// guarding every division so the results are always finite — the
+// invariant the JSON encoders rely on.
+func (iv *Interval) ComputeRates() {
+	iv.IPC = ratio(iv.DInstructions, iv.DCycles)
+	iv.MissRate = ratio(iv.DMisses, iv.DAccesses)
+	iv.DeadRate = ratio(iv.DPositives, iv.DPredictions)
+	iv.FPRate = ratio(iv.DFalsePositives, iv.DPredictions)
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// PCRow is one program counter's attribution row: how much of the
+// run's dead-block activity traces back to that code site. Rows are
+// exported in deterministic order (dead verdicts descending, PC
+// ascending) with at most Config.TopK named rows; the rest aggregate
+// into one row with Other set.
+type PCRow struct {
+	// PC is the program counter, as a 0x-prefixed hex string so 64-bit
+	// values survive JSON readers that parse numbers as float64.
+	PC string `json:"pc"`
+	// Other marks the rollup row aggregating every PC beyond the top K.
+	Other bool `json:"other,omitempty"`
+	// Predictions, Positives and FalsePositives partition the run's
+	// aggregate dbrb.Accuracy counters by PC: predictions and dead
+	// verdicts are attributed to the PC of the access predicted on,
+	// false positives to the PC whose prediction set the standing dead
+	// bit.
+	Predictions    uint64 `json:"predictions"`
+	Positives      uint64 `json:"positives"`
+	FalsePositives uint64 `json:"false_positives"`
+	// Evictions counts evictions of blocks this PC filled.
+	Evictions uint64 `json:"evictions"`
+}
+
+// PCHex formats a program counter as the 0x-prefixed hex string used
+// in PCRow.PC.
+func PCHex(pc uint64) string { return "0x" + strconv.FormatUint(pc, 16) }
+
+// Series is one run's complete telemetry: header, interval time series
+// and per-PC table. A JSONL stream is a flat sequence of tagged
+// records; Series is the grouped in-memory form.
+type Series struct {
+	Run       Run        `json:"run"`
+	Intervals []Interval `json:"intervals"`
+	PCs       []PCRow    `json:"pcs"`
+}
+
+// PCTotals sums the per-PC table's attribution columns. For a
+// well-formed series they equal the Run header's aggregate accuracy
+// counters (the acceptance reconciliation).
+func (s *Series) PCTotals() (predictions, positives, falsePositives, evictions uint64) {
+	for _, r := range s.PCs {
+		predictions += r.Predictions
+		positives += r.Positives
+		falsePositives += r.FalsePositives
+		evictions += r.Evictions
+	}
+	return
+}
+
+// IntervalTotals sums the interval deltas. For a well-formed series
+// the instruction and cycle sums equal the Run header's totals.
+func (s *Series) IntervalTotals() (instructions, cycles, misses uint64) {
+	for _, iv := range s.Intervals {
+		instructions += iv.DInstructions
+		cycles += iv.DCycles
+		misses += iv.DMisses
+	}
+	return
+}

@@ -1,0 +1,139 @@
+package probe
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleSeries builds a small two-run fixture exercising every record
+// type, including the "other" rollup row and a zero-traffic interval.
+func sampleSeries() []Series {
+	iv0 := Interval{
+		Index: 0, Instructions: 100_000,
+		DInstructions: 100_000, DCycles: 250_000,
+		DAccesses: 4000, DHits: 2500, DMisses: 1500, DBypasses: 300, DEvictions: 1100,
+		DPredictions: 4000, DPositives: 900, DFalsePositives: 25,
+	}
+	iv0.ComputeRates()
+	iv1 := Interval{Index: 1, Instructions: 160_000, DInstructions: 60_000, DCycles: 90_000}
+	iv1.ComputeRates()
+	run := Series{
+		Run: Run{
+			Benchmark: "456.hmmer", Policy: "Sampler DBRB/LRU", Interval: 100_000,
+			Instructions: 160_000, Cycles: 340_000, IPC: 160_000.0 / 340_000,
+			Accesses: 4000, Misses: 1500, Evictions: 1100,
+			Predictions: 4000, Positives: 900, FalsePositives: 25,
+		},
+		Intervals: []Interval{iv0, iv1},
+		PCs: []PCRow{
+			{PC: "0x4000a0", Predictions: 2600, Positives: 700, FalsePositives: 5, Evictions: 600},
+			{PC: "0x4000b8", Predictions: 1000, Positives: 200, FalsePositives: 20, Evictions: 400},
+			{PC: "0x0", Other: true, Predictions: 400, Positives: 0, FalsePositives: 0, Evictions: 100},
+		},
+	}
+	lru := Series{
+		Run: Run{Benchmark: "429.mcf", Policy: "LRU", Interval: 100_000,
+			Instructions: 50_000, Cycles: 200_000, IPC: 0.25,
+			Accesses: 900, Misses: 800, Evictions: 700},
+		Intervals: []Interval{{Index: 0, Instructions: 50_000, DInstructions: 50_000,
+			DCycles: 200_000, DAccesses: 900, DHits: 100, DMisses: 800, DEvictions: 700,
+			IPC: 0.25, MissRate: 800.0 / 900}},
+	}
+	return []Series{run, lru}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := sampleSeries()
+	b, err := MarshalJSONL(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the series:\nin:  %+v\nout: %+v", in, out)
+	}
+	// The encoding is deterministic: a second marshal is byte-identical.
+	b2, err := MarshalJSONL(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Error("two marshals of the same series differ")
+	}
+}
+
+func TestReadJSONLRejectsMalformedStreams(t *testing.T) {
+	cases := map[string]string{
+		"orphan interval": `{"type":"interval","index":0}`,
+		"orphan pc":       `{"type":"pc","pc":"0x1"}`,
+		"unknown type":    `{"type":"bogus"}`,
+		"bad json":        `{"type":`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadJSONL accepted %q", name, in)
+		}
+	}
+	// Blank lines are tolerated (hand-edited or concatenated files).
+	if _, err := ReadJSONL(strings.NewReader("\n\n{\"type\":\"run\"}\n\n")); err != nil {
+		t.Errorf("blank lines rejected: %v", err)
+	}
+}
+
+func TestComputeRatesAlwaysFinite(t *testing.T) {
+	cases := []Interval{
+		{},
+		{DInstructions: math.MaxUint64, DCycles: 1},
+		{DMisses: math.MaxUint64, DAccesses: math.MaxUint64},
+		{DPositives: math.MaxUint64},
+		{DPredictions: math.MaxUint64},
+	}
+	for i, iv := range cases {
+		iv.ComputeRates()
+		for name, v := range map[string]float64{
+			"ipc": iv.IPC, "miss_rate": iv.MissRate, "dead_rate": iv.DeadRate, "fp_rate": iv.FPRate,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("case %d: %s = %v, want finite", i, name, v)
+			}
+		}
+	}
+}
+
+func TestSeriesTotals(t *testing.T) {
+	s := sampleSeries()[0]
+	pred, pos, fp, ev := s.PCTotals()
+	if pred != s.Run.Predictions || pos != s.Run.Positives || fp != s.Run.FalsePositives {
+		t.Errorf("PC totals (%d,%d,%d) do not reconcile with run aggregates (%d,%d,%d)",
+			pred, pos, fp, s.Run.Predictions, s.Run.Positives, s.Run.FalsePositives)
+	}
+	if ev != 1100 {
+		t.Errorf("eviction total = %d, want 1100", ev)
+	}
+	instr, cycles, misses := s.IntervalTotals()
+	if instr != s.Run.Instructions || cycles != s.Run.Cycles || misses != s.Run.Misses {
+		t.Errorf("interval totals (%d,%d,%d) do not reconcile with run aggregates (%d,%d,%d)",
+			instr, cycles, misses, s.Run.Instructions, s.Run.Cycles, s.Run.Misses)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !(Config{Interval: 1}).Enabled() {
+		t.Error("interval=1 config reports disabled")
+	}
+	if got := (Config{}).TopKOrDefault(); got != DefaultTopK {
+		t.Errorf("TopKOrDefault() = %d, want %d", got, DefaultTopK)
+	}
+	if got := (Config{TopK: 7}).TopKOrDefault(); got != 7 {
+		t.Errorf("TopKOrDefault() = %d, want 7", got)
+	}
+}

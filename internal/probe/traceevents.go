@@ -1,0 +1,133 @@
+package probe
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: the series rendered as a JSON object
+// loadable in chrome://tracing and Perfetto (ui.perfetto.dev). Each
+// run becomes one "process" (named after the benchmark) carrying
+//
+//   - counter tracks ("ph":"C") for miss rate, IPC, dead-prediction
+//     rate and false-positive rate, one sample per interval, and
+//   - one complete event ("ph":"X") per interval on a "intervals"
+//     thread, so interval boundaries are visible as spans.
+//
+// Timestamps are in the trace format's microseconds, but simulated
+// time has no wall clock: one "microsecond" is one retired
+// instruction, so the timeline reads as instruction counts.
+
+// traceEvent is one entry of the traceEvents array. Field order is the
+// output order; args are emitted as ordered structs per event kind so
+// the encoding is deterministic.
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	Ts   uint64 `json:"ts"`
+	Dur  uint64 `json:"dur,omitempty"`
+	Args any    `json:"args,omitempty"`
+}
+
+type nameArgs struct {
+	Name string `json:"name"`
+}
+
+type valueArgs struct {
+	Value float64 `json:"value"`
+}
+
+type intervalArgs struct {
+	Instructions   uint64  `json:"instructions"`
+	LLCAccesses    uint64  `json:"llc_accesses"`
+	LLCMisses      uint64  `json:"llc_misses"`
+	MissRate       float64 `json:"miss_rate"`
+	IPC            float64 `json:"ipc"`
+	DeadRate       float64 `json:"dead_rate"`
+	FalsePositives uint64  `json:"false_positives"`
+}
+
+// counterTracks names the per-interval counter events and selects each
+// one's value.
+var counterTracks = []struct {
+	name string
+	val  func(Interval) float64
+}{
+	{"LLC miss rate", func(iv Interval) float64 { return iv.MissRate }},
+	{"IPC", func(iv Interval) float64 { return iv.IPC }},
+	{"dead prediction rate", func(iv Interval) float64 { return iv.DeadRate }},
+	{"false positive rate", func(iv Interval) float64 { return iv.FPRate }},
+}
+
+// WriteTraceEvents writes the series as one Chrome trace-event JSON
+// document. The output is deterministic for a given input.
+func WriteTraceEvents(w io.Writer, series []Series) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev traceEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(bw, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+	for pid := range series {
+		s := &series[pid]
+		if err := emit(traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: nameArgs{s.Run.Benchmark + " (" + s.Run.Policy + ")"},
+		}); err != nil {
+			return err
+		}
+		if err := emit(traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pid,
+			Args: nameArgs{"intervals"},
+		}); err != nil {
+			return err
+		}
+		for _, iv := range s.Intervals {
+			start := iv.Instructions - iv.DInstructions
+			if err := emit(traceEvent{
+				Name: fmt.Sprintf("interval %d", iv.Index),
+				Ph:   "X", Pid: pid, Ts: start, Dur: iv.DInstructions,
+				Args: intervalArgs{
+					Instructions:   iv.Instructions,
+					LLCAccesses:    iv.DAccesses,
+					LLCMisses:      iv.DMisses,
+					MissRate:       iv.MissRate,
+					IPC:            iv.IPC,
+					DeadRate:       iv.DeadRate,
+					FalsePositives: iv.DFalsePositives,
+				},
+			}); err != nil {
+				return err
+			}
+			for _, tr := range counterTracks {
+				if err := emit(traceEvent{
+					Name: tr.name, Ph: "C", Pid: pid, Ts: iv.Instructions,
+					Args: valueArgs{tr.val(iv)},
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

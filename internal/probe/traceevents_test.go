@@ -1,0 +1,96 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata golden files from this run")
+
+// TestTraceEventsGolden pins the Chrome trace-event encoder's exact
+// output for the sample fixture. Regenerate after an intentional format
+// change with
+//
+//	go test ./internal/probe -run TestTraceEventsGolden -update
+func TestTraceEventsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "trace_events_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace-event output differs from golden %s\ngot:\n%s\nwant:\n%s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// TestTraceEventsWellFormed checks the structural contract Perfetto and
+// chrome://tracing rely on: a single JSON object with a traceEvents
+// array whose spans and counters are consistent with the input series.
+func TestTraceEventsWellFormed(t *testing.T) {
+	series := sampleSeries()
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Pid  int             `json:"pid"`
+			Ts   uint64          `json:"ts"`
+			Dur  uint64          `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	nIntervals := 0
+	for _, s := range series {
+		nIntervals += len(s.Intervals)
+	}
+	// Per series: process_name + thread_name metadata; per interval: one
+	// X span plus one C event per counter track.
+	want := 2*len(series) + nIntervals*(1+len(counterTracks))
+	if len(doc.TraceEvents) != want {
+		t.Errorf("%d trace events, want %d", len(doc.TraceEvents), want)
+	}
+	spans, counters, meta := 0, 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+		case "C":
+			counters++
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q in event %q", ev.Ph, ev.Name)
+		}
+		if ev.Pid < 0 || ev.Pid >= len(series) {
+			t.Errorf("event %q has pid %d outside the series range", ev.Name, ev.Pid)
+		}
+	}
+	if spans != nIntervals || counters != nIntervals*len(counterTracks) || meta != 2*len(series) {
+		t.Errorf("span/counter/meta counts = %d/%d/%d, want %d/%d/%d",
+			spans, counters, meta, nIntervals, nIntervals*len(counterTracks), 2*len(series))
+	}
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"sdbp/internal/dbrb"
+	"sdbp/internal/policy"
+	"sdbp/internal/predictor"
+	"sdbp/internal/probe"
+	"sdbp/internal/workloads"
+)
+
+func samplerPolicy() *dbrb.Policy {
+	return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+}
+
+func probeOpts(interval uint64) SingleOptions {
+	return SingleOptions{Scale: 0.02, Probe: &probe.Config{Interval: interval, TopK: 10}}
+}
+
+func probeWorkload(t *testing.T) workloads.Workload {
+	t.Helper()
+	w, err := workloads.ByName("456.hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestProbeSeriesReconciles checks the run-level invariants the report
+// generator relies on: interval deltas sum to the run totals, and the
+// per-PC table's prediction columns sum to the aggregate dbrb.Accuracy
+// counters even after the top-K rollup.
+func TestProbeSeriesReconciles(t *testing.T) {
+	r := RunSingle(probeWorkload(t), samplerPolicy(), probeOpts(50_000))
+	s := r.Probe
+	if s == nil {
+		t.Fatal("probe requested but result carries no series")
+	}
+	if len(s.Intervals) < 2 {
+		t.Fatalf("only %d intervals; scale or interval mis-sized for the test", len(s.Intervals))
+	}
+	instr, cycles, misses := s.IntervalTotals()
+	if instr != r.Instructions || instr != s.Run.Instructions {
+		t.Errorf("interval instruction sum %d != run total %d", instr, r.Instructions)
+	}
+	if cycles != r.Cycles {
+		t.Errorf("interval cycle sum %d != run total %d", cycles, r.Cycles)
+	}
+	if misses != r.LLC.Misses {
+		t.Errorf("interval miss sum %d != run total %d", misses, r.LLC.Misses)
+	}
+	if r.Accuracy == nil {
+		t.Fatal("sampler policy run has no accuracy")
+	}
+	pred, pos, fp, ev := s.PCTotals()
+	if pred != r.Accuracy.Predictions || pos != r.Accuracy.Positives || fp != r.Accuracy.FalsePositives {
+		t.Errorf("per-PC sums (%d,%d,%d) != aggregate accuracy (%d,%d,%d)",
+			pred, pos, fp, r.Accuracy.Predictions, r.Accuracy.Positives, r.Accuracy.FalsePositives)
+	}
+	if ev != r.LLC.Evictions {
+		t.Errorf("per-PC eviction sum %d != LLC evictions %d", ev, r.LLC.Evictions)
+	}
+	// The table is bounded: at most TopK named rows plus one rollup.
+	if len(s.PCs) > 10+1 {
+		t.Errorf("%d PC rows exported, want <= TopK+1 = 11", len(s.PCs))
+	}
+	// Interval boundaries are monotone and indexed from 0.
+	for i, iv := range s.Intervals {
+		if iv.Index != i {
+			t.Errorf("interval %d has index %d", i, iv.Index)
+		}
+		if iv.DInstructions == 0 {
+			t.Errorf("interval %d retired no instructions", i)
+		}
+	}
+}
+
+// TestProbeDeterministic pins that telemetry is a pure function of the
+// simulated work: two identical runs produce byte-identical JSONL.
+func TestProbeDeterministic(t *testing.T) {
+	w := probeWorkload(t)
+	r1 := RunSingle(w, samplerPolicy(), probeOpts(50_000))
+	r2 := RunSingle(w, samplerPolicy(), probeOpts(50_000))
+	b1, err := probe.MarshalJSONL([]probe.Series{*r1.Probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := probe.MarshalJSONL([]probe.Series{*r2.Probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("two identical probed runs produced different JSONL")
+	}
+}
+
+// TestProbeDisabledLeavesResultUntouched pins the off switch: a nil
+// Probe config (and an explicit zero-interval one) produce no series
+// and the same simulation results as an unprobed run.
+func TestProbeDisabledLeavesResultUntouched(t *testing.T) {
+	w := probeWorkload(t)
+	base := RunSingle(w, samplerPolicy(), SingleOptions{Scale: 0.02})
+	if base.Probe != nil {
+		t.Error("unprobed run carries a series")
+	}
+	zero := RunSingle(w, samplerPolicy(), SingleOptions{Scale: 0.02, Probe: &probe.Config{}})
+	if zero.Probe != nil {
+		t.Error("zero-interval probe config produced a series")
+	}
+	probed := RunSingle(w, samplerPolicy(), probeOpts(50_000))
+	if base.LLC != probed.LLC || base.Instructions != probed.Instructions || base.Cycles != probed.Cycles {
+		t.Errorf("probing changed the simulation: %+v vs %+v", base.LLC, probed.LLC)
+	}
+	if *base.Accuracy != *probed.Accuracy {
+		t.Errorf("probing changed predictor accuracy: %+v vs %+v", base.Accuracy, probed.Accuracy)
+	}
+}
+
+// TestProbeNonDBRBPolicy is the nil-safety regression test for the
+// satellite fix: interval and accuracy observation must tolerate
+// policies without dbrb.Accuracy. A plain-LRU probed run yields a
+// series with zero accuracy columns and no PC table — and no panic.
+func TestProbeNonDBRBPolicy(t *testing.T) {
+	r := RunSingle(probeWorkload(t), policy.NewLRU(), probeOpts(50_000))
+	if r.Accuracy != nil {
+		t.Error("LRU run reports accuracy")
+	}
+	s := r.Probe
+	if s == nil {
+		t.Fatal("LRU probed run has no series")
+	}
+	if len(s.Intervals) == 0 {
+		t.Fatal("LRU probed run has no intervals")
+	}
+	if len(s.PCs) != 0 {
+		t.Errorf("LRU run exported %d PC rows, want none", len(s.PCs))
+	}
+	if s.Run.Predictions != 0 || s.Run.Positives != 0 || s.Run.FalsePositives != 0 {
+		t.Errorf("LRU run header has nonzero accuracy: %+v", s.Run)
+	}
+	for _, iv := range s.Intervals {
+		if iv.DPredictions != 0 || iv.DeadRate != 0 || iv.FPRate != 0 {
+			t.Errorf("LRU interval %d has predictor activity: %+v", iv.Index, iv)
+		}
+	}
+}
+
+// TestAccuracyOfTypedNil pins the typed-nil guard: a nil *dbrb.Policy
+// (or nil *dbrb.Dueling) inside a non-nil cache.Policy interface must
+// be rejected, not dereferenced.
+func TestAccuracyOfTypedNil(t *testing.T) {
+	if _, ok := accuracyOf((*dbrb.Policy)(nil)); ok {
+		t.Error("accuracyOf accepted a typed-nil *dbrb.Policy")
+	}
+	if _, ok := accuracyOf((*dbrb.Dueling)(nil)); ok {
+		t.Error("accuracyOf accepted a typed-nil *dbrb.Dueling")
+	}
+	if _, ok := accuracyOf(nil); ok {
+		t.Error("accuracyOf accepted a nil interface")
+	}
+	if ap := enableAttribution((*dbrb.Policy)(nil)); ap != nil {
+		t.Error("enableAttribution accepted a typed-nil policy")
+	}
+	// And the end-of-run extraction path survives a typed nil too.
+	var res SingleResult
+	fillAccuracy(&res, (*dbrb.Policy)(nil))
+	if res.Accuracy != nil {
+		t.Error("fillAccuracy filled accuracy from a typed-nil policy")
+	}
+}
+
+// TestProbeDuelingPolicy covers the wrapper path end to end: the
+// dueling policy exposes accuracy and attribution through embedding,
+// and its series must reconcile the same way.
+func TestProbeDuelingPolicy(t *testing.T) {
+	pol := dbrb.NewDueling(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+	r := RunSingle(probeWorkload(t), pol, probeOpts(50_000))
+	if r.Probe == nil || r.Accuracy == nil {
+		t.Fatal("dueling probed run missing series or accuracy")
+	}
+	pred, pos, fp, _ := r.Probe.PCTotals()
+	if pred != r.Accuracy.Predictions || pos != r.Accuracy.Positives || fp != r.Accuracy.FalsePositives {
+		t.Errorf("dueling per-PC sums (%d,%d,%d) != accuracy (%d,%d,%d)",
+			pred, pos, fp, r.Accuracy.Predictions, r.Accuracy.Positives, r.Accuracy.FalsePositives)
+	}
+}

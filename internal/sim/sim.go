@@ -14,6 +14,7 @@ import (
 	"sdbp/internal/hier"
 	"sdbp/internal/mem"
 	"sdbp/internal/predictor"
+	"sdbp/internal/probe"
 	"sdbp/internal/trace"
 	"sdbp/internal/workloads"
 )
@@ -57,6 +58,9 @@ type SingleResult struct {
 	UpdateFraction float64
 	// Stream is the captured LLC access stream when requested.
 	Stream []mem.Access
+	// Probe is the run's interval telemetry and per-PC attribution
+	// table; nil unless SingleOptions.Probe asked for it.
+	Probe *probe.Series
 }
 
 // SingleOptions tunes a single-core run.
@@ -72,6 +76,11 @@ type SingleOptions struct {
 	// KeepLineEfficiencies records the per-line efficiency map (for
 	// Figure 1).
 	KeepLineEfficiencies bool
+	// Probe enables microarchitectural introspection: interval
+	// telemetry every Probe.Interval retired instructions plus the
+	// per-PC death-attribution table (see package probe). Nil keeps the
+	// run byte-identical to an unprobed one.
+	Probe *probe.Config
 }
 
 func (o *SingleOptions) normalize() {
@@ -89,9 +98,16 @@ func RunSingle(w workloads.Workload, pol cache.Policy, opts SingleOptions) Singl
 	opts.normalize()
 	start := time.Now()
 
+	var ap attributionProvider
+	if opts.Probe != nil && opts.Probe.Enabled() {
+		// Opt the policy into per-PC attribution before cache.New runs
+		// its Reset, which sizes the table.
+		ap = enableAttribution(pol)
+	}
 	llc := cache.New(opts.LLC, pol)
 	core := hier.NewCore(hier.DefaultConfig(), llc)
 	timing := cpu.New(cpu.DefaultConfig())
+	ps := newIntervalSampler(opts.Probe, llc, timing, pol)
 
 	res := SingleResult{Benchmark: w.Name, Policy: pol.Name()}
 	if opts.CaptureStream {
@@ -112,6 +128,9 @@ func RunSingle(w workloads.Workload, pol cache.Policy, opts SingleOptions) Singl
 				a := buf[i]
 				level := core.Access(a)
 				timing.Record(a.Gap, level.Latency(), a.DependentLoad)
+				if ps != nil {
+					ps.maybeSample()
+				}
 			}
 		}
 	} else {
@@ -122,6 +141,9 @@ func RunSingle(w workloads.Workload, pol cache.Policy, opts SingleOptions) Singl
 			}
 			level := core.Access(a)
 			timing.Record(a.Gap, level.Latency(), a.DependentLoad)
+			if ps != nil {
+				ps.maybeSample()
+			}
 		}
 	}
 	llc.Finish()
@@ -141,18 +163,20 @@ func RunSingle(w workloads.Workload, pol cache.Policy, opts SingleOptions) Singl
 		res.LineEfficiencies = llc.LineEfficiencies()
 	}
 	fillAccuracy(&res, pol)
+	if ps != nil {
+		ps.finish()
+		res.Probe = buildSeries(&res, opts.Probe, ps.intervals, ap)
+	}
 	res.Duration = time.Since(start)
 	return res
 }
 
 // fillAccuracy extracts predictor-quality metrics when the policy is a
 // dead-block replacement and bypass policy (or wraps one, like the
-// dueling variant).
+// dueling variant). Non-DBRB baselines — and typed-nil policies — are
+// tolerated via the shared accuracyOf guard (see probe.go).
 func fillAccuracy(res *SingleResult, pol cache.Policy) {
-	d, ok := pol.(interface {
-		Accuracy() dbrb.Accuracy
-		Predictor() predictor.Predictor
-	})
+	d, ok := accuracyOf(pol)
 	if !ok {
 		return
 	}
