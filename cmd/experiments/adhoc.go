@@ -1,0 +1,78 @@
+package main
+
+// Ad-hoc experiment mode: -spec FILE runs one declarative experiment
+// from a JSON exp.Spec; -policy EXPR (with optional -bench/-mix lists)
+// builds the same spec from flags. Both resolve through the component
+// registry (internal/exp) and run the spec's policy against the LRU
+// baseline with the same normalizations as the paper's figures. The
+// resolved canonical spec is echoed into the output and, with
+// -metrics, into the run manifest's deterministic config section.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdbp/internal/exp"
+)
+
+// adhocSpec validates the ad-hoc flags and assembles the spec, or
+// returns nil when neither -spec nor -policy was given. flagScale is
+// the -scale value; a spec file's own scale field wins when set.
+func adhocSpec(specFile, policyExpr, bench, mix, only string, interval uint64, flagScale float64) (*exp.Spec, error) {
+	if specFile == "" && policyExpr == "" {
+		if bench != "" || mix != "" {
+			return nil, fmt.Errorf("experiments: -bench/-mix require -policy")
+		}
+		return nil, nil
+	}
+	if specFile != "" && policyExpr != "" {
+		return nil, fmt.Errorf("experiments: -spec and -policy are mutually exclusive")
+	}
+	if only != "" {
+		return nil, fmt.Errorf("experiments: -only cannot be combined with -spec/-policy")
+	}
+	if interval > 0 {
+		return nil, fmt.Errorf("experiments: -interval telemetry is not available in ad-hoc mode")
+	}
+
+	var s exp.Spec
+	if specFile != "" {
+		if bench != "" || mix != "" {
+			return nil, fmt.Errorf("experiments: -bench/-mix cannot be combined with -spec (use the file's workloads/mixes fields)")
+		}
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&s); err != nil {
+			return nil, fmt.Errorf("experiments: parsing %s: %w", specFile, err)
+		}
+	} else {
+		s.Policy = policyExpr
+		s.Workloads = splitNames(bench)
+		s.Mixes = splitNames(mix)
+		if len(s.Workloads) == 0 && len(s.Mixes) == 0 {
+			// The default target: the paper's memory-intensive subset.
+			s.Workloads = []string{"subset"}
+		}
+	}
+	if s.Scale == 0 {
+		s.Scale = flagScale
+	}
+	return &s, nil
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}

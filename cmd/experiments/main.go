@@ -12,6 +12,9 @@
 //	experiments -pprof localhost:6060 # live net/http/pprof endpoint
 //	experiments -interval 100000 -trace-out probe.jsonl
 //	                                  # interval telemetry + per-PC tables
+//	experiments -policy "dbrb(base=random,pred=counting)" -bench 456.hmmer
+//	                                  # ad-hoc run of one registry expression
+//	experiments -spec myexp.json      # declarative experiment from a spec file
 //
 // The harness is fault tolerant: a panicking, hung or failed
 // simulation job is isolated and reported, its table cell prints as
@@ -34,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"sdbp/internal/exp"
 	"sdbp/internal/figures"
 	"sdbp/internal/obs"
 	"sdbp/internal/probe"
@@ -128,6 +132,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	interval := fs.Uint64("interval", 0, "interval telemetry granularity in retired instructions (0 = off)")
 	traceOut := fs.String("trace-out", "", "write interval telemetry JSONL here (and Chrome trace events next to it); requires -interval")
 	topk := fs.Int("topk", 0, fmt.Sprintf("per-PC attribution rows exported per run (0 = %d)", probe.DefaultTopK))
+	specFile := fs.String("spec", "", "ad-hoc mode: run one declarative experiment from this JSON spec file")
+	policy := fs.String("policy", "", "ad-hoc mode: run this policy preset or registry expression against LRU")
+	bench := fs.String("bench", "", "with -policy: comma-separated benchmarks, 'subset' (the default), or 'all'")
+	mix := fs.String("mix", "", "with -policy: comma-separated quad-core mix names or 'all'")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -136,6 +144,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	spec, err := adhocSpec(*specFile, *policy, *bench, *mix, *only, *interval, *scale)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	var resolved *exp.Resolved
+	if spec != nil {
+		if resolved, err = spec.Resolve(); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 2
+		}
+		// Ad-hoc mode runs exactly one section.
+		want = map[string]bool{"adhoc": true}
 	}
 	if *interval > 0 && *traceOut == "" {
 		fmt.Fprintln(stderr, "experiments: -interval requires -trace-out FILE to receive the telemetry")
@@ -200,6 +222,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sp.End()
 		ranSections = append(ranSections, name)
 		fmt.Fprintf(stdout, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	specEcho := ""
+	if resolved != nil {
+		specEcho = resolved.String()
+		section("adhoc", func() { fmt.Fprint(stdout, figures.RunAdhocEnv(env, resolved).Render()) })
 	}
 
 	section("table1", func() { fmt.Fprint(stdout, figures.RenderTable1()) })
@@ -277,7 +305,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *metrics != "" {
 		// Written even after failures or an interrupt: a partial
 		// manifest is still the run's provenance record.
-		if err := writeManifest(*metrics, reg, fs, *scale, *only, ranSections, started, probeCfg); err != nil {
+		if err := writeManifest(*metrics, reg, fs, *scale, *only, specEcho, ranSections, started, probeCfg); err != nil {
 			fmt.Fprintf(stderr, "experiments: writing manifest: %v\n", err)
 			if code == 0 {
 				code = 1

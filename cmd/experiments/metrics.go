@@ -32,7 +32,7 @@ func simCounter(reg *obs.Registry, name string) uint64 {
 // run, deterministic aggregate simulator counters, job accounting and
 // wall-clock timing — as JSON at path. See EXPERIMENTS.md for the
 // schema and how to diff two manifests.
-func writeManifest(path string, reg *obs.Registry, fs *flag.FlagSet, scale float64, only string, ran []string, started time.Time, probeCfg *probe.Config) error {
+func writeManifest(path string, reg *obs.Registry, fs *flag.FlagSet, scale float64, only, spec string, ran []string, started time.Time, probeCfg *probe.Config) error {
 	m := obs.NewManifest("experiments")
 	m.Flags = map[string]string{}
 	fs.VisitAll(func(f *flag.Flag) { m.Flags[f.Name] = f.Value.String() })
@@ -43,6 +43,11 @@ func writeManifest(path string, reg *obs.Registry, fs *flag.FlagSet, scale float
 	m.Sim.Config["only"] = only
 	m.Sim.Config["sections"] = strings.Join(ran, ",")
 	m.Sim.Config["seed_scheme"] = "per-workload stable index (internal/workloads)"
+	if spec != "" {
+		// Ad-hoc mode: the fully-expanded canonical spec (every default
+		// made explicit), so the manifest alone reproduces the run.
+		m.Sim.Config["spec"] = spec
+	}
 	if probeCfg != nil {
 		probeConfigInto(m, *probeCfg)
 	}

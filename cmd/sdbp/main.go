@@ -47,10 +47,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "benchmarks:", strings.Join(sdbp.Benchmarks(), " "))
 		fmt.Fprintln(stdout, "subset:    ", strings.Join(sdbp.SubsetBenchmarks(), " "))
 		fmt.Fprintln(stdout, "mixes:     ", strings.Join(sdbp.Mixes(), " "))
-		fmt.Fprintln(stdout, "policies:   LRU Random DIP TADIP RRIP Sampler TDBP CDBP",
-			"RandomSampler RandomCDBP Optimal PLRU NRU PLRUSampler NRUSampler",
-			"Bursts AIP SamplingCounting TimeBased DuelingSampler")
+		fmt.Fprintln(stdout, "policies:  ", strings.Join(sdbp.PolicyNames(), " "), "Optimal")
 		fmt.Fprintln(stdout, "variants:  ", strings.Join(sdbp.SamplerVariantNames(), " | "))
+		fmt.Fprintln(stdout, "exprs:      any registry expression also works, e.g. 'dbrb(base=random,pred=counting)'")
 		return 0
 	}
 	if *bench == "" && *mix == "" {
@@ -68,65 +67,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return runBenches(*bench, splitList(*policies), opts, stdout, stderr)
 }
 
+// splitList splits a comma-separated list, ignoring commas nested in
+// parentheses so registry expressions like dbrb(base=random,pred=counting)
+// stay whole.
 func splitList(s string) []string {
 	var out []string
-	for _, p := range strings.Split(s, ",") {
+	depth, start := 0, 0
+	emit := func(p string) {
 		if p = strings.TrimSpace(p); p != "" {
 			out = append(out, p)
 		}
 	}
+	for i, c := range s {
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case ',':
+			if depth == 0 {
+				emit(s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	emit(s[start:])
 	return out
 }
 
-// lookupPolicy maps a CLI policy name to a facade Policy; the bool
-// distinguishes "Optimal" (which needs RunOptimal).
+// lookupPolicy maps a CLI policy name — a registry preset, alias,
+// Figure 6 ablation variant, or free-form component expression — to a
+// facade Policy; the bool distinguishes "Optimal" (which needs
+// RunOptimal).
 func lookupPolicy(name string) (sdbp.Policy, bool, error) {
-	switch name {
-	case "LRU":
-		return sdbp.LRU(), false, nil
-	case "Random":
-		return sdbp.Random(), false, nil
-	case "DIP":
-		return sdbp.DIP(), false, nil
-	case "TADIP":
-		return sdbp.TADIP(), false, nil
-	case "RRIP":
-		return sdbp.RRIP(), false, nil
-	case "Sampler":
-		return sdbp.SamplerDBRB(), false, nil
-	case "TDBP":
-		return sdbp.TDBP(), false, nil
-	case "CDBP":
-		return sdbp.CDBP(), false, nil
-	case "RandomSampler":
-		return sdbp.SamplerDBRBRandom(), false, nil
-	case "RandomCDBP":
-		return sdbp.CDBPRandom(), false, nil
-	case "Optimal":
+	if name == "Optimal" {
 		return sdbp.Policy{}, true, nil
-	case "PLRU":
-		return sdbp.PLRU(), false, nil
-	case "NRU":
-		return sdbp.NRU(), false, nil
-	case "PLRUSampler":
-		return sdbp.SamplerDBRBPLRU(), false, nil
-	case "NRUSampler":
-		return sdbp.SamplerDBRBNRU(), false, nil
-	case "Bursts":
-		return sdbp.BurstsDBRB(), false, nil
-	case "AIP":
-		return sdbp.AIPDBRB(), false, nil
-	case "SamplingCounting":
-		return sdbp.SamplingCountingDBRB(), false, nil
-	case "TimeBased":
-		return sdbp.TimeBasedDBRB(), false, nil
-	case "DuelingSampler":
-		return sdbp.DuelingSamplerDBRB(), false, nil
 	}
-	if p, err := sdbp.SamplerVariant(name); err == nil {
-		return p, false, nil
+	p, err := sdbp.PolicyExpr(name)
+	if err != nil {
+		return sdbp.Policy{}, false, fmt.Errorf("unknown policy %q (%v)", name, err)
 	}
-	return sdbp.Policy{}, false, fmt.Errorf("unknown policy %q", name)
+	return p, false, nil
 }
 
 func runBenches(bench string, policies []string, opts sdbp.Options, stdout, stderr io.Writer) int {

@@ -1,10 +1,7 @@
 package sdbp
 
 import (
-	"sdbp/internal/cache"
-	"sdbp/internal/dbrb"
-	"sdbp/internal/policy"
-	"sdbp/internal/predictor"
+	"sdbp/internal/exp"
 	"sdbp/internal/prefetch"
 	"sdbp/internal/sim"
 	"sdbp/internal/victim"
@@ -21,79 +18,47 @@ import (
 // PLRU returns tree-based pseudo-LRU replacement — the hardware-cheap
 // approximation real high-associativity LLCs implement instead of the
 // true LRU the paper's baseline models.
-func PLRU() Policy {
-	return Policy{"PLRU", func(int) cache.Policy { return policy.NewPLRU() }}
-}
+func PLRU() Policy { return fromExp("PLRU") }
 
 // NRU returns not-recently-used replacement (one use bit per line).
-func NRU() Policy {
-	return Policy{"NRU", func(int) cache.Policy { return policy.NewNRU() }}
-}
+func NRU() Policy { return fromExp("NRU") }
 
 // SamplerDBRBPLRU returns the sampling predictor driving replacement
 // and bypass over a pseudo-LRU cache. The paper argues the sampler is
 // decoupled from the cache's own policy; this configuration tests that
 // claim against the policy real LLCs use.
-func SamplerDBRBPLRU() Policy {
-	return Policy{"PLRU Sampler", func(int) cache.Policy {
-		return dbrb.New(policy.NewPLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-	}}
-}
+func SamplerDBRBPLRU() Policy { return fromExp("PLRU Sampler") }
 
 // SamplerDBRBNRU returns the sampling predictor over an NRU cache.
-func SamplerDBRBNRU() Policy {
-	return Policy{"NRU Sampler", func(int) cache.Policy {
-		return dbrb.New(policy.NewNRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-	}}
-}
+func SamplerDBRBNRU() Policy { return fromExp("NRU Sampler") }
 
 // BurstsDBRB returns dead-block replacement and bypass driven by the
 // cache-bursts predictor of Liu et al. (MICRO 2008). The paper predicts
 // bursts offer little at the LLC because the L1 filters them; this
 // policy lets that claim be measured.
-func BurstsDBRB() Policy {
-	return Policy{"Bursts", func(int) cache.Policy {
-		return dbrb.New(policy.NewLRU(), predictor.NewBursts())
-	}}
-}
+func BurstsDBRB() Policy { return fromExp("Bursts") }
 
 // AIPDBRB returns dead-block replacement and bypass driven by Kharbutli
 // and Solihin's access interval predictor — the companion of the
 // counting predictor that the paper sets aside in LvP's favor.
-func AIPDBRB() Policy {
-	return Policy{"AIP", func(int) cache.Policy {
-		return dbrb.New(policy.NewLRU(), predictor.NewAIP())
-	}}
-}
+func AIPDBRB() Policy { return fromExp("AIP") }
 
 // SamplingCountingDBRB returns the paper's Section VIII future work
 // made concrete: a counting (live-time) predictor trained exclusively
 // through a decoupled sampler.
-func SamplingCountingDBRB() Policy {
-	return Policy{"SamplingCounting", func(int) cache.Policy {
-		return dbrb.New(policy.NewLRU(), predictor.NewSamplingCounting())
-	}}
-}
+func SamplingCountingDBRB() Policy { return fromExp("SamplingCounting") }
 
 // TimeBasedDBRB returns dead-block replacement and bypass driven by the
 // time-based predictor of Hu et al. (ISCA 2002), adapted to the LLC's
 // per-set access clock — completing the paper's Section II-A related
 // work set.
-func TimeBasedDBRB() Policy {
-	return Policy{"TimeBased", func(int) cache.Policy {
-		return dbrb.New(policy.NewLRU(), predictor.NewTimeBased())
-	}}
-}
+func TimeBasedDBRB() Policy { return fromExp("TimeBased") }
 
 // DuelingSamplerDBRB returns the sampling predictor under a DIP-style
 // set duel against plain LRU: on workloads where dead block prediction
 // misfires, the duel converges to LRU and caps the damage (an extension
 // beyond the paper).
-func DuelingSamplerDBRB() Policy {
-	return Policy{"Dueling Sampler", func(int) cache.Policy {
-		return dbrb.NewDueling(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-	}}
-}
+func DuelingSamplerDBRB() Policy { return fromExp("Dueling Sampler") }
 
 // PrefetchResult reports a dead-block-directed prefetching run.
 type PrefetchResult struct {
@@ -204,9 +169,7 @@ func RunVictimCache(benchmark string, entries int, filtered bool, o Options) Vic
 	if err != nil {
 		panic(err)
 	}
-	mk := func() *dbrb.Policy {
-		return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-	}
+	mk := exp.MustDBRBFactory("Sampler")
 	r := victim.Run(w, mk, entries, filtered, orOne(o.Scale))
 	return VictimCacheResult{
 		Benchmark: r.Benchmark,

@@ -1,0 +1,261 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is one parsed component expression: a name with optional
+// key=value arguments, where each value is itself an expression (a bare
+// token like 12 or lru is an argument-less Expr). The grammar:
+//
+//	expr  = name [ "(" [ arg { "," arg } ] ")" ]
+//	arg   = key "=" expr
+//	name  = one or more of [A-Za-z0-9_.+-]
+//	key   = name
+//
+// Whitespace is tolerated between tokens; String renders the canonical
+// spelling with none. Keys must be unique within one argument list.
+type Expr struct {
+	// Name is the component or literal token.
+	Name string
+	// Args are the key=value arguments, in source order.
+	Args []Arg
+}
+
+// Arg is one key=value argument of an expression.
+type Arg struct {
+	Key   string
+	Value Expr
+}
+
+// String renders the canonical spelling: no whitespace, arguments in
+// their original order, argument-less expressions as the bare name.
+// ParseExpr(e.String()) reproduces e exactly.
+func (e Expr) String() string {
+	if len(e.Args) == 0 {
+		return e.Name
+	}
+	var sb strings.Builder
+	sb.WriteString(e.Name)
+	sb.WriteByte('(')
+	for i, a := range e.Args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(a.Key)
+		sb.WriteByte('=')
+		sb.WriteString(a.Value.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// ParseExpr parses one complete component expression. Trailing input
+// after the expression is an error.
+func ParseExpr(s string) (Expr, error) {
+	p := &parser{s: s}
+	e, err := p.expr()
+	if err != nil {
+		return Expr{}, err
+	}
+	p.space()
+	if p.i != len(p.s) {
+		return Expr{}, fmt.Errorf("exp: trailing input %q in expression %q", p.s[p.i:], s)
+	}
+	return e, nil
+}
+
+// parser is a recursive-descent scanner over one expression string.
+type parser struct {
+	s string
+	i int
+}
+
+func (p *parser) space() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+// isToken reports whether c may appear in a name or literal token.
+// '+', '-' and '.' admit signed numbers, floats and benchmark-style
+// names ("456.hmmer") as bare values.
+func isToken(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '.' || c == '+' || c == '-'
+}
+
+func (p *parser) token() (string, error) {
+	p.space()
+	start := p.i
+	for p.i < len(p.s) && isToken(p.s[p.i]) {
+		p.i++
+	}
+	if p.i == start {
+		if p.i >= len(p.s) {
+			return "", fmt.Errorf("exp: unexpected end of expression %q", p.s)
+		}
+		return "", fmt.Errorf("exp: unexpected %q at offset %d in expression %q", p.s[p.i], p.i, p.s)
+	}
+	return p.s[start:p.i], nil
+}
+
+// peek returns the next non-space byte without consuming it (0 at end).
+func (p *parser) peek() byte {
+	p.space()
+	if p.i >= len(p.s) {
+		return 0
+	}
+	return p.s[p.i]
+}
+
+func (p *parser) expr() (Expr, error) {
+	name, err := p.token()
+	if err != nil {
+		return Expr{}, err
+	}
+	e := Expr{Name: name}
+	if p.peek() != '(' {
+		return e, nil
+	}
+	p.i++ // consume '('
+	if p.peek() == ')' {
+		p.i++
+		return e, nil
+	}
+	seen := map[string]bool{}
+	for {
+		key, err := p.token()
+		if err != nil {
+			return Expr{}, err
+		}
+		if p.peek() != '=' {
+			return Expr{}, fmt.Errorf("exp: expected '=' after %q in expression %q", key, p.s)
+		}
+		p.i++
+		val, err := p.expr()
+		if err != nil {
+			return Expr{}, err
+		}
+		if seen[key] {
+			return Expr{}, fmt.Errorf("exp: duplicate parameter %q in %s(...)", key, name)
+		}
+		seen[key] = true
+		e.Args = append(e.Args, Arg{Key: key, Value: val})
+		switch p.peek() {
+		case ',':
+			p.i++
+		case ')':
+			p.i++
+			return e, nil
+		default:
+			return Expr{}, fmt.Errorf("exp: expected ',' or ')' in %s(...) of expression %q", name, p.s)
+		}
+	}
+}
+
+// argSet consumes an expression's arguments by key, tracking which keys
+// a factory accepted so unknown parameters become errors.
+type argSet struct {
+	expr Expr
+	used map[string]bool
+}
+
+func newArgs(e Expr) *argSet {
+	return &argSet{expr: e, used: map[string]bool{}}
+}
+
+// value returns the raw value expression of key, marking it used.
+func (a *argSet) value(key string) (Expr, bool) {
+	a.used[key] = true
+	for _, arg := range a.expr.Args {
+		if arg.Key == key {
+			return arg.Value, true
+		}
+	}
+	return Expr{}, false
+}
+
+// leaf returns key's value as a bare token, rejecting nested calls.
+func (a *argSet) leaf(key string) (string, bool, error) {
+	v, ok := a.value(key)
+	if !ok {
+		return "", false, nil
+	}
+	if len(v.Args) != 0 {
+		return "", false, fmt.Errorf("exp: %s: parameter %s must be a literal, not %s", a.expr.Name, key, v)
+	}
+	return v.Name, true, nil
+}
+
+// Int returns key's integer value, or def when absent.
+func (a *argSet) Int(key string, def int) (int, error) {
+	tok, ok, err := a.leaf(key)
+	if err != nil || !ok {
+		return def, err
+	}
+	n, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, fmt.Errorf("exp: %s: parameter %s=%q is not an integer", a.expr.Name, key, tok)
+	}
+	return n, nil
+}
+
+// Uint64 returns key's unsigned value, or def when absent.
+func (a *argSet) Uint64(key string, def uint64) (uint64, error) {
+	tok, ok, err := a.leaf(key)
+	if err != nil || !ok {
+		return def, err
+	}
+	n, err := strconv.ParseUint(tok, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("exp: %s: parameter %s=%q is not an unsigned integer", a.expr.Name, key, tok)
+	}
+	return n, nil
+}
+
+// Bool returns key's boolean value, or def when absent.
+func (a *argSet) Bool(key string, def bool) (bool, error) {
+	tok, ok, err := a.leaf(key)
+	if err != nil || !ok {
+		return def, err
+	}
+	b, err := strconv.ParseBool(tok)
+	if err != nil {
+		return false, fmt.Errorf("exp: %s: parameter %s=%q is not a boolean", a.expr.Name, key, tok)
+	}
+	return b, nil
+}
+
+// Sub returns key's value expression, or the parsed default when
+// absent. Defaults are package literals, so parse errors panic.
+func (a *argSet) Sub(key, def string) Expr {
+	if v, ok := a.value(key); ok {
+		return v
+	}
+	e, err := ParseExpr(def)
+	if err != nil {
+		panic("exp: bad built-in default expression " + def + ": " + err.Error())
+	}
+	return e
+}
+
+// finish reports the first argument no factory consumed.
+func (a *argSet) finish() error {
+	for _, arg := range a.expr.Args {
+		if !a.used[arg.Key] {
+			return fmt.Errorf("exp: %s: unknown parameter %q", a.expr.Name, arg.Key)
+		}
+	}
+	return nil
+}
+
+// noArgs rejects any arguments on an argument-less component.
+func noArgs(e Expr) error {
+	if len(e.Args) != 0 {
+		return fmt.Errorf("exp: %s takes no parameters", e.Name)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package exp
+
+import "testing"
+
+// FuzzParseSpec pins the spec and expression parsers against panics on
+// arbitrary input, and checks the round-trip property on anything they
+// accept: parse → render → parse must be a fixed point.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("policy=Sampler;workloads=subset")
+	f.Add("policy=dbrb(base=random(seed=9),pred=sampler(sets=64));mixes=all;cores=4;llc=llc(kb=512,ways=8);scale=0.1")
+	f.Add("policy==;;=")
+	f.Add("workloads=,,,")
+	f.Add("policy=lru;scale=1e309")
+	f.Add("(((")
+	f.Fuzz(func(t *testing.T, s string) {
+		if spec, err := ParseSpec(s); err == nil {
+			text := spec.String()
+			again, err := ParseSpec(text)
+			if err != nil {
+				t.Fatalf("rendered spec %q does not re-parse: %v", text, err)
+			}
+			if again.String() != text {
+				t.Fatalf("spec render not a fixed point: %q -> %q", text, again.String())
+			}
+		}
+		if e, err := ParseExpr(s); err == nil {
+			canon := e.String()
+			again, err := ParseExpr(canon)
+			if err != nil {
+				t.Fatalf("canonical expr %q does not re-parse: %v", canon, err)
+			}
+			if again.String() != canon {
+				t.Fatalf("expr render not a fixed point: %q -> %q", canon, again.String())
+			}
+		}
+	})
+}

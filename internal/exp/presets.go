@@ -1,0 +1,89 @@
+package exp
+
+import "sdbp/internal/predictor"
+
+// A preset binds a paper abbreviation (Table V and the extension
+// studies) to the expression it stands for. Presets are the vocabulary
+// the figures, the public facade and the CLIs use; expressions are the
+// escape hatch for configurations the paper does not name.
+type preset struct {
+	name string
+	expr string
+}
+
+// presetList is the preset vocabulary in presentation order: the
+// paper's comparison policies first, then the extension policies.
+var presetList = []preset{
+	{"LRU", "lru"},
+	{"Random", "random"},
+	{"DIP", "dip"},
+	{"TADIP", "tadip"},
+	{"RRIP", "rrip"},
+	{"Sampler", "dbrb(base=lru,pred=sampler)"},
+	{"TDBP", "dbrb(base=lru,pred=reftrace)"},
+	{"CDBP", "dbrb(base=lru,pred=counting)"},
+	{"Random Sampler", "dbrb(base=random,pred=sampler)"},
+	{"Random CDBP", "dbrb(base=random,pred=counting)"},
+	{"PLRU", "plru"},
+	{"NRU", "nru"},
+	{"PLRU Sampler", "dbrb(base=plru,pred=sampler)"},
+	{"NRU Sampler", "dbrb(base=nru,pred=sampler)"},
+	{"Bursts", "dbrb(base=lru,pred=bursts)"},
+	{"AIP", "dbrb(base=lru,pred=aip)"},
+	{"SamplingCounting", "dbrb(base=lru,pred=samplingcounting)"},
+	{"TimeBased", "dbrb(base=lru,pred=timebased)"},
+	{"Dueling Sampler", "dueling(base=lru,pred=sampler)"},
+}
+
+// presetAliases maps the single-token CLI spellings to the canonical
+// spaced preset names.
+var presetAliases = map[string]string{
+	"RandomSampler":  "Random Sampler",
+	"RandomCDBP":     "Random CDBP",
+	"PLRUSampler":    "PLRU Sampler",
+	"NRUSampler":     "NRU Sampler",
+	"DuelingSampler": "Dueling Sampler",
+}
+
+// PresetNames lists the preset policy names in presentation order (the
+// Figure 6 ablation variants are named separately; see
+// AblationVariantNames).
+func PresetNames() []string {
+	out := make([]string, len(presetList))
+	for i, p := range presetList {
+		out[i] = p.name
+	}
+	return out
+}
+
+// AblationVariantNames lists the Figure 6 ablation variants in the
+// paper's bar order. Each name resolves as a policy preset expanding to
+// dbrb over the variant's sampler configuration.
+func AblationVariantNames() []string {
+	return []string{
+		"DBRB alone",
+		"DBRB+3 tables",
+		"DBRB+sampler",
+		"DBRB+sampler+3 tables",
+		"DBRB+sampler+12-way",
+		"DBRB+sampler+3 tables+12-way",
+	}
+}
+
+// presetByName resolves a preset name, CLI alias, or Figure 6 ablation
+// variant name.
+func presetByName(name string) (Policy, bool) {
+	if canonical, ok := presetAliases[name]; ok {
+		name = canonical
+	}
+	for _, p := range presetList {
+		if p.name == name {
+			return Policy{Name: p.name, Expr: p.expr, Make: MustResolvePolicy(p.expr).Make}, true
+		}
+	}
+	if cfg, ok := predictor.AblationConfigs()[name]; ok {
+		expr := "dbrb(base=lru,pred=" + SamplerExpr(cfg) + ")"
+		return Policy{Name: name, Expr: expr, Make: MustResolvePolicy(expr).Make}, true
+	}
+	return Policy{}, false
+}

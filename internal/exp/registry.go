@@ -1,0 +1,397 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/dbrb"
+	"sdbp/internal/mem"
+	"sdbp/internal/policy"
+	"sdbp/internal/predictor"
+)
+
+// Policy is a resolved LLC management technique: a display name, the
+// canonical expression it was built from, and a factory producing fresh
+// instances (policies hold mutable state and must never be shared
+// across simulations).
+type Policy struct {
+	// Name is the display name: the preset's paper abbreviation
+	// ("Sampler", "Random CDBP") or, for a raw expression, its
+	// canonical spelling.
+	Name string
+	// Expr is the canonical expression the factory was built from.
+	Expr string
+	// Make builds a fresh policy for a cache shared by threads threads.
+	Make func(threads int) cache.Policy
+}
+
+// ResolvePolicy resolves a preset name (see PresetNames and
+// AblationVariantNames, plus the historical CLI aliases like
+// "RandomSampler") or a policy expression like
+// "dbrb(base=random,pred=sampler(threshold=6))" into a validated
+// factory. All validation happens here; calling Make never fails.
+func ResolvePolicy(nameOrExpr string) (Policy, error) {
+	if p, ok := presetByName(nameOrExpr); ok {
+		return p, nil
+	}
+	e, err := ParseExpr(nameOrExpr)
+	if err != nil {
+		return Policy{}, err
+	}
+	mk, err := buildPolicy(e)
+	if err != nil {
+		return Policy{}, err
+	}
+	canon := e.String()
+	return Policy{Name: canon, Expr: canon, Make: mk}, nil
+}
+
+// MustResolvePolicy is ResolvePolicy for package-literal names and
+// expressions; it panics on error.
+func MustResolvePolicy(nameOrExpr string) Policy {
+	p, err := ResolvePolicy(nameOrExpr)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewPolicy resolves nameOrExpr and builds one instance for a cache
+// shared by threads threads.
+func NewPolicy(nameOrExpr string, threads int) (cache.Policy, error) {
+	p, err := ResolvePolicy(nameOrExpr)
+	if err != nil {
+		return nil, err
+	}
+	return p.Make(threads), nil
+}
+
+// PolicyNames lists the registered policy expression names, sorted.
+func PolicyNames() []string {
+	return []string{"dbrb", "dip", "dueling", "lru", "nru", "plru", "random", "rrip", "srrip", "tadip"}
+}
+
+// PredictorNames lists the registered predictor expression names,
+// sorted.
+func PredictorNames() []string {
+	return []string{"aip", "bursts", "counting", "reftrace", "sampler", "samplingcounting", "timebased"}
+}
+
+// buildPolicy validates a policy expression and returns its factory.
+func buildPolicy(e Expr) (func(threads int) cache.Policy, error) {
+	switch e.Name {
+	case "lru":
+		if err := noArgs(e); err != nil {
+			return nil, err
+		}
+		return func(int) cache.Policy { return policy.NewLRU() }, nil
+	case "plru":
+		if err := noArgs(e); err != nil {
+			return nil, err
+		}
+		return func(int) cache.Policy { return policy.NewPLRU() }, nil
+	case "nru":
+		if err := noArgs(e); err != nil {
+			return nil, err
+		}
+		return func(int) cache.Policy { return policy.NewNRU() }, nil
+	case "srrip":
+		if err := noArgs(e); err != nil {
+			return nil, err
+		}
+		return func(int) cache.Policy { return policy.NewSRRIP() }, nil
+	case "random":
+		args := newArgs(e)
+		seed, err := args.Uint64("seed", RandomSeed)
+		if err != nil {
+			return nil, err
+		}
+		if err := args.finish(); err != nil {
+			return nil, err
+		}
+		return func(int) cache.Policy { return policy.NewRandom(seed) }, nil
+	case "dip":
+		args := newArgs(e)
+		seed, err := args.Uint64("seed", DIPSeed)
+		if err != nil {
+			return nil, err
+		}
+		if err := args.finish(); err != nil {
+			return nil, err
+		}
+		return func(int) cache.Policy { return policy.NewDIP(seed) }, nil
+	case "tadip":
+		args := newArgs(e)
+		seed, err := args.Uint64("seed", TADIPSeed)
+		if err != nil {
+			return nil, err
+		}
+		if err := args.finish(); err != nil {
+			return nil, err
+		}
+		return func(threads int) cache.Policy { return policy.NewTADIP(threads, seed) }, nil
+	case "rrip":
+		args := newArgs(e)
+		seed, err := args.Uint64("seed", DRRIPSeed)
+		if err != nil {
+			return nil, err
+		}
+		if err := args.finish(); err != nil {
+			return nil, err
+		}
+		return func(threads int) cache.Policy { return policy.NewDRRIP(threads, seed) }, nil
+	case "dbrb", "dueling":
+		args := newArgs(e)
+		mkBase, err := buildPolicy(args.Sub("base", "lru"))
+		if err != nil {
+			return nil, err
+		}
+		mkPred, err := buildPredictor(args.Sub("pred", "sampler"))
+		if err != nil {
+			return nil, err
+		}
+		if err := args.finish(); err != nil {
+			return nil, err
+		}
+		if e.Name == "dueling" {
+			return func(threads int) cache.Policy {
+				return dbrb.NewDueling(mkBase(threads), mkPred())
+			}, nil
+		}
+		return func(threads int) cache.Policy {
+			return dbrb.New(mkBase(threads), mkPred())
+		}, nil
+	}
+	return nil, fmt.Errorf("exp: unknown policy %q; registered policies: %s",
+		e.Name, strings.Join(PolicyNames(), ", "))
+}
+
+// buildPredictor validates a predictor expression and returns its
+// factory.
+func buildPredictor(e Expr) (func() predictor.Predictor, error) {
+	switch e.Name {
+	case "reftrace":
+		if err := noArgs(e); err != nil {
+			return nil, err
+		}
+		return func() predictor.Predictor { return predictor.NewRefTrace() }, nil
+	case "counting":
+		if err := noArgs(e); err != nil {
+			return nil, err
+		}
+		return func() predictor.Predictor { return predictor.NewCounting() }, nil
+	case "bursts":
+		if err := noArgs(e); err != nil {
+			return nil, err
+		}
+		return func() predictor.Predictor { return predictor.NewBursts() }, nil
+	case "aip":
+		if err := noArgs(e); err != nil {
+			return nil, err
+		}
+		return func() predictor.Predictor { return predictor.NewAIP() }, nil
+	case "samplingcounting":
+		if err := noArgs(e); err != nil {
+			return nil, err
+		}
+		return func() predictor.Predictor { return predictor.NewSamplingCounting() }, nil
+	case "timebased":
+		if err := noArgs(e); err != nil {
+			return nil, err
+		}
+		return func() predictor.Predictor { return predictor.NewTimeBased() }, nil
+	case "sampler":
+		cfg, err := samplerConfig(e)
+		if err != nil {
+			return nil, err
+		}
+		return func() predictor.Predictor { return predictor.NewSampler(cfg) }, nil
+	}
+	return nil, fmt.Errorf("exp: unknown predictor %q; registered predictors: %s",
+		e.Name, strings.Join(PredictorNames(), ", "))
+}
+
+// samplerConfig applies a sampler expression's parameters over the
+// paper's defaults and validates the result (NewSampler panics on
+// geometry errors; user-supplied expressions must fail with an error
+// instead).
+func samplerConfig(e Expr) (predictor.SamplerConfig, error) {
+	cfg := predictor.DefaultSamplerConfig()
+	args := newArgs(e)
+	var err error
+	if cfg.UseSampler, err = args.Bool("sampling", cfg.UseSampler); err != nil {
+		return cfg, err
+	}
+	if cfg.SamplerSets, err = args.Int("sets", cfg.SamplerSets); err != nil {
+		return cfg, err
+	}
+	if cfg.SamplerAssoc, err = args.Int("assoc", cfg.SamplerAssoc); err != nil {
+		return cfg, err
+	}
+	if cfg.Tables, err = args.Int("tables", cfg.Tables); err != nil {
+		return cfg, err
+	}
+	if cfg.TableEntries, err = args.Int("entries", cfg.TableEntries); err != nil {
+		return cfg, err
+	}
+	if cfg.Threshold, err = args.Int("threshold", cfg.Threshold); err != nil {
+		return cfg, err
+	}
+	if err := args.finish(); err != nil {
+		return cfg, err
+	}
+	if cfg.Tables < 1 || cfg.TableEntries < 2 || !mem.IsPow2(cfg.TableEntries) {
+		return cfg, fmt.Errorf("exp: sampler: invalid tables %d x %d entries (need tables >= 1, entries a power of two >= 2)",
+			cfg.Tables, cfg.TableEntries)
+	}
+	if cfg.UseSampler && (cfg.SamplerSets < 1 || cfg.SamplerAssoc < 1 || !mem.IsPow2(cfg.SamplerSets)) {
+		return cfg, fmt.Errorf("exp: sampler: invalid geometry %d sets x %d ways (need assoc >= 1, sets a power of two >= 1)",
+			cfg.SamplerSets, cfg.SamplerAssoc)
+	}
+	return cfg, nil
+}
+
+// SamplerExpr renders a sampler configuration as the canonical
+// expression, emitting only parameters that differ from the paper's
+// DefaultSamplerConfig (so the default renders as the bare "sampler").
+// Sampler geometry is omitted when sampling=false (it is unused there).
+func SamplerExpr(cfg predictor.SamplerConfig) string {
+	def := predictor.DefaultSamplerConfig()
+	var args []string
+	add := func(key string, v, d int) {
+		if v != d {
+			args = append(args, fmt.Sprintf("%s=%d", key, v))
+		}
+	}
+	if cfg.UseSampler != def.UseSampler {
+		args = append(args, fmt.Sprintf("sampling=%v", cfg.UseSampler))
+	}
+	if cfg.UseSampler {
+		add("sets", cfg.SamplerSets, def.SamplerSets)
+		add("assoc", cfg.SamplerAssoc, def.SamplerAssoc)
+	}
+	add("tables", cfg.Tables, def.Tables)
+	add("entries", cfg.TableEntries, def.TableEntries)
+	add("threshold", cfg.Threshold, def.Threshold)
+	if len(args) == 0 {
+		return "sampler"
+	}
+	return "sampler(" + strings.Join(args, ",") + ")"
+}
+
+// NewPredictor resolves a predictor expression ("sampler(threshold=6)",
+// "counting") and builds one instance.
+func NewPredictor(expr string) (predictor.Predictor, error) {
+	e, err := ParseExpr(expr)
+	if err != nil {
+		return nil, err
+	}
+	mk, err := buildPredictor(e)
+	if err != nil {
+		return nil, err
+	}
+	return mk(), nil
+}
+
+// MustPredictor is NewPredictor for package-literal expressions.
+func MustPredictor(expr string) predictor.Predictor {
+	p, err := NewPredictor(expr)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// DBRBFactory resolves a preset name or expression whose root is a
+// dbrb wrapper into a typed factory, for callers that need the
+// dead-block policy's own interface (the victim-cache study consumes
+// its predictions directly).
+func DBRBFactory(nameOrExpr string) (func() *dbrb.Policy, error) {
+	exprStr := nameOrExpr
+	if p, ok := presetByName(nameOrExpr); ok {
+		exprStr = p.Expr
+	}
+	e, err := ParseExpr(exprStr)
+	if err != nil {
+		return nil, err
+	}
+	if e.Name != "dbrb" {
+		return nil, fmt.Errorf("exp: %q is not a dbrb policy", nameOrExpr)
+	}
+	args := newArgs(e)
+	mkBase, err := buildPolicy(args.Sub("base", "lru"))
+	if err != nil {
+		return nil, err
+	}
+	mkPred, err := buildPredictor(args.Sub("pred", "sampler"))
+	if err != nil {
+		return nil, err
+	}
+	if err := args.finish(); err != nil {
+		return nil, err
+	}
+	return func() *dbrb.Policy { return dbrb.New(mkBase(1), mkPred()) }, nil
+}
+
+// MustDBRBFactory is DBRBFactory for package-literal expressions.
+func MustDBRBFactory(nameOrExpr string) func() *dbrb.Policy {
+	mk, err := DBRBFactory(nameOrExpr)
+	if err != nil {
+		panic(err)
+	}
+	return mk
+}
+
+// Geometry resolves a cache geometry expression — llc(mb=4),
+// llc(kb=512,ways=8) — into a cache configuration. Exactly one of mb
+// and kb sizes the cache; ways defaults to the paper's 16.
+func Geometry(expr string) (cache.Config, error) {
+	e, err := ParseExpr(expr)
+	if err != nil {
+		return cache.Config{}, err
+	}
+	if e.Name != "llc" {
+		return cache.Config{}, fmt.Errorf("exp: unknown geometry %q (want llc(mb=N) or llc(kb=N))", e.Name)
+	}
+	args := newArgs(e)
+	mb, err := args.Int("mb", 0)
+	if err != nil {
+		return cache.Config{}, err
+	}
+	kb, err := args.Int("kb", 0)
+	if err != nil {
+		return cache.Config{}, err
+	}
+	ways, err := args.Int("ways", 16)
+	if err != nil {
+		return cache.Config{}, err
+	}
+	if err := args.finish(); err != nil {
+		return cache.Config{}, err
+	}
+	if (mb > 0) == (kb > 0) {
+		return cache.Config{}, fmt.Errorf("exp: llc needs exactly one of mb and kb (got mb=%d, kb=%d)", mb, kb)
+	}
+	size := mb << 20
+	if kb > 0 {
+		size = kb << 10
+	}
+	if ways < 1 {
+		return cache.Config{}, fmt.Errorf("exp: llc ways must be >= 1 (got %d)", ways)
+	}
+	cfg := cache.Config{Name: "LLC", SizeBytes: size, Ways: ways}
+	if sets := cfg.Sets(); sets < 1 || !mem.IsPow2(sets) {
+		return cache.Config{}, fmt.Errorf("exp: llc geometry %s yields %d sets; need a positive power of two", expr, sets)
+	}
+	return cfg, nil
+}
+
+// MustGeometry is Geometry for package-literal expressions.
+func MustGeometry(expr string) cache.Config {
+	cfg, err := Geometry(expr)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}

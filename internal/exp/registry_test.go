@@ -1,0 +1,216 @@
+package exp
+
+import (
+	"testing"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/dbrb"
+	"sdbp/internal/policy"
+	"sdbp/internal/predictor"
+	"sdbp/internal/sim"
+	"sdbp/internal/workloads"
+)
+
+// TestEveryPresetConstructs is the registry round-trip suite: every
+// preset name, CLI alias, and Figure 6 ablation variant resolves, its
+// factory builds instances for 1 and 4 threads, and its canonical
+// expression re-resolves to the same canonical form.
+func TestEveryPresetConstructs(t *testing.T) {
+	var names []string
+	names = append(names, PresetNames()...)
+	names = append(names, AblationVariantNames()...)
+	for alias := range presetAliases {
+		names = append(names, alias)
+	}
+	for _, name := range names {
+		p, err := ResolvePolicy(name)
+		if err != nil {
+			t.Errorf("%q: %v", name, err)
+			continue
+		}
+		if p.Make(1) == nil || p.Make(4) == nil {
+			t.Errorf("%q: factory built nil policy", name)
+		}
+		again, err := ResolvePolicy(p.Expr)
+		if err != nil {
+			t.Errorf("%q: canonical expr %q does not re-resolve: %v", name, p.Expr, err)
+			continue
+		}
+		if again.Expr != p.Expr {
+			t.Errorf("%q: expr %q re-resolved to %q", name, p.Expr, again.Expr)
+		}
+	}
+}
+
+// TestEveryRegisteredNameConstructs builds each bare policy and
+// predictor expression name with its defaults.
+func TestEveryRegisteredNameConstructs(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name, 1)
+		if err != nil {
+			t.Errorf("policy %q: %v", name, err)
+		} else if p == nil {
+			t.Errorf("policy %q: nil instance", name)
+		}
+	}
+	for _, name := range PredictorNames() {
+		p, err := NewPredictor(name)
+		if err != nil {
+			t.Errorf("predictor %q: %v", name, err)
+		} else if p == nil {
+			t.Errorf("predictor %q: nil instance", name)
+		}
+	}
+}
+
+// TestPaperSeedConstants pins the paper-default seeds the registry
+// feeds the seeded policies.
+func TestPaperSeedConstants(t *testing.T) {
+	if RandomSeed != 1 || DIPSeed != 2 || TADIPSeed != 3 || DRRIPSeed != 4 {
+		t.Errorf("seed constants changed: random=%d dip=%d tadip=%d drrip=%d",
+			RandomSeed, DIPSeed, TADIPSeed, DRRIPSeed)
+	}
+}
+
+func TestExprCanonicalRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"lru",
+		"random(seed=7)",
+		"dbrb(base=lru,pred=sampler)",
+		"dbrb(base=random(seed=9),pred=sampler(sets=64,threshold=6))",
+		"dueling(base=plru,pred=counting)",
+		"sampler(sampling=false,tables=1)",
+	} {
+		e, err := ParseExpr(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if e.String() != s {
+			t.Errorf("canonical %q != input %q", e.String(), s)
+		}
+		again, err := ParseExpr(e.String())
+		if err != nil || again.String() != e.String() {
+			t.Errorf("%q does not re-parse identically (%v)", e.String(), err)
+		}
+	}
+}
+
+// TestSamplerExprInvertsConfigs checks SamplerExpr against every
+// Figure 6 ablation configuration: parsing the rendered expression
+// recovers the same effective configuration.
+func TestSamplerExprInvertsConfigs(t *testing.T) {
+	for name, cfg := range predictor.AblationConfigs() {
+		expr := SamplerExpr(cfg)
+		e, err := ParseExpr(expr)
+		if err != nil {
+			t.Errorf("%s: %q: %v", name, expr, err)
+			continue
+		}
+		got, err := samplerConfig(e)
+		if err != nil {
+			t.Errorf("%s: %q: %v", name, expr, err)
+			continue
+		}
+		if got.UseSampler != cfg.UseSampler || got.Tables != cfg.Tables ||
+			got.TableEntries != cfg.TableEntries || got.Threshold != cfg.Threshold {
+			t.Errorf("%s: %q round-tripped to %+v, want %+v", name, expr, got, cfg)
+		}
+		// Sampler geometry matters only when the sampler is on.
+		if cfg.UseSampler && (got.SamplerSets != cfg.SamplerSets || got.SamplerAssoc != cfg.SamplerAssoc) {
+			t.Errorf("%s: %q geometry %dx%d, want %dx%d", name, expr,
+				got.SamplerSets, got.SamplerAssoc, cfg.SamplerSets, cfg.SamplerAssoc)
+		}
+	}
+}
+
+// TestResolveErrorsNotPanics feeds the resolver malformed input; every
+// case must return an error, never panic.
+func TestResolveErrorsNotPanics(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"nosuchpolicy",
+		"lru(seed=1)",                          // lru takes no args
+		"random(seed=x)",                       // non-numeric
+		"random(seed=1,seed=2)",                // duplicate key
+		"random(seed=1)x",                      // trailing input
+		"dbrb(pred=nosuchpred)",                // unknown predictor
+		"dbrb(base=lru,pred=sampler(sets=3))",  // non-pow2 sampler sets
+		"dbrb(base=lru,pred=sampler(bogus=1))", // unknown parameter
+		"sampler",                              // predictor, not a policy
+		"dbrb(base=lru,pred=sampler(entries=3))",
+	} {
+		if _, err := ResolvePolicy(s); err == nil {
+			t.Errorf("ResolvePolicy(%q) accepted", s)
+		}
+	}
+	if _, err := NewPredictor("lru"); err == nil {
+		t.Error("NewPredictor accepted a policy name")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	cfg, err := Geometry("llc(mb=4)")
+	if err != nil || cfg.SizeBytes != 4<<20 || cfg.Ways != 16 {
+		t.Errorf("llc(mb=4) = %+v, %v", cfg, err)
+	}
+	cfg, err = Geometry("llc(kb=512,ways=8)")
+	if err != nil || cfg.SizeBytes != 512<<10 || cfg.Ways != 8 {
+		t.Errorf("llc(kb=512,ways=8) = %+v, %v", cfg, err)
+	}
+	for _, s := range []string{
+		"llc",                 // neither mb nor kb
+		"llc(mb=1,kb=1)",      // both
+		"llc(mb=3,ways=16)",   // 3MB/16w -> non-pow2 sets
+		"llc(mb=1,ways=0)",    // bad ways
+		"l2(mb=1)",            // unknown geometry
+		"llc(mb=1,bogus=2)",   // unknown parameter
+	} {
+		if _, err := Geometry(s); err == nil {
+			t.Errorf("Geometry(%q) accepted", s)
+		}
+	}
+}
+
+func TestDBRBFactory(t *testing.T) {
+	mk, err := DBRBFactory("Sampler")
+	if err != nil || mk() == nil {
+		t.Fatalf("DBRBFactory(Sampler) = %v", err)
+	}
+	if _, err := DBRBFactory("LRU"); err == nil {
+		t.Error("DBRBFactory accepted a non-dbrb preset")
+	}
+	if _, err := DBRBFactory("dueling(base=lru,pred=sampler)"); err == nil {
+		t.Error("DBRBFactory accepted a dueling root")
+	}
+}
+
+// TestRegistryMatchesHandBuilt proves the refactor is behavior
+// preserving at the simulation level: a registry-built policy produces
+// bit-identical results to the same policy constructed by hand.
+func TestRegistryMatchesHandBuilt(t *testing.T) {
+	w, err := workloads.ByName("456.hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := sim.SingleOptions{Scale: 0.02}
+	for _, c := range []struct {
+		name string
+		hand func() cache.Policy
+	}{
+		{"Sampler", func() cache.Policy {
+			return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+		}},
+		{"Random CDBP", func() cache.Policy {
+			return dbrb.New(policy.NewRandom(RandomSeed), predictor.NewCounting())
+		}},
+		{"RRIP", func() cache.Policy { return policy.NewDRRIP(1, DRRIPSeed) }},
+		{"DIP", func() cache.Policy { return policy.NewDIP(DIPSeed) }},
+	} {
+		reg := sim.RunSingle(w, MustResolvePolicy(c.name).Make(1), opts)
+		hand := sim.RunSingle(w, c.hand(), opts)
+		if reg.MPKI != hand.MPKI || reg.IPC != hand.IPC || reg.LLC.Misses != hand.LLC.Misses {
+			t.Errorf("%s: registry (MPKI %v, IPC %v) != hand-built (MPKI %v, IPC %v)",
+				c.name, reg.MPKI, reg.IPC, hand.MPKI, hand.IPC)
+		}
+	}
+}

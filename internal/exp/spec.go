@@ -1,0 +1,297 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/hier"
+	"sdbp/internal/sim"
+	"sdbp/internal/workloads"
+)
+
+// Spec declares one experiment: which policy, over which workloads
+// and/or quad-core mixes, on what cache geometry, at what stream scale.
+// A Spec is data — JSON for files (see cmd/experiments -spec) and a
+// compact one-line text form for logs and manifests:
+//
+//	policy=dbrb(base=lru,pred=sampler);workloads=456.hmmer,470.lbm;scale=0.1
+//
+// The zero values mean "default": Cores 1 (4 for mixes), LLC the
+// paper's 2MB-per-core 16-way geometry, Scale 1.0. Resolve validates
+// the spec and binds it to runnable components.
+type Spec struct {
+	// Policy is a preset name ("Sampler") or expression
+	// ("dbrb(base=random,pred=counting)"). Required.
+	Policy string `json:"policy"`
+	// Workloads are benchmark names, or the expansions "subset" (the
+	// paper's 19-benchmark memory-intensive subset) and "all".
+	Workloads []string `json:"workloads,omitempty"`
+	// Mixes are quad-core mix names ("mix1".."mix10") or "all".
+	Mixes []string `json:"mixes,omitempty"`
+	// Cores is the core count sharing the LLC in single-benchmark runs
+	// (it sizes the default geometry and is passed to thread-aware
+	// policies). 0 means 1. Mix runs are always quad-core.
+	Cores int `json:"cores,omitempty"`
+	// LLC overrides the cache geometry: "llc(mb=4)", "llc(kb=512,ways=8)".
+	// Empty means 2MB per core, 16 ways.
+	LLC string `json:"llc,omitempty"`
+	// Scale multiplies every reference stream's default length; 0 means 1.0.
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// String renders the compact text form: semicolon-separated key=value
+// fields in fixed order, zero-valued fields omitted. ParseSpec inverts
+// it exactly.
+func (s Spec) String() string {
+	var fields []string
+	add := func(key, val string) { fields = append(fields, key+"="+val) }
+	if s.Policy != "" {
+		add("policy", s.Policy)
+	}
+	if len(s.Workloads) > 0 {
+		add("workloads", strings.Join(s.Workloads, ","))
+	}
+	if len(s.Mixes) > 0 {
+		add("mixes", strings.Join(s.Mixes, ","))
+	}
+	if s.Cores != 0 {
+		add("cores", strconv.Itoa(s.Cores))
+	}
+	if s.LLC != "" {
+		add("llc", s.LLC)
+	}
+	if s.Scale != 0 {
+		add("scale", strconv.FormatFloat(s.Scale, 'g', -1, 64))
+	}
+	return strings.Join(fields, ";")
+}
+
+// ParseSpec parses the compact text form produced by Spec.String.
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	seen := map[string]bool{}
+	for _, field := range strings.Split(s, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("exp: spec field %q is not key=value", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if seen[key] {
+			return Spec{}, fmt.Errorf("exp: duplicate spec field %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "policy":
+			spec.Policy = val
+		case "workloads":
+			spec.Workloads = splitNames(val)
+		case "mixes":
+			spec.Mixes = splitNames(val)
+		case "cores":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("exp: spec cores=%q is not an integer", val)
+			}
+			spec.Cores = n
+		case "llc":
+			spec.LLC = val
+		case "scale":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("exp: spec scale=%q is not a number", val)
+			}
+			spec.Scale = f
+		default:
+			return Spec{}, fmt.Errorf("exp: unknown spec field %q (valid: policy, workloads, mixes, cores, llc, scale)", key)
+		}
+	}
+	return spec, nil
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Resolved is a validated Spec bound to runnable components.
+type Resolved struct {
+	// Policy is the resolved policy factory.
+	Policy Policy
+	// Workloads are the expanded single-benchmark runs.
+	Workloads []workloads.Workload
+	// Mixes are the expanded quad-core runs.
+	Mixes []workloads.Mix
+	// Cores is the single-benchmark core count (>= 1).
+	Cores int
+	// Scale is the stream length multiplier (> 0).
+	Scale float64
+	// LLC is the explicit geometry; LLCSet reports whether the spec
+	// overrode the default (use LLCFor to pick the right one).
+	LLC    cache.Config
+	LLCSet bool
+}
+
+// Resolve validates the spec and binds every name to its component. A
+// spec must name a policy and select at least one workload or mix.
+func (s Spec) Resolve() (*Resolved, error) {
+	if s.Policy == "" {
+		return nil, fmt.Errorf("exp: spec names no policy")
+	}
+	pol, err := ResolvePolicy(s.Policy)
+	if err != nil {
+		return nil, err
+	}
+	r := &Resolved{Policy: pol, Cores: s.Cores, Scale: s.Scale}
+	if r.Cores == 0 {
+		r.Cores = 1
+	}
+	if r.Cores < 1 {
+		return nil, fmt.Errorf("exp: spec cores must be >= 1 (got %d)", s.Cores)
+	}
+	if r.Scale == 0 {
+		r.Scale = 1
+	}
+	if !(r.Scale > 0) {
+		return nil, fmt.Errorf("exp: spec scale must be > 0 (got %g)", s.Scale)
+	}
+
+	for _, name := range s.Workloads {
+		switch name {
+		case "all":
+			r.Workloads = append(r.Workloads, workloads.All()...)
+		case "subset":
+			r.Workloads = append(r.Workloads, workloads.Subset()...)
+		default:
+			w, err := workloads.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			r.Workloads = append(r.Workloads, w)
+		}
+	}
+	for _, name := range s.Mixes {
+		if name == "all" {
+			r.Mixes = append(r.Mixes, workloads.Mixes()...)
+			continue
+		}
+		m, err := mixByName(name)
+		if err != nil {
+			return nil, err
+		}
+		r.Mixes = append(r.Mixes, m)
+	}
+	if len(r.Workloads) == 0 && len(r.Mixes) == 0 {
+		return nil, fmt.Errorf("exp: spec selects no workloads or mixes")
+	}
+	if s.LLC != "" {
+		cfg, err := Geometry(s.LLC)
+		if err != nil {
+			return nil, err
+		}
+		r.LLC, r.LLCSet = cfg, true
+	}
+	return r, nil
+}
+
+// mixByName resolves a quad-core mix name.
+func mixByName(name string) (workloads.Mix, error) {
+	var names []string
+	for _, m := range workloads.Mixes() {
+		if m.Name == name {
+			return m, nil
+		}
+		names = append(names, m.Name)
+	}
+	return workloads.Mix{}, fmt.Errorf("exp: unknown mix %q; valid mixes: %s", name, strings.Join(names, ", "))
+}
+
+// LLCFor returns the run's cache geometry: the explicit override, or
+// the paper's default for the given core count.
+func (r *Resolved) LLCFor(cores int) cache.Config {
+	if r.LLCSet {
+		return r.LLC
+	}
+	return hier.LLCConfig(cores)
+}
+
+// String renders the fully-expanded canonical spec — policy as its
+// canonical expression, workloads and mixes listed by name, every
+// default made explicit. This is the form the run manifest echoes.
+func (r *Resolved) String() string {
+	s := Spec{
+		Policy: r.Policy.Expr,
+		Cores:  r.Cores,
+		Scale:  r.Scale,
+	}
+	for _, w := range r.Workloads {
+		s.Workloads = append(s.Workloads, w.Name)
+	}
+	for _, m := range r.Mixes {
+		s.Mixes = append(s.Mixes, m.Name)
+	}
+	llc := r.LLCFor(maxInt(r.Cores, boolToInt(len(r.Mixes) > 0)*4))
+	if llc.SizeBytes%(1<<20) == 0 {
+		s.LLC = fmt.Sprintf("llc(mb=%d,ways=%d)", llc.SizeBytes>>20, llc.Ways)
+	} else {
+		s.LLC = fmt.Sprintf("llc(kb=%d,ways=%d)", llc.SizeBytes>>10, llc.Ways)
+	}
+	return s.String()
+}
+
+// RunBench simulates one of the spec's workloads under the spec's
+// policy via sim.RunSingle.
+func (r *Resolved) RunBench(w workloads.Workload) sim.SingleResult {
+	opts := sim.SingleOptions{Scale: r.Scale, LLC: r.LLCFor(r.Cores)}
+	return sim.RunSingle(w, r.Policy.Make(r.Cores), opts)
+}
+
+// RunMix simulates one of the spec's quad-core mixes under the spec's
+// policy via sim.RunMulticore.
+func (r *Resolved) RunMix(m workloads.Mix) (sim.MulticoreResult, error) {
+	return sim.RunMulticore(m, r.Policy.Make(4), sim.MulticoreOptions{Scale: r.Scale, LLC: r.LLCFor(4)})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// WorkloadNames returns the resolved workload names, and MixNames the
+// resolved mix names, both in spec order (no sorting — order is the
+// run order).
+func (r *Resolved) WorkloadNames() []string {
+	var out []string
+	for _, w := range r.Workloads {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// MixNames returns the resolved mix names in spec order.
+func (r *Resolved) MixNames() []string {
+	var out []string
+	for _, m := range r.Mixes {
+		out = append(out, m.Name)
+	}
+	return out
+}

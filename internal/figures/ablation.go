@@ -1,23 +1,14 @@
 package figures
 
 import (
-	"sdbp/internal/cache"
-	"sdbp/internal/dbrb"
-	"sdbp/internal/policy"
-	"sdbp/internal/predictor"
+	"sdbp/internal/exp"
 	"sdbp/internal/sim"
 	"sdbp/internal/workloads"
 )
 
-// AblationOrder is the paper's Figure 6 bar order.
-var AblationOrder = []string{
-	"DBRB alone",
-	"DBRB+3 tables",
-	"DBRB+sampler",
-	"DBRB+sampler+3 tables",
-	"DBRB+sampler+12-way",
-	"DBRB+sampler+3 tables+12-way",
-}
+// AblationOrder is the paper's Figure 6 bar order. Each name resolves
+// as a registry preset.
+var AblationOrder = exp.AblationVariantNames()
 
 // Ablation holds the Figure 6 component-contribution study: geometric
 // mean speedup over LRU for every feasible combination of the sampler,
@@ -35,12 +26,8 @@ func RunAblation(scale float64) *Ablation {
 func RunAblationEnv(e *Env, scale float64) *Ablation {
 	benches := sortedNames(workloads.Subset())
 	specs := []PolicySpec{LRUSpec()}
-	cfgs := predictor.AblationConfigs()
 	for _, name := range AblationOrder {
-		cfg := cfgs[name]
-		specs = append(specs, PolicySpec{name, func(int) cache.Policy {
-			return dbrb.New(policy.NewLRU(), predictor.NewSampler(cfg))
-		}})
+		specs = append(specs, preset(name))
 	}
 	m := RunMatrixEnv(e, "ablation", benches, specs, sim.SingleOptions{Scale: scale})
 

@@ -1,0 +1,115 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/exp"
+	"sdbp/internal/sim"
+)
+
+// Adhoc holds one user-declared experiment (cmd/experiments -spec or
+// -policy): the spec's policy against the LRU baseline over the spec's
+// workloads and/or quad-core mixes. The same normalizations as the
+// paper's figures apply — norm miss is the Figure 4 cell, speedup the
+// Figure 5 cell, and the mix panel uses the Figure 10 weighted-speedup
+// formula — so an ad-hoc run of a preset policy over a figure's
+// benchmark reproduces that figure's cell.
+type Adhoc struct {
+	// Spec is the fully-expanded canonical spec (exp.Resolved.String),
+	// echoed into the rendering and the run manifest.
+	Spec string
+	// Label is the policy's column label.
+	Label string
+	// Matrix holds the single-benchmark runs (nil when the spec selects
+	// no workloads); its columns are LRU and Label.
+	Matrix *Matrix
+	// Mixes holds the quad-core runs (nil when the spec selects no
+	// mixes), normalized to shared LRU as in Figure 10.
+	Mixes *Multicore
+}
+
+// RunAdhocEnv runs a resolved spec on a shared environment.
+func RunAdhocEnv(e *Env, r *exp.Resolved) *Adhoc {
+	label := r.Policy.Name
+	if label == "LRU" {
+		// The baseline column is already named LRU; keep the checkpoint
+		// keys distinct.
+		label = "LRU (spec)"
+	}
+	a := &Adhoc{Spec: r.String(), Label: label}
+
+	if len(r.Workloads) > 0 {
+		// Zero opts.LLC means the simulator's default geometry — the same
+		// option value the paper's figures pass — so a default-geometry
+		// ad-hoc run shares checkpoint cells with the figure sweeps.
+		opts := sim.SingleOptions{Scale: r.Scale}
+		if r.LLCSet || r.Cores != 1 {
+			opts.LLC = r.LLCFor(r.Cores)
+		}
+		specs := []PolicySpec{
+			LRUSpec(),
+			{Name: label, Make: func(int) cache.Policy { return r.Policy.Make(r.Cores) }},
+		}
+		a.Matrix = RunMatrixEnv(e, "adhoc", r.Workloads, specs, opts)
+	}
+	if len(r.Mixes) > 0 {
+		specs := []PolicySpec{{Name: label, Make: r.Policy.Make}}
+		a.Mixes = runMulticore(e, r.Mixes, specs, r.Scale, r.LLCFor(4))
+	}
+	return a
+}
+
+// Render prints the experiment: raw MPKI and IPC per benchmark plus
+// the figure-cell normalizations (misses normalized to LRU, speedup
+// over LRU) and predictor accuracy where the policy exposes it, then
+// the Figure 10 panel for any mixes. Failed runs print as ERR.
+func (a *Adhoc) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ad-hoc experiment\nspec: %s\n", a.Spec)
+	if a.Matrix != nil {
+		sb.WriteByte('\n')
+		sb.WriteString(a.renderBenches())
+	}
+	if a.Mixes != nil {
+		sb.WriteByte('\n')
+		sb.WriteString(a.Mixes.Render(fmt.Sprintf("Quad-core mixes: weighted speedup of %s normalized to shared LRU", a.Label)))
+	}
+	return sb.String()
+}
+
+func (a *Adhoc) renderBenches() string {
+	m := a.Matrix
+	header := []string{"benchmark", "LRU MPKI", "MPKI", "IPC", "norm miss", "speedup", "cov%", "fp%"}
+	var rows [][]string
+	var norm, speed []float64
+	mpki := func(r sim.SingleResult) float64 { return r.MPKI }
+	ipc := func(r sim.SingleResult) float64 { return r.IPC }
+	for _, b := range m.Benchmarks {
+		lruM, lruI := m.Val(b, "LRU", mpki), m.Val(b, "LRU", ipc)
+		nm := m.Val(b, a.Label, mpki) / lruM
+		sp := m.Val(b, a.Label, ipc) / lruI
+		norm = append(norm, nm)
+		speed = append(speed, sp)
+		row := []string{b,
+			fmtVal("%.3f", lruM),
+			fmtVal("%.3f", m.Val(b, a.Label, mpki)),
+			fmtVal("%.3f", m.Val(b, a.Label, ipc)),
+			fmtVal("%.3f", nm),
+			fmtVal("%.3f", sp),
+		}
+		if r, ok := m.Results[cell{b, a.Label}]; ok && r.Accuracy != nil {
+			row = append(row,
+				fmt.Sprintf("%.1f", r.Accuracy.Coverage()*100),
+				fmt.Sprintf("%.1f", r.Accuracy.FalsePositiveRate()*100))
+		} else {
+			row = append(row, "-", "-")
+		}
+		rows = append(rows, row)
+	}
+	rows = append(rows, []string{"mean", "", "", "",
+		fmtVal("%.3f", meanFinite(norm)),
+		fmtVal("%.3f", geoMeanFinite(speed)), "", ""})
+	return renderTable(fmt.Sprintf("Benchmarks: %s vs LRU (norm miss = amean-able Figure 4 cell, speedup = Figure 5 cell)", a.Label), header, rows)
+}

@@ -3,10 +3,6 @@ package figures
 import (
 	"fmt"
 
-	"sdbp/internal/cache"
-	"sdbp/internal/dbrb"
-	"sdbp/internal/policy"
-	"sdbp/internal/predictor"
 	"sdbp/internal/sim"
 	"sdbp/internal/stats"
 	"sdbp/internal/workloads"
@@ -18,23 +14,18 @@ import (
 // pseudo-LRU/NRU base policies real LLCs use, and design-space sweeps
 // over the sampler's set count and prediction threshold.
 
-// ExtensionPolicies returns the extension comparison set.
+// ExtensionPolicies returns the extension comparison set (labels are
+// abbreviated to fit the table's columns).
 func ExtensionPolicies() []PolicySpec {
 	return []PolicySpec{
-		{"Bursts", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewBursts()) }},
-		{"AIP", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewAIP()) }},
-		{"SmpCount", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewSamplingCounting()) }},
-		{"TimeBased", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewTimeBased()) }},
-		{"DuelSmp", func(int) cache.Policy {
-			return dbrb.NewDueling(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-		}},
-		{"PLRU", func(int) cache.Policy { return policy.NewPLRU() }},
-		{"PLRU+S", func(int) cache.Policy {
-			return dbrb.New(policy.NewPLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-		}},
-		{"Sampler", func(int) cache.Policy {
-			return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-		}},
+		preset("Bursts"),
+		preset("AIP"),
+		presetAs("SmpCount", "SamplingCounting"),
+		preset("TimeBased"),
+		presetAs("DuelSmp", "Dueling Sampler"),
+		preset("PLRU"),
+		presetAs("PLRU+S", "PLRU Sampler"),
+		preset("Sampler"),
 	}
 }
 
@@ -101,11 +92,8 @@ func SamplerSetsSweepEnv(e *Env, scale float64, setCounts []int) map[int]float64
 	benches := sortedNames(workloads.Subset())
 	specs := []PolicySpec{LRUSpec()}
 	for _, n := range setCounts {
-		cfg := predictor.DefaultSamplerConfig()
-		cfg.SamplerSets = n
-		specs = append(specs, PolicySpec{fmt.Sprintf("sets-%d", n), func(int) cache.Policy {
-			return dbrb.New(policy.NewLRU(), predictor.NewSampler(cfg))
-		}})
+		specs = append(specs, exprSpec(fmt.Sprintf("sets-%d", n),
+			fmt.Sprintf("dbrb(base=lru,pred=sampler(sets=%d))", n)))
 	}
 	m := RunMatrixEnv(e, "sweep-sets", benches, specs, sim.SingleOptions{Scale: scale})
 	lru := m.Series("LRU", func(r sim.SingleResult) float64 { return r.IPC })
@@ -130,11 +118,8 @@ func ThresholdSweepEnv(e *Env, scale float64, thresholds []int) map[int]float64 
 	benches := sortedNames(workloads.Subset())
 	specs := []PolicySpec{LRUSpec()}
 	for _, th := range thresholds {
-		cfg := predictor.DefaultSamplerConfig()
-		cfg.Threshold = th
-		specs = append(specs, PolicySpec{fmt.Sprintf("thr-%d", th), func(int) cache.Policy {
-			return dbrb.New(policy.NewLRU(), predictor.NewSampler(cfg))
-		}})
+		specs = append(specs, exprSpec(fmt.Sprintf("thr-%d", th),
+			fmt.Sprintf("dbrb(base=lru,pred=sampler(threshold=%d))", th)))
 	}
 	m := RunMatrixEnv(e, "sweep-threshold", benches, specs, sim.SingleOptions{Scale: scale})
 	lru := m.Series("LRU", func(r sim.SingleResult) float64 { return r.IPC })

@@ -6,9 +6,7 @@ import (
 	"strings"
 
 	"sdbp/internal/cache"
-	"sdbp/internal/dbrb"
-	"sdbp/internal/policy"
-	"sdbp/internal/predictor"
+	"sdbp/internal/exp"
 	"sdbp/internal/runner"
 	"sdbp/internal/sim"
 	"sdbp/internal/workloads"
@@ -33,7 +31,7 @@ func RunFig1(scale float64) *Fig1 {
 
 // RunFig1Env is RunFig1 on a shared environment.
 func RunFig1Env(e *Env, scale float64) *Fig1 {
-	llc := cache.Config{Name: "LLC", SizeBytes: 1 << 20, Ways: 16}
+	llc := exp.MustGeometry("llc(mb=1)")
 	opts := sim.SingleOptions{Scale: scale, LLC: llc, KeepLineEfficiencies: true}
 
 	run := func(variant string, mk func() cache.Policy) runner.Job[sim.SingleResult] {
@@ -48,11 +46,10 @@ func RunFig1Env(e *Env, scale float64) *Fig1 {
 			},
 		}
 	}
+	lru, smp := LRUSpec(), preset("Sampler")
 	jobs := []runner.Job[sim.SingleResult]{
-		run("lru", func() cache.Policy { return policy.NewLRU() }),
-		run("sampler", func() cache.Policy {
-			return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-		}),
+		run("lru", func() cache.Policy { return lru.Make(1) }),
+		run("sampler", func() cache.Policy { return smp.Make(1) }),
 	}
 	set := runJobs(e, jobs)
 

@@ -17,10 +17,8 @@ import (
 	"strings"
 
 	"sdbp/internal/cache"
-	"sdbp/internal/dbrb"
+	"sdbp/internal/exp"
 	"sdbp/internal/hier"
-	"sdbp/internal/policy"
-	"sdbp/internal/predictor"
 	"sdbp/internal/runner"
 	"sdbp/internal/sim"
 	"sdbp/internal/workloads"
@@ -36,22 +34,33 @@ type PolicySpec struct {
 	Make func(threads int) cache.Policy
 }
 
-// LRUSpec is the baseline.
-func LRUSpec() PolicySpec {
-	return PolicySpec{"LRU", func(int) cache.Policy { return policy.NewLRU() }}
+// preset looks a policy up in the component registry by its preset
+// name, keeping that name as the table label.
+func preset(name string) PolicySpec {
+	p := exp.MustResolvePolicy(name)
+	return PolicySpec{p.Name, p.Make}
 }
+
+// presetAs is preset with a different table label (the extension
+// tables abbreviate some preset names to fit their columns).
+func presetAs(label, name string) PolicySpec {
+	return PolicySpec{label, exp.MustResolvePolicy(name).Make}
+}
+
+// exprSpec builds a PolicySpec from a registry expression, labeled
+// explicitly (sweep points label by the swept parameter value).
+func exprSpec(label, expr string) PolicySpec {
+	return PolicySpec{label, exp.MustResolvePolicy(expr).Make}
+}
+
+// LRUSpec is the baseline.
+func LRUSpec() PolicySpec { return preset("LRU") }
 
 // StandardPolicies returns the paper's LRU-baseline comparison set in
 // presentation order: TDBP, CDBP, DIP, RRIP, Sampler.
 func StandardPolicies() []PolicySpec {
 	return []PolicySpec{
-		{"TDBP", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewRefTrace()) }},
-		{"CDBP", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewCounting()) }},
-		{"DIP", func(int) cache.Policy { return policy.NewDIP(2) }},
-		{"RRIP", func(threads int) cache.Policy { return policy.NewDRRIP(threads, 4) }},
-		{"Sampler", func(int) cache.Policy {
-			return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-		}},
+		preset("TDBP"), preset("CDBP"), preset("DIP"), preset("RRIP"), preset("Sampler"),
 	}
 }
 
@@ -59,27 +68,16 @@ func StandardPolicies() []PolicySpec {
 // 7 and 8: Random, Random CDBP, Random Sampler.
 func RandomPolicies() []PolicySpec {
 	return []PolicySpec{
-		{"Random", func(int) cache.Policy { return policy.NewRandom(1) }},
-		{"Random CDBP", func(int) cache.Policy { return dbrb.New(policy.NewRandom(1), predictor.NewCounting()) }},
-		{"Random Sampler", func(int) cache.Policy {
-			return dbrb.New(policy.NewRandom(1), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-		}},
+		preset("Random"), preset("Random CDBP"), preset("Random Sampler"),
 	}
 }
 
 // MulticorePolicies returns the shared-cache comparison set of Figure
 // 10(a): TDBP, CDBP, TADIP, RRIP, Sampler.
 func MulticorePolicies() []PolicySpec {
-	specs := []PolicySpec{
-		{"TDBP", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewRefTrace()) }},
-		{"CDBP", func(int) cache.Policy { return dbrb.New(policy.NewLRU(), predictor.NewCounting()) }},
-		{"TADIP", func(threads int) cache.Policy { return policy.NewTADIP(threads, 3) }},
-		{"RRIP", func(threads int) cache.Policy { return policy.NewDRRIP(threads, 4) }},
-		{"Sampler", func(int) cache.Policy {
-			return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-		}},
+	return []PolicySpec{
+		preset("TDBP"), preset("CDBP"), preset("TADIP"), preset("RRIP"), preset("Sampler"),
 	}
-	return specs
 }
 
 // cell identifies one (benchmark, policy) run in a matrix sweep.

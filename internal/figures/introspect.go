@@ -4,9 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"sdbp/internal/dbrb"
-	"sdbp/internal/policy"
-	"sdbp/internal/predictor"
 	"sdbp/internal/probe"
 	"sdbp/internal/runner"
 	"sdbp/internal/sim"
@@ -37,13 +34,14 @@ func RunIntrospectionEnv(e *Env, scale float64, cfg probe.Config) *Introspection
 	key := func(bench string) string {
 		return fmt.Sprintf("probe|s=%g|i=%d|k=%d|%s", scaleOr1(scale), cfg.Interval, cfg.TopKOrDefault(), bench)
 	}
+	smp := preset("Sampler")
 	var jobs []runner.Job[*probe.Series]
 	for _, w := range benches {
 		w := w
 		jobs = append(jobs, runner.Job[*probe.Series]{
 			Key: key(w.Name),
 			Run: func(context.Context) (*probe.Series, error) {
-				pol := dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+				pol := smp.Make(1)
 				r := sim.RunSingle(w, pol, sim.SingleOptions{Scale: scale, Probe: &cfg})
 				if r.Probe == nil {
 					return nil, fmt.Errorf("probe: run produced no telemetry series")

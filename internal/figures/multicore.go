@@ -6,7 +6,6 @@ import (
 
 	"sdbp/internal/cache"
 	"sdbp/internal/hier"
-	"sdbp/internal/policy"
 	"sdbp/internal/runner"
 	"sdbp/internal/sim"
 	"sdbp/internal/workloads"
@@ -37,8 +36,18 @@ func RunMulticoreFigure(specs []PolicySpec, scale float64) *Multicore {
 // Runs are deterministic, so checkpoint keys depend only on (mix,
 // policy, scale, geometry): both panels share the LRU baseline cells.
 func RunMulticoreFigureEnv(e *Env, specs []PolicySpec, scale float64) *Multicore {
-	mixes := workloads.Mixes()
-	llcCfg := hier.LLCConfig(4)
+	return RunMulticoreFigureLLC(e, specs, scale, hier.LLCConfig(4))
+}
+
+// RunMulticoreFigureLLC is RunMulticoreFigureEnv with an explicit
+// shared-LLC geometry (ad-hoc specs may override the paper's 8MB).
+func RunMulticoreFigureLLC(e *Env, specs []PolicySpec, scale float64, llcCfg cache.Config) *Multicore {
+	return runMulticore(e, workloads.Mixes(), specs, scale, llcCfg)
+}
+
+// runMulticore runs the given policies plus the LRU baseline over the
+// given mixes on one shared-LLC geometry.
+func runMulticore(e *Env, mixes []workloads.Mix, specs []PolicySpec, scale float64, llcCfg cache.Config) *Multicore {
 
 	// Single-run IPCs (denominators of weighted speedup): one per
 	// distinct benchmark, shared across mixes and policies.
@@ -55,6 +64,7 @@ func RunMulticoreFigureEnv(e *Env, specs []PolicySpec, scale float64) *Multicore
 			}
 		}
 	}
+	lru := LRUSpec()
 	var singleJobs []runner.Job[float64]
 	for _, name := range names {
 		name := name
@@ -62,7 +72,7 @@ func RunMulticoreFigureEnv(e *Env, specs []PolicySpec, scale float64) *Multicore
 			Key: singleKey(name),
 			Run: func(context.Context) (float64, error) {
 				return sim.SingleIPC(name, llcCfg, scale,
-					func() cache.Policy { return policy.NewLRU() })
+					func() cache.Policy { return lru.Make(1) })
 			},
 		})
 	}

@@ -5,9 +5,6 @@ import (
 	"fmt"
 
 	"sdbp/internal/cache"
-	"sdbp/internal/dbrb"
-	"sdbp/internal/policy"
-	"sdbp/internal/predictor"
 	"sdbp/internal/prefetch"
 	"sdbp/internal/runner"
 	"sdbp/internal/workloads"
@@ -34,10 +31,9 @@ func prefetchConfigs() []struct {
 	pol    func() cache.Policy
 	degree int
 } {
-	sampler := func() cache.Policy {
-		return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-	}
-	lru := func() cache.Policy { return policy.NewLRU() }
+	lruSpec, smpSpec := LRUSpec(), preset("Sampler")
+	lru := func() cache.Policy { return lruSpec.Make(1) }
+	sampler := func() cache.Policy { return smpSpec.Make(1) }
 	return []struct {
 		name   string
 		pol    func() cache.Policy

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"sdbp/internal/optimal"
-	"sdbp/internal/policy"
 	"sdbp/internal/runner"
 	"sdbp/internal/sim"
 	"sdbp/internal/stats"
@@ -69,7 +68,7 @@ func RunSingleCoreEnv(e *Env, scale float64) *SingleCore {
 // OptimalMPKI runs Belady MIN with optimal bypass over a benchmark's
 // captured LLC stream and returns misses per kilo-instruction.
 func OptimalMPKI(w workloads.Workload, scale float64) float64 {
-	cap := sim.RunSingle(w, policy.NewLRU(), sim.SingleOptions{Scale: scale, CaptureStream: true})
+	cap := sim.RunSingle(w, LRUSpec().Make(1), sim.SingleOptions{Scale: scale, CaptureStream: true})
 	cfg := defaultLLC()
 	min := optimal.Simulate(cap.Stream, cfg.Sets(), cfg.Ways)
 	if cap.Instructions == 0 {

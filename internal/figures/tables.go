@@ -6,9 +6,8 @@ import (
 	"strings"
 
 	"sdbp/internal/cache"
-	"sdbp/internal/policy"
+	"sdbp/internal/exp"
 	"sdbp/internal/power"
-	"sdbp/internal/predictor"
 	"sdbp/internal/runner"
 	"sdbp/internal/sim"
 	"sdbp/internal/workloads"
@@ -18,17 +17,13 @@ import (
 // LLC geometry and reports its structures.
 func predictorStorage() map[string][]power.Structure {
 	cfg := defaultLLC()
-	rt := predictor.NewRefTrace()
-	rt.Reset(cfg.Sets(), cfg.Ways)
-	cnt := predictor.NewCounting()
-	cnt.Reset(cfg.Sets(), cfg.Ways)
-	smp := predictor.NewSampler(predictor.DefaultSamplerConfig())
-	smp.Reset(cfg.Sets(), cfg.Ways)
-	return map[string][]power.Structure{
-		"reftrace": rt.Storage(),
-		"counting": cnt.Storage(),
-		"sampler":  smp.Storage(),
+	out := make(map[string][]power.Structure, 3)
+	for _, name := range []string{"reftrace", "counting", "sampler"} {
+		p := exp.MustPredictor(name)
+		p.Reset(cfg.Sets(), cfg.Ways)
+		out[name] = p.Storage()
 	}
+	return out
 }
 
 // RenderTable1 prints the predictor storage overheads (Table I). The
@@ -125,7 +120,7 @@ func RunTable3Env(e *Env, scale float64) *Table3 {
 		jobs = append(jobs, runner.Job[Table3Row]{
 			Key: key(w.Name),
 			Run: func(context.Context) (Table3Row, error) {
-				base := sim.RunSingle(w, policy.NewLRU(), sim.SingleOptions{Scale: scale})
+				base := sim.RunSingle(w, LRUSpec().Make(1), sim.SingleOptions{Scale: scale})
 				return Table3Row{
 					Name:     w.Name,
 					Class:    w.Class,
@@ -218,7 +213,7 @@ func RunTable4Env(e *Env, scale float64) *Table4 {
 			jobs = append(jobs, runner.Job[float64]{
 				Key: key(w.Name, size),
 				Run: func(context.Context) (float64, error) {
-					r := sim.RunSingle(w, policy.NewLRU(), sim.SingleOptions{
+					r := sim.RunSingle(w, LRUSpec().Make(1), sim.SingleOptions{
 						Scale: scale,
 						LLC:   cache.Config{Name: "LLC", SizeBytes: size, Ways: 16},
 					})

@@ -4,9 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"sdbp/internal/dbrb"
-	"sdbp/internal/policy"
-	"sdbp/internal/predictor"
+	"sdbp/internal/exp"
 	"sdbp/internal/runner"
 	"sdbp/internal/victim"
 	"sdbp/internal/workloads"
@@ -44,9 +42,7 @@ func RunVictimStudyEnv(e *Env, scale float64) *VictimStudy {
 	for _, b := range benches {
 		st.Benchmarks = append(st.Benchmarks, b.Name)
 	}
-	mk := func() *dbrb.Policy {
-		return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-	}
+	mk := exp.MustDBRBFactory("Sampler")
 
 	key := func(bench, config string) string {
 		return fmt.Sprintf("victim|s=%g|%s|%s", scaleOr1(scale), bench, config)

@@ -116,6 +116,11 @@ func NewCore(cfg Config, llc *cache.Cache) *Core {
 	l1, l2 := cfg.L1, cfg.L2
 	l1.SkipEfficiency = true
 	l2.SkipEfficiency = true
+	// The private levels are architecturally fixed at plain LRU (the
+	// paper varies only the LLC policy), so they are built directly
+	// rather than through the internal/exp registry — the one sanctioned
+	// exception in scripts/check_construction.sh. The direct call also
+	// keeps cache.PlainLRU devirtualization on the L1/L2 hit path.
 	return &Core{
 		L1:         cache.New(l1, policy.NewLRU()),
 		L2:         cache.New(l2, policy.NewLRU()),

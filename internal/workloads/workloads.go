@@ -17,6 +17,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"sdbp/internal/trace"
 )
@@ -109,17 +110,22 @@ func Subset() []Workload {
 	return out
 }
 
-// ByName returns the named workload.
+// ByName returns the named workload. The error for an unknown name
+// lists the valid benchmarks, mirroring cmd/experiments' -only
+// diagnostics.
 func ByName(name string) (Workload, error) {
 	for _, w := range registry {
 		if w.Name == name {
 			return w, nil
 		}
 	}
-	return Workload{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+	return Workload{}, fmt.Errorf("workloads: unknown benchmark %q; valid benchmarks: %s",
+		name, strings.Join(Names(), ", "))
 }
 
-// Names returns all workload names, sorted.
+// Names returns every registered benchmark name in canonical
+// (lexically sorted) order — the order the paper's per-benchmark
+// figures list them in.
 func Names() []string {
 	out := make([]string, 0, len(registry))
 	for _, w := range registry {

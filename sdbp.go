@@ -26,18 +26,17 @@ import (
 	"math"
 
 	"sdbp/internal/cache"
-	"sdbp/internal/dbrb"
+	"sdbp/internal/exp"
 	"sdbp/internal/hier"
 	"sdbp/internal/optimal"
-	"sdbp/internal/policy"
-	"sdbp/internal/predictor"
 	"sdbp/internal/sim"
 	"sdbp/internal/workloads"
 )
 
 // Policy is an LLC management technique. Construct one with LRU,
-// Random, DIP, RRIP, TADIP, SamplerDBRB, TDBP, CDBP, or their
-// random-baseline variants; pass it to Run or RunMix.
+// Random, DIP, RRIP, TADIP, SamplerDBRB, TDBP, CDBP, their
+// random-baseline variants, or any registry expression via PolicyExpr;
+// pass it to Run or RunMix.
 type Policy struct {
 	name string
 	make func(threads int) cache.Policy
@@ -46,95 +45,77 @@ type Policy struct {
 // Name returns the technique's display name.
 func (p Policy) Name() string { return p.name }
 
-// LRU returns the baseline true-LRU replacement policy.
-func LRU() Policy {
-	return Policy{"LRU", func(int) cache.Policy { return policy.NewLRU() }}
+// fromExp wraps a component-registry policy (the library's single
+// construction path; see internal/exp) in the facade type.
+func fromExp(nameOrExpr string) Policy {
+	p := exp.MustResolvePolicy(nameOrExpr)
+	return Policy{p.Name, p.Make}
 }
+
+// PolicyExpr resolves a registry preset name ("Sampler", "Random CDBP")
+// or component expression ("dbrb(base=random,pred=counting)") into a
+// runnable policy. PolicyNames lists the presets.
+func PolicyExpr(nameOrExpr string) (Policy, error) {
+	p, err := exp.ResolvePolicy(nameOrExpr)
+	if err != nil {
+		return Policy{}, fmt.Errorf("sdbp: %w", err)
+	}
+	return Policy{p.Name, p.Make}, nil
+}
+
+// PolicyNames lists the registry's preset policy names in presentation
+// order.
+func PolicyNames() []string { return exp.PresetNames() }
+
+// LRU returns the baseline true-LRU replacement policy.
+func LRU() Policy { return fromExp("LRU") }
 
 // Random returns the random replacement policy.
-func Random() Policy {
-	return Policy{"Random", func(int) cache.Policy { return policy.NewRandom(1) }}
-}
+func Random() Policy { return fromExp("Random") }
 
 // DIP returns the Dynamic Insertion Policy.
-func DIP() Policy {
-	return Policy{"DIP", func(int) cache.Policy { return policy.NewDIP(2) }}
-}
+func DIP() Policy { return fromExp("DIP") }
 
 // TADIP returns the Thread-Aware Dynamic Insertion Policy.
-func TADIP() Policy {
-	return Policy{"TADIP", func(threads int) cache.Policy { return policy.NewTADIP(threads, 3) }}
-}
+func TADIP() Policy { return fromExp("TADIP") }
 
 // RRIP returns dynamic re-reference interval prediction (DRRIP).
-func RRIP() Policy {
-	return Policy{"RRIP", func(threads int) cache.Policy { return policy.NewDRRIP(threads, 4) }}
-}
+func RRIP() Policy { return fromExp("RRIP") }
 
 // SamplerDBRB returns dead-block replacement and bypass driven by the
 // paper's sampling predictor over a default LRU cache.
-func SamplerDBRB() Policy {
-	return Policy{"Sampler", func(int) cache.Policy {
-		return dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-	}}
-}
+func SamplerDBRB() Policy { return fromExp("Sampler") }
 
 // SamplerDBRBRandom returns the sampling predictor over a default
 // random-replacement cache ("Random Sampler" in the paper).
-func SamplerDBRBRandom() Policy {
-	return Policy{"Random Sampler", func(int) cache.Policy {
-		return dbrb.New(policy.NewRandom(1), predictor.NewSampler(predictor.DefaultSamplerConfig()))
-	}}
-}
+func SamplerDBRBRandom() Policy { return fromExp("Random Sampler") }
 
 // TDBP returns dead-block replacement and bypass driven by the
 // reference-trace predictor over a default LRU cache.
-func TDBP() Policy {
-	return Policy{"TDBP", func(int) cache.Policy {
-		return dbrb.New(policy.NewLRU(), predictor.NewRefTrace())
-	}}
-}
+func TDBP() Policy { return fromExp("TDBP") }
 
 // CDBP returns dead-block replacement and bypass driven by the counting
 // (LvP) predictor over a default LRU cache.
-func CDBP() Policy {
-	return Policy{"CDBP", func(int) cache.Policy {
-		return dbrb.New(policy.NewLRU(), predictor.NewCounting())
-	}}
-}
+func CDBP() Policy { return fromExp("CDBP") }
 
 // CDBPRandom returns the counting predictor over a default
 // random-replacement cache ("Random CDBP" in the paper).
-func CDBPRandom() Policy {
-	return Policy{"Random CDBP", func(int) cache.Policy {
-		return dbrb.New(policy.NewRandom(1), predictor.NewCounting())
-	}}
-}
+func CDBPRandom() Policy { return fromExp("Random CDBP") }
 
 // SamplerVariant returns one of the paper's Figure 6 ablation variants
 // by name ("DBRB alone", "DBRB+sampler+12-way", ...); see
 // SamplerVariantNames.
 func SamplerVariant(name string) (Policy, error) {
-	cfg, ok := predictor.AblationConfigs()[name]
-	if !ok {
-		return Policy{}, fmt.Errorf("sdbp: unknown sampler variant %q", name)
+	for _, n := range exp.AblationVariantNames() {
+		if n == name {
+			return fromExp(name), nil
+		}
 	}
-	return Policy{name, func(int) cache.Policy {
-		return dbrb.New(policy.NewLRU(), predictor.NewSampler(cfg))
-	}}, nil
+	return Policy{}, fmt.Errorf("sdbp: unknown sampler variant %q", name)
 }
 
 // SamplerVariantNames lists the Figure 6 ablation variant names.
-func SamplerVariantNames() []string {
-	return []string{
-		"DBRB alone",
-		"DBRB+3 tables",
-		"DBRB+sampler",
-		"DBRB+sampler+3 tables",
-		"DBRB+sampler+12-way",
-		"DBRB+sampler+3 tables+12-way",
-	}
-}
+func SamplerVariantNames() []string { return exp.AblationVariantNames() }
 
 // Options tunes a run.
 type Options struct {
@@ -150,7 +131,7 @@ type Options struct {
 
 func (o Options) llc(cores int) cache.Config {
 	if o.LLCMegabytes > 0 {
-		return cache.Config{Name: "LLC", SizeBytes: o.LLCMegabytes << 20, Ways: 16}
+		return exp.MustGeometry(fmt.Sprintf("llc(mb=%d)", o.LLCMegabytes))
 	}
 	return hier.LLCConfig(cores)
 }
@@ -239,7 +220,7 @@ func RunOptimal(benchmark string, o Options) Result {
 		panic(err)
 	}
 	llcCfg := o.llc(1)
-	capture := sim.RunSingle(w, policy.NewLRU(), sim.SingleOptions{
+	capture := sim.RunSingle(w, LRU().make(1), sim.SingleOptions{
 		Scale: o.Scale, LLC: llcCfg, CaptureStream: true,
 	})
 	min := optimal.Simulate(capture.Stream, llcCfg.Sets(), llcCfg.Ways)
@@ -298,8 +279,9 @@ func RunMix(mixName string, p Policy, o Options) MixResult {
 	}
 
 	out := MixResult{Mix: mixName, Policy: p.name, Benchmarks: mix.Members, IPC: r.IPC, MPKI: r.MPKI}
+	lru := LRU()
 	for i, name := range mix.Members {
-		single, err := sim.SingleIPC(name, llcCfg, orOne(o.Scale), func() cache.Policy { return policy.NewLRU() })
+		single, err := sim.SingleIPC(name, llcCfg, orOne(o.Scale), func() cache.Policy { return lru.make(1) })
 		if err != nil {
 			panic(fmt.Errorf("sdbp: %w", err))
 		}
