@@ -30,11 +30,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"sort"
 	"strings"
 	"sync"
-	"syscall"
 	"time"
 
 	"sdbp/internal/exp"
@@ -168,10 +166,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	// Interrupts cancel the campaign cleanly: in-flight jobs finish or
-	// time out, queued jobs drain, partial tables render, and with
-	// -checkpoint every finished cell is already journaled for -resume.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// SIGINT and SIGTERM cancel the campaign cleanly (shared drain
+	// helper with cmd/sdbpd): in-flight jobs finish or time out, queued
+	// jobs drain, partial tables render, and with -checkpoint every
+	// finished cell is already journaled for -resume — so containerized
+	// runs stopped with SIGTERM checkpoint as cleanly as a ^C.
+	ctx, stop := runner.SignalContext(context.Background())
 	defer stop()
 
 	started := time.Now()

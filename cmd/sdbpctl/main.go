@@ -1,0 +1,270 @@
+// Command sdbpctl is the submit/poll client for the sdbpd simulation
+// service.
+//
+//	sdbpctl submit -server URL -spec exp.json          # submit a spec file
+//	sdbpctl submit -server URL -policy Sampler -bench 456.hmmer -scale 0.1
+//	sdbpctl addr   -spec exp.json                      # print the content address, offline
+//	sdbpctl get    -server URL ADDR -wait 30s          # poll a result by address
+//	sdbpctl metrics -server URL                        # dump the metrics snapshot
+//
+// submit prints the result manifest (JSON) on stdout. Backpressure is
+// honored, not retried into: on 429/503 the client sleeps the server's
+// Retry-After hint and tries again, up to -retry times, then gives up
+// with the server's error.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sdbp/internal/exp"
+	"sdbp/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, "usage: sdbpctl {submit|get|addr|metrics} [flags]  (run a subcommand with -h for its flags)")
+	return 2
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		return usage(stderr)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "submit":
+		return runSubmit(rest, stdout, stderr)
+	case "get":
+		return runGet(rest, stdout, stderr)
+	case "addr":
+		return runAddr(rest, stdout, stderr)
+	case "metrics":
+		return runMetrics(rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "sdbpctl: unknown command %q\n", cmd)
+		return usage(stderr)
+	}
+}
+
+// specFromFlags assembles the submission body from -spec FILE (raw
+// pass-through after a strict local parse, so typos fail here with a
+// filename instead of at the server) or from -policy/-bench/-mix.
+func specFromFlags(specFile, policy, bench, mix string, scale float64) ([]byte, error) {
+	if (specFile == "") == (policy == "") {
+		return nil, fmt.Errorf("sdbpctl: exactly one of -spec or -policy is required")
+	}
+	var s exp.Spec
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, fmt.Errorf("sdbpctl: %w", err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&s); err != nil {
+			return nil, fmt.Errorf("sdbpctl: parsing %s: %w", specFile, err)
+		}
+	} else {
+		s.Policy = policy
+		s.Workloads = splitNames(bench)
+		s.Mixes = splitNames(mix)
+		if len(s.Workloads) == 0 && len(s.Mixes) == 0 {
+			s.Workloads = []string{"subset"}
+		}
+	}
+	if s.Scale == 0 && scale != 0 {
+		s.Scale = scale
+	}
+	return json.Marshal(s)
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func runSubmit(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sdbpctl submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://127.0.0.1:8344", "sdbpd base URL")
+	specFile := fs.String("spec", "", "spec JSON file to submit")
+	policy := fs.String("policy", "", "policy preset or registry expression (alternative to -spec)")
+	bench := fs.String("bench", "", "with -policy: comma-separated benchmarks, 'subset', or 'all'")
+	mix := fs.String("mix", "", "with -policy: comma-separated quad-core mix names or 'all'")
+	scale := fs.Float64("scale", 0, "stream length multiplier (0 = spec/server default)")
+	retry := fs.Int("retry", 0, "attempts to retry a 429/503 after its Retry-After hint")
+	httpTimeout := fs.Duration("http-timeout", 15*time.Minute, "per-request HTTP timeout (submits block until the job finishes)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	body, err := specFromFlags(*specFile, *policy, *bench, *mix, *scale)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	client := &http.Client{Timeout: *httpTimeout}
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(*server+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintln(stderr, "sdbpctl:", err)
+			return 1
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			fmt.Fprintln(stderr, "sdbpctl:", rerr)
+			return 1
+		}
+		backpressured := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if backpressured && attempt < *retry {
+			delay := retryAfter(resp, time.Second)
+			fmt.Fprintf(stderr, "sdbpctl: server busy (%d); retrying in %s (%d/%d)\n",
+				resp.StatusCode, delay, attempt+1, *retry)
+			time.Sleep(delay)
+			continue
+		}
+		stdout.Write(data)
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(stderr, "sdbpctl: submit failed: HTTP %d\n", resp.StatusCode)
+			return 1
+		}
+		if hit := resp.Header.Get("X-Sdbpd-Cache"); hit != "" {
+			fmt.Fprintf(stderr, "sdbpctl: result source: %s (addr %s)\n", hit, resp.Header.Get("X-Sdbpd-Addr"))
+		}
+		return 0
+	}
+}
+
+// retryAfter reads the server's Retry-After hint in seconds.
+func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return fallback
+}
+
+func runGet(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sdbpctl get", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://127.0.0.1:8344", "sdbpd base URL")
+	wait := fs.Duration("wait", 0, "poll until the result exists or this deadline passes (0 = one shot)")
+	every := fs.Duration("every", 500*time.Millisecond, "poll interval with -wait")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "sdbpctl: get needs exactly one result address (see 'sdbpctl addr')")
+		return 2
+	}
+	addr := fs.Arg(0)
+	if !serve.ValidAddr(addr) {
+		fmt.Fprintf(stderr, "sdbpctl: %q is not a result address (64 hex digits)\n", addr)
+		return 2
+	}
+
+	client := &http.Client{Timeout: time.Minute}
+	deadline := time.Now().Add(*wait)
+	for {
+		resp, err := client.Get(*server + "/v1/results/" + addr)
+		if err != nil {
+			fmt.Fprintln(stderr, "sdbpctl:", err)
+			return 1
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			fmt.Fprintln(stderr, "sdbpctl:", rerr)
+			return 1
+		}
+		if resp.StatusCode == http.StatusOK {
+			stdout.Write(data)
+			return 0
+		}
+		if resp.StatusCode == http.StatusNotFound && *wait > 0 && time.Now().Before(deadline) {
+			time.Sleep(*every)
+			continue
+		}
+		stdout.Write(data)
+		fmt.Fprintf(stderr, "sdbpctl: get failed: HTTP %d\n", resp.StatusCode)
+		return 1
+	}
+}
+
+// runAddr prints a spec's content address without contacting a
+// server: resolve to the canonical expression, hash it. Useful for
+// scripting get/poll loops.
+func runAddr(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sdbpctl addr", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specFile := fs.String("spec", "", "spec JSON file")
+	policy := fs.String("policy", "", "policy preset or registry expression (alternative to -spec)")
+	bench := fs.String("bench", "", "with -policy: comma-separated benchmarks, 'subset', or 'all'")
+	mix := fs.String("mix", "", "with -policy: comma-separated quad-core mix names or 'all'")
+	scale := fs.Float64("scale", 0, "stream length multiplier")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	body, err := specFromFlags(*specFile, *policy, *bench, *mix, *scale)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	var s exp.Spec
+	if err := json.Unmarshal(body, &s); err != nil {
+		fmt.Fprintln(stderr, "sdbpctl:", err)
+		return 1
+	}
+	resolved, err := s.Resolve()
+	if err != nil {
+		fmt.Fprintln(stderr, "sdbpctl:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, serve.Addr(resolved.String()))
+	return 0
+}
+
+func runMetrics(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sdbpctl metrics", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://127.0.0.1:8344", "sdbpd base URL")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	client := &http.Client{Timeout: time.Minute}
+	resp, err := client.Get(*server + "/metrics")
+	if err != nil {
+		fmt.Fprintln(stderr, "sdbpctl:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(stdout, resp.Body); err != nil {
+		fmt.Fprintln(stderr, "sdbpctl:", err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "sdbpctl: metrics failed: HTTP %d\n", resp.StatusCode)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sdbp/internal/serve"
+)
+
+// newBackend starts a real serve.Server for the client to talk to.
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := serve.New(serve.Config{Log: log.New(io.Discard, "", 0), BatchWait: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return ts
+}
+
+func TestCtlSubmitAddrGetMetrics(t *testing.T) {
+	ts := newBackend(t)
+
+	var out, errBuf bytes.Buffer
+	code := run([]string{"submit", "-server", ts.URL, "-policy", "LRU", "-bench", "456.hmmer", "-scale", "0.01"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("submit exit %d; stderr: %s", code, errBuf.String())
+	}
+	var manifest struct {
+		Schema int    `json:"schema"`
+		Addr   string `json:"addr"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &manifest); err != nil || manifest.Schema != serve.ResultSchema {
+		t.Fatalf("submit output is not a manifest (err=%v): %s", err, out.String())
+	}
+
+	// addr is offline: no server flag, same spec, must name the same
+	// content address the server reported.
+	var addrOut bytes.Buffer
+	if code := run([]string{"addr", "-policy", "LRU", "-bench", "456.hmmer", "-scale", "0.01"}, &addrOut, &errBuf); code != 0 {
+		t.Fatalf("addr exit %d; stderr: %s", code, errBuf.String())
+	}
+	addr := strings.TrimSpace(addrOut.String())
+	if addr != manifest.Addr {
+		t.Fatalf("offline addr %q != server-reported addr %q", addr, manifest.Addr)
+	}
+
+	var getOut bytes.Buffer
+	if code := run([]string{"get", "-server", ts.URL, addr}, &getOut, &errBuf); code != 0 {
+		t.Fatalf("get exit %d; stderr: %s", code, errBuf.String())
+	}
+	if !bytes.Equal(getOut.Bytes(), out.Bytes()) {
+		t.Error("get returned a different manifest than submit")
+	}
+
+	var metricsOut bytes.Buffer
+	if code := run([]string{"metrics", "-server", ts.URL}, &metricsOut, &errBuf); code != 0 {
+		t.Fatalf("metrics exit %d; stderr: %s", code, errBuf.String())
+	}
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(metricsOut.Bytes(), &snap); err != nil || snap.Counters["serve_submits"] == 0 {
+		t.Errorf("metrics output unusable (err=%v): %s", err, metricsOut.String())
+	}
+}
+
+func TestCtlSubmitFromSpecFile(t *testing.T) {
+	ts := newBackend(t)
+	spec := filepath.Join(t.TempDir(), "exp.json")
+	if err := os.WriteFile(spec, []byte(`{"policy":"LRU","workloads":["456.hmmer"],"scale":0.01}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"submit", "-server", ts.URL, "-spec", spec}, &out, &errBuf); code != 0 {
+		t.Fatalf("submit -spec exit %d; stderr: %s", code, errBuf.String())
+	}
+	// A typo'd field fails locally, naming the file, before any network.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"policy":"LRU","wrkloads":["x"]}`), 0o644)
+	errBuf.Reset()
+	if code := run([]string{"submit", "-server", "http://127.0.0.1:1", "-spec", bad}, &out, &errBuf); code != 2 {
+		t.Errorf("typo'd spec file: exit %d, want 2 (local strict parse)", code)
+	}
+	if !strings.Contains(errBuf.String(), "bad.json") {
+		t.Errorf("error does not name the offending file: %s", errBuf.String())
+	}
+}
+
+// TestCtlSubmitHonorsBackpressure: a 429 with Retry-After is retried
+// after the server's hint, not hammered.
+func TestCtlSubmitHonorsBackpressure(t *testing.T) {
+	var calls int
+	var firstRetryAt time.Time
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		firstRetryAt = time.Now()
+		w.Write([]byte(`{"schema":1,"spec":"stub","addr":"x"}`))
+	}))
+	defer backend.Close()
+
+	start := time.Now()
+	var out, errBuf bytes.Buffer
+	code := run([]string{"submit", "-server", backend.URL, "-policy", "LRU", "-retry", "2"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("submit exit %d; stderr: %s", code, errBuf.String())
+	}
+	if calls != 2 {
+		t.Errorf("server saw %d calls, want 2 (one reject, one retry)", calls)
+	}
+	if wait := firstRetryAt.Sub(start); wait < 900*time.Millisecond {
+		t.Errorf("retry arrived after %s, want >= ~1s (the Retry-After hint)", wait)
+	}
+	if !strings.Contains(errBuf.String(), "retrying") {
+		t.Errorf("stderr does not mention the retry: %s", errBuf.String())
+	}
+}
+
+func TestCtlUsageErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown command: exit %d, want 2", code)
+	}
+	if code := run([]string{"submit", "-spec", "a", "-policy", "b"}, &out, &errBuf); code != 2 {
+		t.Errorf("-spec and -policy together: exit %d, want 2", code)
+	}
+	if code := run([]string{"get", "-server", "http://x", "nothex"}, &out, &errBuf); code != 2 {
+		t.Errorf("invalid get address: exit %d, want 2", code)
+	}
+}

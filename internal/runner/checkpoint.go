@@ -2,11 +2,19 @@ package runner
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"os"
 	"sync"
 )
+
+// Warnf receives non-fatal checkpoint degradation notices (a torn or
+// corrupt journal tail skipped on resume). It defaults to the standard
+// logger; commands may redirect it, tests may capture it.
+var Warnf = func(format string, args ...any) { log.Printf(format, args...) }
 
 // Checkpoint is an append-only JSON-lines journal of completed job
 // results. Each line is {"key": ..., "value": ...}; the key embeds
@@ -34,11 +42,23 @@ type checkpointEntry struct {
 // set, existing entries are loaded and later Lookup calls hit them;
 // without it any existing journal is truncated and the run starts
 // fresh.
+//
+// A resume tolerates a crash mid-Record: a truncated or corrupt
+// trailing line ends the useful prefix. The intact entries load, the
+// bad tail is logged through Warnf and physically truncated away —
+// appending after a torn line would otherwise concatenate the next
+// record onto it and corrupt the journal one restart later.
 func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
 	c := &Checkpoint{entries: make(map[string]json.RawMessage)}
 	if resume {
-		if err := c.load(path); err != nil {
+		keep, err := c.load(path)
+		if err != nil {
 			return nil, err
+		}
+		if keep >= 0 {
+			if err := os.Truncate(path, keep); err != nil {
+				return nil, fmt.Errorf("runner: truncate torn checkpoint tail: %w", err)
+			}
 		}
 	}
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
@@ -53,27 +73,43 @@ func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
 	return c, nil
 }
 
-func (c *Checkpoint) load(path string) error {
+// load reads the journal's intact prefix into c.entries. It returns
+// the byte offset the file should be truncated to when a bad tail was
+// found, or -1 when the whole file is intact.
+func (c *Checkpoint) load(path string) (keep int64, err error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil
+		return -1, nil
 	}
 	if err != nil {
-		return fmt.Errorf("runner: load checkpoint: %w", err)
+		return -1, fmt.Errorf("runner: load checkpoint: %w", err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
-	for sc.Scan() {
-		var e checkpointEntry
-		// A torn or corrupt line (interrupted write) ends the useful
-		// prefix; everything before it is intact.
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Key == "" {
-			break
+	r := bufio.NewReaderSize(f, 1<<20)
+	var off int64
+	for lineNo := 1; ; lineNo++ {
+		line, rerr := r.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return -1, fmt.Errorf("runner: load checkpoint: %w", rerr)
 		}
-		c.entries[e.Key] = e.Value
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			var e checkpointEntry
+			// Every complete entry is one newline-terminated line; a
+			// line that does not parse, names no key, or ends at EOF
+			// without its newline is a torn write. Skip it — and
+			// anything after it — rather than failing the resume.
+			if jerr := json.Unmarshal(trimmed, &e); jerr != nil || e.Key == "" || rerr == io.EOF {
+				Warnf("runner: checkpoint %s: ignoring torn or corrupt journal tail at line %d (crash mid-write?); keeping %d intact entries",
+					path, lineNo, len(c.entries))
+				return off, nil
+			}
+			c.entries[e.Key] = e.Value
+		}
+		off += int64(len(line))
+		if rerr == io.EOF {
+			return -1, nil
+		}
 	}
-	return sc.Err()
 }
 
 // Len reports how many entries are loaded or recorded.

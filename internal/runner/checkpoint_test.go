@@ -148,3 +148,92 @@ func TestRunResumeSkipsCheckpointedJobs(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckpointTornTailTruncatedAndWarned pins the hardened resume
+// path: a crash mid-Record leaves a torn trailing line; resume must
+// keep the intact prefix, warn through Warnf, and physically truncate
+// the tail — otherwise the next Record would append onto the torn
+// fragment and corrupt the journal one restart later.
+func TestCheckpointTornTailTruncatedAndWarned(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ck, _ := OpenCheckpoint(path, false)
+	ck.Record("a", 1)
+	ck.Record("b", 2)
+	ck.Close()
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString(`{"key":"c","value":`) // torn write, no newline
+	f.Close()
+
+	var warned int
+	oldWarnf := Warnf
+	Warnf = func(format string, args ...any) { warned++ }
+	defer func() { Warnf = oldWarnf }()
+
+	ck2, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Len() != 2 {
+		t.Fatalf("loaded %d entries, want 2", ck2.Len())
+	}
+	if warned == 0 {
+		t.Error("torn tail skipped silently, want a Warnf notice")
+	}
+	// The journal must be usable after the repair: record a new entry
+	// and resume again — all three entries load, so the torn fragment
+	// did not swallow the new line.
+	if err := ck2.Record("d", 4); err != nil {
+		t.Fatal(err)
+	}
+	ck2.Close()
+
+	ck3, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck3.Close()
+	if ck3.Len() != 3 {
+		t.Fatalf("after repair+record, loaded %d entries, want 3 (a, b, d)", ck3.Len())
+	}
+	var v int
+	for key, want := range map[string]int{"a": 1, "b": 2, "d": 4} {
+		if !ck3.Lookup(key, &v) || v != want {
+			t.Errorf("lookup %s = %d, %t; want %d", key, v, ck3.Lookup(key, &v), want)
+		}
+	}
+	if ck3.Lookup("c", &v) {
+		t.Error("torn entry resurrected")
+	}
+}
+
+// TestCheckpointCorruptMiddleLineEndsPrefix: a corrupt line mid-file
+// ends the trusted prefix — later entries are dropped (and truncated
+// away) rather than failing the whole resume.
+func TestCheckpointCorruptMiddleLineEndsPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	content := `{"key":"a","value":1}` + "\n" +
+		`{"key":"b","value":` + "\n" + // corrupt but newline-terminated
+		`{"key":"c","value":3}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oldWarnf := Warnf
+	Warnf = func(format string, args ...any) {}
+	defer func() { Warnf = oldWarnf }()
+
+	ck, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	var v int
+	if !ck.Lookup("a", &v) || v != 1 {
+		t.Error("intact prefix lost")
+	}
+	if ck.Lookup("b", &v) || ck.Lookup("c", &v) {
+		t.Error("entries past the corrupt line must not load")
+	}
+	if ck.Len() != 1 {
+		t.Fatalf("loaded %d entries, want 1", ck.Len())
+	}
+}

@@ -1,0 +1,20 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context canceled on SIGINT or SIGTERM, the
+// shared drain trigger for every long-running command (cmd/experiments
+// campaigns, the cmd/sdbpd service). Cancellation starts a graceful
+// drain — in-flight jobs finish and land in the checkpoint, queued
+// work settles with a cancellation error. Containerized runs get the
+// same clean drain from a SIGTERM-based stop as an interactive ^C;
+// calling stop restores default signal behavior, so signals after a
+// finished drain kill the process normally.
+func SignalContext(parent context.Context) (ctx context.Context, stop context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"sdbp/internal/exp"
+	"sdbp/internal/obs"
+	"sdbp/internal/runner"
+)
+
+// errQueueFull is the admission queue's backpressure signal; the
+// handler maps it to 429 + Retry-After. errShuttingDown marks work
+// refused or abandoned because the server is draining; it maps to 503.
+var (
+	errQueueFull    = errors.New("serve: admission queue full")
+	errShuttingDown = errors.New("serve: shutting down")
+)
+
+// task is one admitted cache-miss submission traveling through the
+// pipeline: admission queue → coalescing batcher → runner. finish
+// settles it exactly once; the singleflight leader blocks on done.
+type task struct {
+	addr     string
+	spec     string // canonical spec; the checkpoint journal key
+	resolved *exp.Resolved
+
+	once sync.Once
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+func (t *task) finish(val []byte, err error) {
+	t.once.Do(func() {
+		t.val, t.err = val, err
+		close(t.done)
+	})
+}
+
+// admission is the bounded intake queue. The channel gives the bound
+// and the hand-off; the mutex exists only so close and push cannot
+// race — after close returns, no task can ever enter the channel, so
+// the batcher's final drain is complete, not best-effort.
+type admission struct {
+	mu     sync.Mutex
+	closed bool
+	ch     chan *task
+}
+
+func newAdmission(capacity int) *admission {
+	return &admission{ch: make(chan *task, capacity)}
+}
+
+// push admits t or reports why it cannot: a full queue (backpressure)
+// or a closed one (draining). It never blocks.
+func (q *admission) push(t *task) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errShuttingDown
+	}
+	select {
+	case q.ch <- t:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// close stops admission permanently.
+func (q *admission) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+}
+
+// depth is the number of tasks waiting in the queue right now.
+func (q *admission) depth() int { return len(q.ch) }
+
+// batcher coalesces admitted tasks into batches — up to maxBatch
+// tasks, or whatever arrived within maxWait of the first — and
+// executes each batch as one runner.Run call, so the worker pool,
+// per-job timeout, retry/backoff, panic isolation and checkpoint
+// journaling are shared across the batch. At most sem-many batches
+// execute concurrently; everything else waits in the admission queue,
+// which is the system's only unbounded-growth risk and is bounded.
+type batcher struct {
+	q        *admission
+	maxWait  time.Duration
+	maxBatch int
+
+	runCtx  context.Context
+	opts    runner.Options
+	reg     *obs.Registry
+	store   Store
+	wrapJob func(addr string, run func(ctx context.Context) (Result, error)) func(ctx context.Context) (Result, error)
+	warnf   func(format string, args ...any)
+
+	sem      chan struct{}
+	wg       sync.WaitGroup // executing batches
+	stop     chan struct{}
+	loopDone chan struct{}
+}
+
+func (b *batcher) start() {
+	b.stop = make(chan struct{})
+	b.loopDone = make(chan struct{})
+	go b.loop()
+}
+
+func (b *batcher) loop() {
+	defer close(b.loopDone)
+	for {
+		var first *task
+		select {
+		case first = <-b.q.ch:
+		case <-b.stop:
+			b.failQueued()
+			return
+		}
+		batch := []*task{first}
+		timer := time.NewTimer(b.maxWait)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case t := <-b.q.ch:
+				batch = append(batch, t)
+			case <-timer.C:
+				break collect
+			case <-b.stop:
+				break collect
+			}
+		}
+		timer.Stop()
+		select {
+		case b.sem <- struct{}{}:
+		case <-b.stop:
+			// Draining: never start a new batch once stop is closed.
+			for _, t := range batch {
+				t.finish(nil, errShuttingDown)
+			}
+			continue
+		}
+		b.reg.Counter(CtrBatches).Inc()
+		b.reg.Counter(CtrBatchJobs).Add(uint64(len(batch)))
+		b.wg.Add(1)
+		go func(batch []*task) {
+			defer b.wg.Done()
+			defer func() { <-b.sem }()
+			b.execute(batch)
+		}(batch)
+	}
+}
+
+// failQueued settles every task still waiting in the (closed) queue.
+func (b *batcher) failQueued() {
+	for {
+		select {
+		case t := <-b.q.ch:
+			t.finish(nil, errShuttingDown)
+		default:
+			return
+		}
+	}
+}
+
+// execute runs one batch through the runner and settles its tasks.
+// Task addresses are unique within a batch (the singleflight layer
+// guarantees one in-flight task per address), so job keys are unique
+// within the Run call.
+func (b *batcher) execute(batch []*task) {
+	jobs := make([]runner.Job[Result], 0, len(batch))
+	for _, t := range batch {
+		t := t
+		run := func(ctx context.Context) (Result, error) {
+			return ExecuteSpec(ctx, t.resolved, b.reg)
+		}
+		if b.wrapJob != nil {
+			run = b.wrapJob(t.addr, run)
+		}
+		jobs = append(jobs, runner.Job[Result]{Key: t.spec, Run: run})
+	}
+	set := runner.Run(b.runCtx, jobs, b.opts)
+	for _, t := range batch {
+		res, ok := set.Value(t.spec)
+		if !ok {
+			t.finish(nil, set.Err(t.spec))
+			continue
+		}
+		data, err := res.Marshal()
+		if err != nil {
+			t.finish(nil, err)
+			continue
+		}
+		// A storage failure degrades the cache, not the request: the
+		// submitter still gets its manifest, the next identical
+		// submission just recomputes.
+		if err := b.store.Put(t.addr, data); err != nil {
+			b.reg.Counter(CtrStoreErrors).Inc()
+			b.warnf("serve: caching result %s: %v", t.addr, err)
+		}
+		t.finish(data, nil)
+	}
+}
+
+// shutdown drains the batcher: the caller must have closed the
+// admission queue first. In-flight batches run to completion; queued
+// tasks settle with errShuttingDown. It returns ctx.Err() if the
+// executing batches outlive the deadline, in which case the caller is
+// expected to cancel the run context to abandon them.
+func (b *batcher) shutdown(ctx context.Context) error {
+	close(b.stop)
+	<-b.loopDone
+	done := make(chan struct{})
+	go func() {
+		b.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

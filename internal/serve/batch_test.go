@@ -1,0 +1,81 @@
+package serve_test
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdbp/internal/serve"
+)
+
+// TestCoalesceOnFullBatch: with a coalescing window far longer than
+// the test, the only way a batch can fire is by filling — so four
+// concurrent distinct submissions must land in exactly one batch, and
+// the batch must fire the moment the fourth arrives rather than
+// waiting out the window.
+func TestCoalesceOnFullBatch(t *testing.T) {
+	var execs atomic.Int64
+	cfg := quietCfg()
+	cfg.MaxBatch = 4
+	cfg.BatchWait = 10 * time.Second // never fires by timer within the test
+	cfg.WrapJob = cannedJob(&execs)
+	s, ts := newTestServer(t, cfg)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	codes := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := submit(t, ts, specN(i))
+			codes[i] = resp.StatusCode
+		}()
+	}
+	wg.Wait()
+
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("submission %d: HTTP %d, want 200", i, code)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("batch took %s; a full batch must fire immediately, not wait out the %s window", elapsed, cfg.BatchWait)
+	}
+	reg := s.Registry()
+	if got := reg.CounterValue(serve.CtrBatches); got != 1 {
+		t.Errorf("batches = %d, want 1 (all four submissions coalesced)", got)
+	}
+	if got := reg.CounterValue(serve.CtrBatchJobs); got != 4 {
+		t.Errorf("batched jobs = %d, want 4", got)
+	}
+	if n := execs.Load(); n != 4 {
+		t.Errorf("executions = %d, want 4 (distinct specs never dedup)", n)
+	}
+}
+
+// TestCoalesceOnTimer: a lone submission cannot fill a batch, so the
+// window timer is what releases it.
+func TestCoalesceOnTimer(t *testing.T) {
+	var execs atomic.Int64
+	cfg := quietCfg()
+	cfg.MaxBatch = 16
+	cfg.BatchWait = 20 * time.Millisecond
+	cfg.WrapJob = cannedJob(&execs)
+	s, ts := newTestServer(t, cfg)
+
+	resp, _ := submit(t, ts, specN(1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d, want 200", resp.StatusCode)
+	}
+	reg := s.Registry()
+	if got := reg.CounterValue(serve.CtrBatches); got != 1 {
+		t.Errorf("batches = %d, want 1", got)
+	}
+	if got := reg.CounterValue(serve.CtrBatchJobs); got != 1 {
+		t.Errorf("batched jobs = %d, want 1", got)
+	}
+}

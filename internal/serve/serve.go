@@ -1,0 +1,375 @@
+// Package serve is the simulation service behind cmd/sdbpd: it turns
+// the repository's batch evaluation machinery (declarative exp.Spec
+// experiments executed through the fault-tolerant internal/runner
+// pool) into a long-running HTTP service that stays correct and
+// responsive under overload, faults and restarts.
+//
+// A submission flows through a fixed pipeline, every stage of which is
+// bounded:
+//
+//	decode → resolve → content address → result cache
+//	       → singleflight → bounded admission queue
+//	       → coalescing batcher → runner pool → cache + checkpoint
+//
+//   - The canonical spec expression (exp.Resolved.String) gives every
+//     experiment an exact content address; identical submissions — in
+//     any JSON spelling — share one cached result.
+//   - Concurrent identical submissions collapse in the singleflight
+//     layer: N in-flight duplicates cost one simulation.
+//   - Distinct submissions wait in a bounded admission queue; a full
+//     queue answers 429 + Retry-After instead of growing goroutines.
+//   - The batcher coalesces whatever arrives within a small max-wait
+//     window into one runner.Run call, inheriting the runner's panic
+//     isolation, per-job timeout, retry/backoff and checkpoint
+//     journaling.
+//   - Shutdown drains: admission closes, queued work settles with 503,
+//     in-flight simulations finish and land in the JSONL checkpoint,
+//     so a restarted server resumes byte-identically.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"sdbp/internal/exp"
+	"sdbp/internal/obs"
+	"sdbp/internal/runner"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// serving-grade default.
+type Config struct {
+	// Queue bounds the admission queue; 0 means 64. A full queue is
+	// explicit backpressure: 429 + Retry-After.
+	Queue int
+	// MaxBatch caps a coalesced batch; 0 means 16.
+	MaxBatch int
+	// BatchWait is the coalescing window measured from the first task
+	// of a batch; 0 means 10ms.
+	BatchWait time.Duration
+	// Batches bounds concurrently executing batches; 0 means 2.
+	Batches int
+	// Workers is the runner pool size per batch; 0 means NumCPU.
+	Workers int
+	// JobTimeout bounds each job attempt; 0 means no limit.
+	JobTimeout time.Duration
+	// Retries is the per-job retry budget for transient failures.
+	Retries int
+	// MaxBody caps a submission body in bytes; 0 means 1MiB.
+	MaxBody int64
+	// RetryAfter is the hint returned with 429/503; 0 means 1s.
+	RetryAfter time.Duration
+	// Store is the result cache backend; nil means NewMemStore.
+	Store Store
+	// Checkpoint, when non-nil, journals every completed job for
+	// crash-safe resume; the server does not close it.
+	Checkpoint *runner.Checkpoint
+	// Obs receives all metrics; nil means a fresh registry.
+	Obs *obs.Registry
+	// Log receives degradation warnings; nil means log.Default().
+	Log *log.Logger
+	// WrapJob, when non-nil, wraps every job body before execution.
+	// It exists for fault injection in tests (panics, slowness,
+	// canned results) and is not used in production.
+	WrapJob func(addr string, run func(ctx context.Context) (Result, error)) func(ctx context.Context) (Result, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 10 * time.Millisecond
+	}
+	if c.Batches <= 0 {
+		c.Batches = 2
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Store == nil {
+		c.Store = NewMemStore()
+	}
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// Server is the simulation service. Create with New, expose Handler
+// over any http.Server, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	store   Store
+	flights *flightGroup
+	q       *admission
+	b       *batcher
+
+	ready   atomic.Bool
+	runCtx  context.Context
+	cancel  context.CancelFunc
+	started time.Time
+}
+
+// New builds and starts a server's pipeline (the batcher goroutine);
+// the caller still owns serving its Handler.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Obs,
+		store:   cfg.Store,
+		flights: newFlightGroup(),
+		q:       newAdmission(cfg.Queue),
+		started: time.Now(),
+	}
+	s.runCtx, s.cancel = context.WithCancel(context.Background())
+	s.b = &batcher{
+		q:        s.q,
+		maxWait:  cfg.BatchWait,
+		maxBatch: cfg.MaxBatch,
+		runCtx:   s.runCtx,
+		opts: runner.Options{
+			Workers:    cfg.Workers,
+			Timeout:    cfg.JobTimeout,
+			Retries:    cfg.Retries,
+			Checkpoint: cfg.Checkpoint,
+			Obs:        cfg.Obs,
+		},
+		reg:     cfg.Obs,
+		store:   cfg.Store,
+		wrapJob: cfg.WrapJob,
+		warnf:   cfg.Log.Printf,
+		sem:     make(chan struct{}, cfg.Batches),
+	}
+	s.b.start()
+	s.ready.Store(true)
+	return s
+}
+
+// Shutdown drains the server: admission closes immediately (new work
+// gets 503 + Retry-After; cached results are still served), queued
+// tasks settle with 503, executing batches finish their in-flight
+// simulations — journaling each into the checkpoint — and queued jobs
+// inside them drain. It returns ctx.Err() if draining outlives the
+// deadline; the pipeline still shuts down behind it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.ready.CompareAndSwap(true, false) {
+		return nil
+	}
+	s.q.close()
+	err := s.b.shutdown(ctx)
+	// Cancel the run context only once the drain has settled: canceling
+	// it earlier would abandon the in-flight batch mid-simulation (the
+	// runner observes cancellation immediately), turning the drain
+	// guarantee into a 503. After a drain timeout this cancel is what
+	// force-abandons the stragglers.
+	s.cancel()
+	return err
+}
+
+// Handler returns the server's HTTP interface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/results/{addr}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Counter(CtrHTTPRequests).Inc()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// errorBody is the JSON envelope for every non-200 response.
+type errorBody struct {
+	Error string `json:"error"`
+	// Addr is the submission's content address when it resolved far
+	// enough to have one.
+	Addr string `json:"addr,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429/503.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, addr string, err error) {
+	body := errorBody{Error: err.Error(), Addr: addr}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		secs := int(s.cfg.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		body.RetryAfterSeconds = secs
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, _ := json.Marshal(body)
+	w.Write(append(b, '\n'))
+}
+
+// handleSubmit is the job intake: decode strictly, resolve to the
+// canonical spec, and answer from the cache, an in-flight duplicate,
+// or a freshly admitted task — in that order, cheapest first.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec exp.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.reg.Counter(CtrBadRequests).Inc()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "", err)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "", fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	resolved, err := spec.Resolve()
+	if err != nil {
+		s.reg.Counter(CtrBadRequests).Inc()
+		s.writeError(w, http.StatusBadRequest, "", err)
+		return
+	}
+	canonical := resolved.String()
+	addr := Addr(canonical)
+	s.reg.Counter(CtrSubmits).Inc()
+	w.Header().Set("X-Sdbpd-Addr", addr)
+
+	if data, ok := s.cacheGet(addr); ok {
+		s.reg.Counter(CtrCacheHits).Inc()
+		s.writeResult(w, data, "hit")
+		return
+	}
+	s.reg.Counter(CtrCacheMisses).Inc()
+
+	if !s.ready.Load() {
+		s.reg.Counter(CtrShutdownRejects).Inc()
+		s.writeError(w, http.StatusServiceUnavailable, addr, errShuttingDown)
+		return
+	}
+
+	data, err, joined := s.flights.Do(addr, func() ([]byte, error) {
+		// A flight for this address may have completed and cached
+		// between our miss and taking the flight lock; counting it as a
+		// hit keeps the invariant that N identical concurrent
+		// submissions record exactly one simulation and N-1
+		// cache/singleflight hits, however the race lands.
+		if data, ok := s.cacheGet(addr); ok {
+			s.reg.Counter(CtrCacheHits).Inc()
+			return data, nil
+		}
+		t := &task{addr: addr, spec: canonical, resolved: resolved, done: make(chan struct{})}
+		if err := s.q.push(t); err != nil {
+			return nil, err
+		}
+		<-t.done
+		return t.val, t.err
+	})
+	if joined {
+		s.reg.Counter(CtrSingleflightShared).Inc()
+	}
+	switch {
+	case err == nil:
+		source := "miss"
+		if joined {
+			source = "flight"
+		}
+		s.writeResult(w, data, source)
+	case errors.Is(err, errQueueFull):
+		s.reg.Counter(CtrQueueRejects).Inc()
+		s.writeError(w, http.StatusTooManyRequests, addr, err)
+	case errors.Is(err, errShuttingDown), errors.Is(err, context.Canceled):
+		s.reg.Counter(CtrShutdownRejects).Inc()
+		s.writeError(w, http.StatusServiceUnavailable, addr, errShuttingDown)
+	default:
+		s.writeError(w, http.StatusInternalServerError, addr, err)
+	}
+}
+
+// cacheGet consults the store, absorbing backend failures as misses
+// (degraded cache, the pipeline recomputes).
+func (s *Server) cacheGet(addr string) ([]byte, bool) {
+	data, ok, err := s.store.Get(addr)
+	if err != nil {
+		s.reg.Counter(CtrStoreErrors).Inc()
+		s.cfg.Log.Printf("serve: cache get %s: %v", addr, err)
+		return nil, false
+	}
+	return data, ok
+}
+
+func (s *Server) writeResult(w http.ResponseWriter, data []byte, source string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Sdbpd-Cache", source)
+	w.Write(data)
+}
+
+// handleResult serves a cached manifest by content address; it works
+// during drain too, so pollers can pick up results a dying server
+// finished.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	addr := r.PathValue("addr")
+	if !ValidAddr(addr) {
+		s.writeError(w, http.StatusBadRequest, "", fmt.Errorf("serve: %q is not a result address (64 hex digits)", addr))
+		return
+	}
+	data, ok := s.cacheGet(addr)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, addr, fmt.Errorf("serve: no result for %s", addr))
+		return
+	}
+	s.writeResult(w, data, "hit")
+}
+
+// handleHealthz answers 200 while the process lives — liveness only.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz answers 200 while the server accepts new work and 503
+// once draining, so load balancers stop routing before shutdown.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetrics serves the whole registry as one obs.Snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.Gauge(GaugeQueueDepth).Set(float64(s.q.depth()))
+	snap := s.reg.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "", err)
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+// Registry exposes the server's metrics registry (for embedding tools
+// and tests).
+func (s *Server) Registry() *obs.Registry { return s.reg }

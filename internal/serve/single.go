@@ -1,0 +1,47 @@
+package serve
+
+import "sync"
+
+// flightGroup is a minimal singleflight: concurrent Do calls with the
+// same key share one execution of fn. It is hand-rolled (stdlib-only
+// repo) and deliberately smaller than x/sync/singleflight — no
+// DoChan, no Forget — because the server's keys are content addresses
+// whose results are immutable: a completed flight's value is always
+// the right answer for every waiter.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// Do executes fn for key, or joins an in-progress execution. It
+// returns fn's result and whether this call joined (true) rather than
+// led (false). Joined calls never invoke fn.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, joined bool) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, f.err, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, f.err, false
+}

@@ -1,0 +1,115 @@
+package serve_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdbp/internal/serve"
+)
+
+// testAddr is a syntactically valid content address for store tests.
+var testAddr = strings.Repeat("ab", 32)
+
+func TestMemStore(t *testing.T) {
+	s := serve.NewMemStore()
+	if _, ok, err := s.Get(testAddr); ok || err != nil {
+		t.Fatalf("empty store Get = hit=%t err=%v, want miss", ok, err)
+	}
+	if err := s.Put(testAddr, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(testAddr)
+	if err != nil || !ok || string(got) != "one" {
+		t.Fatalf("Get = %q, %t, %v", got, ok, err)
+	}
+	// The store must hold its own copy, immune to caller mutation.
+	data := []byte("two")
+	s.Put(testAddr, data)
+	data[0] = 'X'
+	if got, _, _ := s.Get(testAddr); string(got) != "two" {
+		t.Errorf("stored value mutated through the caller's slice: %q", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := serve.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte(`{"schema":1}` + "\n")
+	if err := s1.Put(testAddr, blob); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	s2, err := serve.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s2.Get(testAddr)
+	if err != nil || !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("after reopen: Get = %q, %t, %v; want the original blob", got, ok, err)
+	}
+	if _, ok, err := s2.Get(strings.Repeat("cd", 32)); ok || err != nil {
+		t.Errorf("unknown addr: hit=%t err=%v, want clean miss", ok, err)
+	}
+}
+
+func TestDiskStoreRejectsInvalidAddr(t *testing.T) {
+	s, err := serve.NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []string{"", "short", "../../etc/passwd", strings.Repeat("zz", 32), strings.Repeat("AB", 32)} {
+		if err := s.Put(addr, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid address", addr)
+		}
+		if _, _, err := s.Get(addr); err == nil {
+			t.Errorf("Get(%q) accepted an invalid address", addr)
+		}
+	}
+}
+
+// TestDiskStorePutLeavesNoTempDebris: the atomic write path must not
+// strand temp files on the happy path, and an overwrite must replace
+// cleanly.
+func TestDiskStorePutLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	s, err := serve.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(testAddr, []byte("v1"))
+	s.Put(testAddr, []byte("v2"))
+	got, _, _ := s.Get(testAddr)
+	if string(got) != "v2" {
+		t.Errorf("overwrite: Get = %q, want v2", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("store dir holds %v, want exactly one blob file", names)
+	}
+	if want := testAddr + ".json"; entries[0].Name() != want {
+		t.Errorf("blob file = %q, want %q", entries[0].Name(), want)
+	}
+	if p := filepath.Join(dir, entries[0].Name()); !strings.HasSuffix(p, ".json") {
+		t.Errorf("unexpected file %s", p)
+	}
+}
