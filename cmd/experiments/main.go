@@ -130,6 +130,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	interval := fs.Uint64("interval", 0, "interval telemetry granularity in retired instructions (0 = off)")
 	traceOut := fs.String("trace-out", "", "write interval telemetry JSONL here (and Chrome trace events next to it); requires -interval")
 	topk := fs.Int("topk", 0, fmt.Sprintf("per-PC attribution rows exported per run (0 = %d)", probe.DefaultTopK))
+	sampled := fs.Bool("sampled", false, "run the sampled-simulation validation: replay the committed interval plans and compare estimates (with error bounds) to the committed full-run goldens")
 	specFile := fs.String("spec", "", "ad-hoc mode: run one declarative experiment from this JSON spec file")
 	policy := fs.String("policy", "", "ad-hoc mode: run this policy preset or registry expression against LRU")
 	bench := fs.String("bench", "", "with -policy: comma-separated benchmarks, 'subset' (the default), or 'all'")
@@ -142,6 +143,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	if *sampled {
+		// The committed plans pin their own scale and workload set; the
+		// mode runs exactly one section.
+		switch {
+		case *only != "":
+			fmt.Fprintln(stderr, "experiments: -sampled cannot be combined with -only")
+			return 2
+		case *specFile != "" || *policy != "":
+			fmt.Fprintln(stderr, "experiments: -sampled cannot be combined with -spec/-policy")
+			return 2
+		case *interval > 0:
+			fmt.Fprintln(stderr, "experiments: -sampled cannot be combined with -interval telemetry")
+			return 2
+		}
+		want = map[string]bool{"sampled": true}
 	}
 	spec, err := adhocSpec(*specFile, *policy, *bench, *mix, *only, *interval, *scale)
 	if err != nil {
@@ -230,6 +247,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		section("adhoc", func() { fmt.Fprint(stdout, figures.RunAdhocEnv(env, resolved).Render()) })
 	}
 
+	var sampledVal *figures.SampledValidation
+	sampledFailed := false
+	if *sampled {
+		section("sampled", func() {
+			v, ok := runSampled(env, stdout, stderr)
+			sampledVal, sampledFailed = v, !ok
+		})
+	}
+
 	section("table1", func() { fmt.Fprint(stdout, figures.RenderTable1()) })
 	section("table2", func() { fmt.Fprint(stdout, figures.RenderTable2()) })
 
@@ -299,13 +325,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	code := summarize(env, ctx, *checkpoint, stderr)
-	if probeFailed && code == 0 {
+	if (probeFailed || sampledFailed) && code == 0 {
 		code = 1
 	}
 	if *metrics != "" {
 		// Written even after failures or an interrupt: a partial
 		// manifest is still the run's provenance record.
-		if err := writeManifest(*metrics, reg, fs, *scale, *only, specEcho, ranSections, started, probeCfg); err != nil {
+		if err := writeManifest(*metrics, reg, fs, *scale, *only, specEcho, ranSections, started, probeCfg, sampledVal); err != nil {
 			fmt.Fprintf(stderr, "experiments: writing manifest: %v\n", err)
 			if code == 0 {
 				code = 1

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"sdbp/internal/figures"
 	"sdbp/internal/obs"
 	"sdbp/internal/probe"
 )
@@ -32,7 +33,7 @@ func simCounter(reg *obs.Registry, name string) uint64 {
 // run, deterministic aggregate simulator counters, job accounting and
 // wall-clock timing — as JSON at path. See EXPERIMENTS.md for the
 // schema and how to diff two manifests.
-func writeManifest(path string, reg *obs.Registry, fs *flag.FlagSet, scale float64, only, spec string, ran []string, started time.Time, probeCfg *probe.Config) error {
+func writeManifest(path string, reg *obs.Registry, fs *flag.FlagSet, scale float64, only, spec string, ran []string, started time.Time, probeCfg *probe.Config, sampled *figures.SampledValidation) error {
 	m := obs.NewManifest("experiments")
 	m.Flags = map[string]string{}
 	fs.VisitAll(func(f *flag.Flag) { m.Flags[f.Name] = f.Value.String() })
@@ -50,6 +51,9 @@ func writeManifest(path string, reg *obs.Registry, fs *flag.FlagSet, scale float
 	}
 	if probeCfg != nil {
 		probeConfigInto(m, *probeCfg)
+	}
+	if sampled != nil {
+		sampledConfigInto(m, sampled)
 	}
 
 	// Campaign-level throughput, derived at the run boundary.

@@ -1,0 +1,131 @@
+package exp
+
+// Sampled execution for declarative specs: the pilot run (full
+// simulation with interval telemetry), interval selection and window
+// materialization are cached per workload/scale/geometry/selector
+// configuration, so a campaign that sweeps N policies over the same
+// workloads pays the pilot and the generation pass once and replays
+// the materialized windows N times. That amortization is what makes
+// sampled sdbpd jobs cheap: the replay simulates ~a tenth of the
+// stream per policy.
+
+import (
+	"fmt"
+	"sync"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/sampling"
+	"sdbp/internal/sim"
+	"sdbp/internal/workloads"
+)
+
+// DefaultSampleInterval is the pilot telemetry granularity, in retired
+// instructions, when a sampled spec does not set sample_interval.
+const DefaultSampleInterval = 50_000
+
+// PilotPolicy is the policy sampled pilots run under: the paper's
+// sampling dead block predictor, so the dead-prediction feature
+// dimensions of the interval vectors are populated. The plan replays
+// against any policy afterwards.
+const PilotPolicy = "Sampler"
+
+// sampledEntry is one cached pilot: the selected plan and the
+// materialized warm-up/measure windows. Entries are created under the
+// cache lock but filled inside their own once, so concurrent requests
+// for the same key share a single pilot run. The materialized windows
+// are replayed read-only.
+type sampledEntry struct {
+	once sync.Once
+	plan sampling.Plan
+	mat  *sim.Materialized
+	err  error
+}
+
+var (
+	sampledMu    sync.Mutex
+	sampledCache = map[string]*sampledEntry{}
+	pilotRuns    int // behind sampledMu; tests assert amortization
+)
+
+// sampledKey identifies a pilot: everything that shapes the plan and
+// the windows. The target policy is deliberately absent — that is the
+// amortization.
+func sampledKey(w workloads.Workload, scale float64, llc cache.Config, interval uint64, cfg sampling.Config) string {
+	return fmt.Sprintf("%s|%g|%d/%d|%d|%d|%g|%g",
+		w.Name, scale, llc.SizeBytes, llc.Ways, interval,
+		cfg.Clusters, cfg.WarmupFrac, cfg.BiasRel)
+}
+
+// sampledPlan returns the cached (or freshly piloted) plan and windows
+// for one workload under the resolved spec's sampling knobs.
+func (r *Resolved) sampledPlan(w workloads.Workload) (*sampling.Plan, *sim.Materialized, error) {
+	llc := r.LLCFor(r.Cores)
+	key := sampledKey(w, r.Scale, llc, r.SampleInterval, r.SampleConfig)
+	sampledMu.Lock()
+	e, ok := sampledCache[key]
+	if !ok {
+		e = &sampledEntry{}
+		sampledCache[key] = e
+	}
+	sampledMu.Unlock()
+	e.once.Do(func() {
+		sampledMu.Lock()
+		pilotRuns++
+		sampledMu.Unlock()
+		pilot := MustResolvePolicy(PilotPolicy)
+		opts := sim.SingleOptions{Scale: r.Scale, LLC: llc}
+		plan, err := sim.SelectPlan(w, pilot.Make(r.Cores), opts, r.SampleInterval, r.SampleConfig)
+		if err != nil {
+			e.err = err
+			return
+		}
+		mat, err := sim.MaterializeSampled(w, &plan, r.Scale)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.plan, e.mat = plan, mat
+	})
+	if e.err != nil {
+		return nil, nil, e.err
+	}
+	return &e.plan, e.mat, nil
+}
+
+// RunBenchSampled runs one of the spec's workloads in sampled mode:
+// pilot + selection + materialization (cached across policies and
+// calls), then a warm-up/measure replay under the spec's policy. The
+// returned plan is the cached selection the estimate was built from.
+func (r *Resolved) RunBenchSampled(w workloads.Workload) (sim.SampledResult, *sampling.Plan, error) {
+	if !r.Sampled {
+		return sim.SampledResult{}, nil, fmt.Errorf("exp: spec did not request sampled simulation")
+	}
+	plan, mat, err := r.sampledPlan(w)
+	if err != nil {
+		return sim.SampledResult{}, nil, err
+	}
+	opts := sim.SingleOptions{Scale: r.Scale, LLC: r.LLCFor(r.Cores)}
+	res, err := sim.RunSampledTrace(mat, r.Policy.Make(r.Cores), opts)
+	if err != nil {
+		return sim.SampledResult{}, nil, err
+	}
+	return res, plan, nil
+}
+
+// ResetSampledCache drops every cached pilot (tests and long-running
+// services that change workload definitions; production sdbpd keeps
+// the cache for the process lifetime).
+func ResetSampledCache() {
+	sampledMu.Lock()
+	defer sampledMu.Unlock()
+	sampledCache = map[string]*sampledEntry{}
+	pilotRuns = 0
+}
+
+// SampledPilotRuns reports how many pilot simulations have run since
+// the last reset — the amortization observability hook.
+func SampledPilotRuns() int {
+	sampledMu.Lock()
+	defer sampledMu.Unlock()
+	return pilotRuns
+}

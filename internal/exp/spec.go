@@ -7,6 +7,7 @@ import (
 
 	"sdbp/internal/cache"
 	"sdbp/internal/hier"
+	"sdbp/internal/sampling"
 	"sdbp/internal/sim"
 	"sdbp/internal/workloads"
 )
@@ -39,6 +40,22 @@ type Spec struct {
 	LLC string `json:"llc,omitempty"`
 	// Scale multiplies every reference stream's default length; 0 means 1.0.
 	Scale float64 `json:"scale,omitempty"`
+	// Sampled opts single-benchmark runs into representative-interval
+	// sampled simulation (package sampling): a pilot run's interval
+	// telemetry is clustered, representative intervals are replayed
+	// with warm-up, and results are estimates with error bounds instead
+	// of exact full-run counters. Mixes cannot be sampled.
+	Sampled bool `json:"sampled,omitempty"`
+	// SampleInterval is the pilot telemetry granularity in retired
+	// instructions; 0 means DefaultSampleInterval.
+	SampleInterval uint64 `json:"sample_interval,omitempty"`
+	// SampleClusters caps the representative intervals per workload;
+	// 0 means sampling.DefaultClusters.
+	SampleClusters int `json:"sample_clusters,omitempty"`
+	// SampleWarmup is the functional-warming window before each
+	// measured interval, as a fraction of the interval length; 0 means
+	// sampling.DefaultWarmupFrac, negative means no warm-up.
+	SampleWarmup float64 `json:"sample_warmup,omitempty"`
 }
 
 // String renders the compact text form: semicolon-separated key=value
@@ -64,6 +81,18 @@ func (s Spec) String() string {
 	}
 	if s.Scale != 0 {
 		add("scale", strconv.FormatFloat(s.Scale, 'g', -1, 64))
+	}
+	if s.Sampled {
+		add("sampled", "true")
+	}
+	if s.SampleInterval != 0 {
+		add("sample_interval", strconv.FormatUint(s.SampleInterval, 10))
+	}
+	if s.SampleClusters != 0 {
+		add("sample_clusters", strconv.Itoa(s.SampleClusters))
+	}
+	if s.SampleWarmup != 0 {
+		add("sample_warmup", strconv.FormatFloat(s.SampleWarmup, 'g', -1, 64))
 	}
 	return strings.Join(fields, ";")
 }
@@ -107,8 +136,32 @@ func ParseSpec(s string) (Spec, error) {
 				return Spec{}, fmt.Errorf("exp: spec scale=%q is not a number", val)
 			}
 			spec.Scale = f
+		case "sampled":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("exp: spec sampled=%q is not a boolean", val)
+			}
+			spec.Sampled = b
+		case "sample_interval":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("exp: spec sample_interval=%q is not a non-negative integer", val)
+			}
+			spec.SampleInterval = n
+		case "sample_clusters":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("exp: spec sample_clusters=%q is not an integer", val)
+			}
+			spec.SampleClusters = n
+		case "sample_warmup":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("exp: spec sample_warmup=%q is not a number", val)
+			}
+			spec.SampleWarmup = f
 		default:
-			return Spec{}, fmt.Errorf("exp: unknown spec field %q (valid: policy, workloads, mixes, cores, llc, scale)", key)
+			return Spec{}, fmt.Errorf("exp: unknown spec field %q (valid: policy, workloads, mixes, cores, llc, scale, sampled, sample_interval, sample_clusters, sample_warmup)", key)
 		}
 	}
 	return spec, nil
@@ -140,6 +193,12 @@ type Resolved struct {
 	// overrode the default (use LLCFor to pick the right one).
 	LLC    cache.Config
 	LLCSet bool
+	// Sampled marks the spec as a sampled-simulation request;
+	// SampleInterval and SampleConfig are the effective selector knobs
+	// with defaults applied (see RunBenchSampled).
+	Sampled        bool
+	SampleInterval uint64
+	SampleConfig   sampling.Config
 }
 
 // Resolve validates the spec and binds every name to its component. A
@@ -201,6 +260,26 @@ func (s Spec) Resolve() (*Resolved, error) {
 		}
 		r.LLC, r.LLCSet = cfg, true
 	}
+	if !s.Sampled && (s.SampleInterval != 0 || s.SampleClusters != 0 || s.SampleWarmup != 0) {
+		return nil, fmt.Errorf("exp: sample_* fields require sampled=true")
+	}
+	if s.Sampled {
+		if len(r.Mixes) > 0 {
+			return nil, fmt.Errorf("exp: sampled simulation supports single-benchmark runs only, not mixes")
+		}
+		if s.SampleClusters < 0 {
+			return nil, fmt.Errorf("exp: spec sample_clusters must be >= 0 (got %d)", s.SampleClusters)
+		}
+		r.Sampled = true
+		r.SampleInterval = s.SampleInterval
+		if r.SampleInterval == 0 {
+			r.SampleInterval = DefaultSampleInterval
+		}
+		r.SampleConfig = sampling.Config{
+			Clusters:   s.SampleClusters,
+			WarmupFrac: s.SampleWarmup,
+		}
+	}
 	return r, nil
 }
 
@@ -245,6 +324,25 @@ func (r *Resolved) String() string {
 		s.LLC = fmt.Sprintf("llc(mb=%d,ways=%d)", llc.SizeBytes>>20, llc.Ways)
 	} else {
 		s.LLC = fmt.Sprintf("llc(kb=%d,ways=%d)", llc.SizeBytes>>10, llc.Ways)
+	}
+	if r.Sampled {
+		// Sampling knobs appear with every default made explicit, so
+		// any spelling of the same sampled experiment shares one
+		// canonical form (and one content address).
+		s.Sampled = true
+		s.SampleInterval = r.SampleInterval
+		s.SampleClusters = r.SampleConfig.Clusters
+		if s.SampleClusters == 0 {
+			s.SampleClusters = sampling.DefaultClusters
+		}
+		switch {
+		case r.SampleConfig.WarmupFrac < 0:
+			s.SampleWarmup = -1
+		case r.SampleConfig.WarmupFrac == 0:
+			s.SampleWarmup = sampling.DefaultWarmupFrac
+		default:
+			s.SampleWarmup = r.SampleConfig.WarmupFrac
+		}
 	}
 	return s.String()
 }

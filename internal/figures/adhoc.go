@@ -1,11 +1,13 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"sdbp/internal/cache"
 	"sdbp/internal/exp"
+	"sdbp/internal/runner"
 	"sdbp/internal/sim"
 )
 
@@ -28,6 +30,10 @@ type Adhoc struct {
 	// Mixes holds the quad-core runs (nil when the spec selects no
 	// mixes), normalized to shared LRU as in Figure 10.
 	Mixes *Multicore
+	// Sampled holds sampled-mode rows (specs with sampled=true): one
+	// estimate with error bounds per workload. Matrix and Mixes are nil
+	// in that mode — a sampled spec never runs the full streams.
+	Sampled []SampledCell
 }
 
 // RunAdhocEnv runs a resolved spec on a shared environment.
@@ -39,6 +45,33 @@ func RunAdhocEnv(e *Env, r *exp.Resolved) *Adhoc {
 		label = "LRU (spec)"
 	}
 	a := &Adhoc{Spec: r.String(), Label: label}
+
+	if r.Sampled {
+		// Sampled mode: the pilot/selection/materialization is cached
+		// inside exp per workload, so concurrent jobs share one pilot.
+		key := func(bench string) string { return "adhoc-sampled|" + a.Spec + "|" + bench }
+		var jobs []runner.Job[*SampledCell]
+		for _, w := range r.Workloads {
+			w := w
+			jobs = append(jobs, runner.Job[*SampledCell]{
+				Key: key(w.Name),
+				Run: func(context.Context) (*SampledCell, error) {
+					res, _, err := r.RunBenchSampled(w)
+					if err != nil {
+						return nil, err
+					}
+					return &SampledCell{Bench: w.Name, Policy: label, Estimate: res.Estimate}, nil
+				},
+			})
+		}
+		set := runJobs(e, jobs)
+		for _, w := range r.Workloads {
+			if c, ok := set.Value(key(w.Name)); ok && c != nil {
+				a.Sampled = append(a.Sampled, *c)
+			}
+		}
+		return a
+	}
 
 	if len(r.Workloads) > 0 {
 		// Zero opts.LLC means the simulator's default geometry — the same
@@ -68,6 +101,10 @@ func RunAdhocEnv(e *Env, r *exp.Resolved) *Adhoc {
 func (a *Adhoc) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Ad-hoc experiment\nspec: %s\n", a.Spec)
+	if a.Sampled != nil {
+		sb.WriteByte('\n')
+		sb.WriteString(a.renderSampled())
+	}
 	if a.Matrix != nil {
 		sb.WriteByte('\n')
 		sb.WriteString(a.renderBenches())
@@ -77,6 +114,24 @@ func (a *Adhoc) Render() string {
 		sb.WriteString(a.Mixes.Render(fmt.Sprintf("Quad-core mixes: weighted speedup of %s normalized to shared LRU", a.Label)))
 	}
 	return sb.String()
+}
+
+// renderSampled prints the sampled-mode table: each estimate with its
+// half-width error bound and the simulated fraction that bought it.
+func (a *Adhoc) renderSampled() string {
+	header := []string{"benchmark", "IPC", "±", "CPI", "MPKI", "±", "miss rate", "±", "sim%", "picks"}
+	var rows [][]string
+	for _, c := range a.Sampled {
+		rows = append(rows, []string{c.Bench,
+			fmtVal("%.4f", c.Estimate.IPC), fmtVal("%.4f", c.Estimate.IPCHalf),
+			fmtVal("%.4f", c.Estimate.CPI),
+			fmtVal("%.3f", c.Estimate.MPKI), fmtVal("%.3f", c.Estimate.MPKIHalf),
+			fmtVal("%.4f", c.Estimate.MissRate), fmtVal("%.4f", c.Estimate.MissRateHalf),
+			fmtVal("%.1f", 100*c.Estimate.SimFraction),
+			fmt.Sprintf("%d", c.Estimate.Picks),
+		})
+	}
+	return renderTable(fmt.Sprintf("Sampled estimates: %s (each value ± its 95%% bound incl. bias allowance)", a.Label), header, rows)
 }
 
 func (a *Adhoc) renderBenches() string {

@@ -35,6 +35,11 @@ type Env struct {
 	// accounting and the aggregate simulator counters of every
 	// completed run (see package obs).
 	Obs *obs.Registry
+	// Workers bounds job concurrency for every sweep run under this
+	// Env; 0 means the runner default (NumCPU). The wall-time
+	// comparison tests pin it to 1 so sampled-vs-full ratios measure
+	// serial simulation cost, independent of core count.
+	Workers int
 
 	mu       sync.Mutex
 	failures []*runner.JobError
@@ -97,6 +102,9 @@ func runJobs[T any](e *Env, jobs []runner.Job[T]) *runner.Set[T] {
 // sweeps, like optimal-policy stream captures).
 func runJobsLimited[T any](e *Env, jobs []runner.Job[T], workers int) *runner.Set[T] {
 	opts := e.options()
+	if workers == 0 {
+		workers = e.Workers
+	}
 	opts.Workers = workers
 	set := runner.Run(e.ctx(), jobs, opts)
 	e.note(set.Failed())

@@ -188,10 +188,6 @@ func (c *Core) Access(a mem.Access) Level {
 	if r2.Hit {
 		return LevelL2
 	}
-	if c.LLC == nil {
-		c.pendingGap = 0
-		return LevelMemory
-	}
 	llcA := a
 	gap := c.pendingGap - 1
 	if gap > 1<<32-1 {
@@ -201,6 +197,11 @@ func (c *Core) Access(a mem.Access) Level {
 	c.pendingGap = 0
 	if c.onLLC != nil {
 		c.onLLC(llcA)
+	}
+	if c.LLC == nil {
+		// Capture-only core: the LLC-bound record (gap rewritten) was
+		// still delivered to the observer above.
+		return LevelMemory
 	}
 	res := c.LLC.Access(llcA)
 	if res.Evicted && c.onLLCEvict != nil {

@@ -1,0 +1,117 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+
+	"sdbp/internal/probe"
+	"sdbp/internal/stats"
+)
+
+// Estimate is the result of combining a plan's measured intervals into
+// full-run statistics. Each estimated metric carries the half-width of
+// its error bound: the 95% stratified confidence interval from the
+// pilot's within-cluster spreads, widened by the plan's relative bias
+// allowance. The validation suite checks that the true full-run value
+// lands inside [value-half, value+half].
+type Estimate struct {
+	// Instructions is the full run's instruction count the estimate
+	// extrapolates to; SimInstructions is what the sampled run actually
+	// simulated (warm-up plus measured intervals).
+	Instructions    uint64 `json:"instructions"`
+	SimInstructions uint64 `json:"sim_instructions"`
+	// Picks is the number of measured intervals contributing; Dropped
+	// counts picks that fell outside the stream or measured zero
+	// instructions (their weight is renormalized over the rest).
+	Picks   int `json:"picks"`
+	Dropped int `json:"dropped,omitempty"`
+
+	CPI          float64 `json:"cpi"`
+	CPIHalf      float64 `json:"cpi_half"`
+	IPC          float64 `json:"ipc"`
+	IPCHalf      float64 `json:"ipc_half"`
+	MPKI         float64 `json:"mpki"`
+	MPKIHalf     float64 `json:"mpki_half"`
+	APKI         float64 `json:"apki"`
+	MissRate     float64 `json:"miss_rate"`
+	MissRateHalf float64 `json:"miss_rate_half"`
+
+	// SimFraction is SimInstructions/Instructions — the work the
+	// sampled run did relative to a full one.
+	SimFraction float64 `json:"sim_fraction"`
+}
+
+// Estimate combines measured interval telemetry into full-run
+// estimates. measured must align 1:1 with p.Picks (measured[i] is the
+// telemetry of the interval Picks[i] selected); a pick whose
+// measurement covers zero instructions (its range fell beyond the
+// stream) is dropped and the remaining weights renormalized.
+// totalInstr is the full run's instruction count, simInstr the
+// instructions the sampled run actually simulated.
+func (p *Plan) Estimate(measured []probe.Interval, totalInstr, simInstr uint64) (Estimate, error) {
+	if len(measured) != len(p.Picks) {
+		return Estimate{}, fmt.Errorf("sampling: %d measurements for %d picks", len(measured), len(p.Picks))
+	}
+	ws := make([]float64, 0, len(p.Picks))
+	cpis := make([]float64, 0, len(p.Picks))
+	mpkis := make([]float64, 0, len(p.Picks))
+	apkis := make([]float64, 0, len(p.Picks))
+	sdCPI := make([]float64, 0, len(p.Picks))
+	sdMPKI := make([]float64, 0, len(p.Picks))
+	sdAPKI := make([]float64, 0, len(p.Picks))
+	dropped := 0
+	for i := range p.Picks {
+		iv := &measured[i]
+		if iv.DInstructions == 0 {
+			dropped++
+			continue
+		}
+		ws = append(ws, p.Picks[i].Weight)
+		cpis = append(cpis, metricOf(iv, metricCPI))
+		mpkis = append(mpkis, metricOf(iv, metricMPKI))
+		apkis = append(apkis, metricOf(iv, metricAPKI))
+		sdCPI = append(sdCPI, p.Picks[i].SDCPI)
+		sdMPKI = append(sdMPKI, p.Picks[i].SDMPKI)
+		sdAPKI = append(sdAPKI, p.Picks[i].SDAPKI)
+	}
+	if len(ws) == 0 {
+		return Estimate{}, fmt.Errorf("sampling: every pick measured zero instructions")
+	}
+
+	est := Estimate{
+		Instructions:    totalInstr,
+		SimInstructions: simInstr,
+		Picks:           len(ws),
+		Dropped:         dropped,
+		CPI:             stats.WeightedMean(cpis, ws),
+		MPKI:            stats.WeightedMean(mpkis, ws),
+		APKI:            stats.WeightedMean(apkis, ws),
+		CPIHalf:         stats.StratifiedCI95(ws, sdCPI),
+		MPKIHalf:        stats.StratifiedCI95(ws, sdMPKI),
+	}
+	apkiHalf := stats.StratifiedCI95(ws, sdAPKI)
+
+	// Bias allowance: the stratified CI only captures sampling
+	// variance; residual warm-up bias (measured intervals resume from
+	// approximately- rather than exactly-warmed cache state) is bounded
+	// by BiasRel of the estimate's magnitude.
+	est.CPIHalf += p.BiasRel * math.Abs(est.CPI)
+	est.MPKIHalf += p.BiasRel * math.Abs(est.MPKI)
+	apkiHalf += p.BiasRel * math.Abs(est.APKI)
+
+	if est.CPI > 0 {
+		est.IPC = 1 / est.CPI
+		// First-order error propagation: |d(1/x)| = dx/x^2.
+		est.IPCHalf = est.CPIHalf / (est.CPI * est.CPI)
+	}
+	if est.APKI > 0 {
+		est.MissRate = est.MPKI / est.APKI
+		// First-order error propagation for a quotient M/A:
+		// |d(M/A)| <= dM/A + (M/A)*dA/A.
+		est.MissRateHalf = (est.MPKIHalf + est.MissRate*apkiHalf) / est.APKI
+	}
+	if totalInstr > 0 {
+		est.SimFraction = float64(simInstr) / float64(totalInstr)
+	}
+	return est, nil
+}

@@ -1,0 +1,112 @@
+package sampling
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"sdbp/internal/probe"
+)
+
+// fuzzSeed renders a small well-formed telemetry stream as JSONL bytes
+// for the seed corpus, mirroring the interval JSONL the selector
+// consumes in production (and the corpus shape of internal/probe's
+// FuzzReadJSONL).
+func fuzzSeed(t *testing.F, ivs []probe.Interval, interval uint64) []byte {
+	t.Helper()
+	var instr, cycles uint64
+	for i := range ivs {
+		instr += ivs[i].DInstructions
+		cycles += ivs[i].DCycles
+	}
+	b, err := probe.MarshalJSONL([]probe.Series{{
+		Run: probe.Run{
+			Benchmark: "fuzz", Policy: "fuzz", Interval: interval,
+			Instructions: instr, Cycles: cycles,
+		},
+		Intervals: ivs,
+	}})
+	if err != nil {
+		t.Fatalf("seed encode: %v", err)
+	}
+	return b
+}
+
+// FuzzIntervalSelect throws arbitrary interval-telemetry JSONL at the
+// selector. For any input the decoder accepts, Select must not panic;
+// when it succeeds, the plan must validate (weights sum to 1, picks
+// sorted and non-overlapping, spreads finite) and a second Select on
+// the same input must be byte-identical.
+func FuzzIntervalSelect(f *testing.F) {
+	f.Add(fuzzSeed(f, synthIntervals(24, 10_000), 10_000))
+	f.Add(fuzzSeed(f, synthIntervals(3, 1_000), 1_000))
+	f.Add(fuzzSeed(f, []probe.Interval{{Index: 0, Instructions: 5, DInstructions: 5}}, 10))
+	f.Add([]byte(`{"type":"run","benchmark":"x","interval":100}` + "\n" +
+		`{"type":"interval","index":0,"instructions":100,"d_instructions":100,"d_cycles":250}` + "\n"))
+	f.Add([]byte(`{"type":"run","interval":7}` + "\n" +
+		`{"type":"interval","instructions":3,"d_instructions":9}` + "\n"))
+	f.Add([]byte(`{"type":"run","interval":1}` + "\n" +
+		`{"type":"interval","instructions":18446744073709551615,"d_instructions":18446744073709551615,"d_cycles":1,"ipc":1e308}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Bound the work per exec: real pilots have hundreds of
+		// intervals; a mutator-grown multi-megabyte stream only slows
+		// the k-means loop down without exercising new behavior.
+		if len(data) > 64<<10 {
+			return
+		}
+		series, err := probe.ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, s := range series {
+			for _, cfg := range []Config{{}, {Clusters: 2, WarmupFrac: -1}, {Clusters: 16, Iterations: 3, BiasRel: 0.1}} {
+				plan, err := Select(s.Intervals, s.Run.Interval, cfg)
+				if err != nil {
+					continue // rejected input is fine; panicking is not
+				}
+				if err := plan.Validate(); err != nil {
+					t.Fatalf("accepted plan fails validation: %v\ninput:\n%s", err, data)
+				}
+				if sum := plan.WeightSum(); math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("weights sum to %v, want 1\ninput:\n%s", sum, data)
+				}
+				again, err := Select(s.Intervals, s.Run.Interval, cfg)
+				if err != nil {
+					t.Fatalf("second Select failed where first succeeded: %v", err)
+				}
+				ja, _ := json.Marshal(plan)
+				jb, _ := json.Marshal(again)
+				if !bytes.Equal(ja, jb) {
+					t.Fatalf("selection not deterministic:\n%s\n%s", ja, jb)
+				}
+				// The estimator must survive feeding the pilot's own
+				// intervals back as measurements (the self-consistency
+				// path the validation suite exercises).
+				measured := make([]probe.Interval, len(plan.Picks))
+				for i, pk := range plan.Picks {
+					for j := range s.Intervals {
+						if s.Intervals[j].Index == pk.Index {
+							measured[i] = s.Intervals[j]
+							break
+						}
+					}
+				}
+				est, err := plan.Estimate(measured, plan.PilotInstructions, plan.PilotInstructions)
+				if err != nil {
+					continue
+				}
+				for name, v := range map[string]float64{
+					"cpi": est.CPI, "cpi_half": est.CPIHalf,
+					"ipc": est.IPC, "ipc_half": est.IPCHalf,
+					"mpki": est.MPKI, "mpki_half": est.MPKIHalf,
+					"miss_rate": est.MissRate, "miss_rate_half": est.MissRateHalf,
+				} {
+					if math.IsNaN(v) {
+						t.Fatalf("estimate %s is NaN\ninput:\n%s", name, data)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,563 @@
+// Package sampling implements representative-interval selection for
+// sampled simulation, after the interval-representativeness literature
+// (SimPoint-style clustering; Bueno et al., "Improving the
+// Representativeness of Simulation Intervals for the Cache Memory
+// System"; Caculo et al., "Memory Access Vectors"): a pilot run's
+// interval telemetry (package probe, PR 4) is clustered in a
+// per-interval feature space — IPC, miss rate, dead-prediction rates,
+// access density — and one representative interval per cluster is
+// selected, weighted by the instructions its cluster covers. A sampled
+// run then simulates only a warm-up window plus each selected interval
+// (see internal/sim), and the estimator combines the measured interval
+// metrics into full-run estimates with confidence intervals derived
+// from the pilot's within-cluster spreads (internal/stats).
+//
+// Everything here is deterministic: selection is a pure
+// single-threaded function of its input, so the same telemetry always
+// yields the same plan, byte for byte, at any GOMAXPROCS — the same
+// guarantee the rest of the evaluation pipeline pins.
+package sampling
+
+import (
+	"fmt"
+	"math"
+
+	"sdbp/internal/probe"
+)
+
+// Defaults for Config's zero values.
+const (
+	// DefaultClusters is the cluster count cap: the number of
+	// representative intervals a plan selects from a long pilot.
+	DefaultClusters = 8
+	// DefaultIterations bounds the Lloyd refinement loop.
+	DefaultIterations = 32
+	// DefaultWarmupFrac is the warm-up window length as a fraction of
+	// the interval length. Four intervals is what it empirically takes
+	// to wash cold-start bias out of a 2MB LLC at the validated
+	// interval length; one interval leaves double-digit miss-rate bias
+	// on warm-up-sensitive workloads.
+	DefaultWarmupFrac = 4.0
+	// DefaultBiasRel is the relative bias allowance folded into every
+	// reported error bound (see Plan.BiasRel).
+	DefaultBiasRel = 0.03
+)
+
+// Config tunes the interval selector. The zero value selects with the
+// package defaults.
+type Config struct {
+	// Clusters caps the number of representative intervals (k); 0 means
+	// DefaultClusters. A pilot with fewer intervals than k yields one
+	// pick per interval.
+	Clusters int
+	// Iterations bounds the k-means refinement loop; 0 means
+	// DefaultIterations.
+	Iterations int
+	// WarmupFrac is the functional-warming window before each measured
+	// interval, as a fraction of the interval length; 0 means
+	// DefaultWarmupFrac. Negative means no warm-up.
+	WarmupFrac float64
+	// BiasRel overrides the plan's relative bias allowance; 0 means
+	// DefaultBiasRel. Negative means none.
+	BiasRel float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clusters == 0 {
+		c.Clusters = DefaultClusters
+	}
+	if c.Iterations == 0 {
+		c.Iterations = DefaultIterations
+	}
+	if c.WarmupFrac == 0 {
+		c.WarmupFrac = DefaultWarmupFrac
+	}
+	if c.WarmupFrac < 0 {
+		c.WarmupFrac = 0
+	}
+	if c.BiasRel == 0 {
+		c.BiasRel = DefaultBiasRel
+	}
+	if c.BiasRel < 0 {
+		c.BiasRel = 0
+	}
+	return c
+}
+
+// Pick is one selected representative interval.
+type Pick struct {
+	// Index is the pilot interval's index (probe.Interval.Index).
+	Index int `json:"index"`
+	// Start and End are the interval's exact instruction boundaries in
+	// the pilot run: the cumulative retired-instruction counts at which
+	// the previous interval ended and this one ended. Because the
+	// reference stream is deterministic, the same boundaries identify
+	// the same accesses in any run of the same workload and scale.
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+	// Weight is the fraction of the pilot run's instructions this
+	// pick's cluster covers. A plan's weights sum to 1.
+	Weight float64 `json:"weight"`
+	// ClusterSize is the number of pilot intervals in the cluster.
+	ClusterSize int `json:"cluster_size"`
+	// SDCPI, SDMPKI and SDAPKI are the pilot's within-cluster sample
+	// standard deviations of cycles, LLC misses and LLC accesses per
+	// (kilo-)instruction — the spreads the estimator's confidence
+	// intervals are built from.
+	SDCPI  float64 `json:"sd_cpi"`
+	SDMPKI float64 `json:"sd_mpki"`
+	SDAPKI float64 `json:"sd_apki"`
+}
+
+// Plan is a complete sampled-simulation recipe for one workload: which
+// instruction ranges to measure, how to warm up before each, and how
+// to weight the measurements into full-run estimates. Plans serialize
+// to JSON for committing next to the goldens they validate against.
+type Plan struct {
+	// Interval is the telemetry granularity (retired instructions) the
+	// pilot was probed at.
+	Interval uint64 `json:"interval"`
+	// Warmup is the functional-warming window, in instructions,
+	// simulated (but not measured) before each selected interval.
+	Warmup uint64 `json:"warmup"`
+	// Clusters is the configured cluster cap the selector ran with.
+	Clusters int `json:"clusters"`
+	// BiasRel is the relative bias allowance added to every reported
+	// error bound: the confidence interval from the pilot spreads only
+	// captures sampling variance, not the residual warm-up bias of
+	// resuming from stale cache state, so bounds are widened by
+	// BiasRel times the estimate's magnitude.
+	BiasRel float64 `json:"bias_rel"`
+	// PilotIntervals is the pilot run's interval count.
+	PilotIntervals int `json:"pilot_intervals"`
+	// PilotInstructions is the pilot run's total instruction count.
+	PilotInstructions uint64 `json:"pilot_instructions"`
+	// PilotIPC and PilotMissRate are the pilot run's full-run IPC and
+	// LLC miss rate. The pilot is a complete simulation, so these come
+	// free, and they let a validation pass calibrate its bounds: replay
+	// the pilot policy through this plan, and the difference between
+	// that estimate and these values is the plan's achieved sampling
+	// error on the most state-sensitive policy in the set — a measured,
+	// per-workload bias allowance rather than a guessed one. Zero when
+	// the plan was built without a pilot run (AllIntervals, hand-built
+	// plans); calibration then adds nothing.
+	PilotIPC      float64 `json:"pilot_ipc,omitempty"`
+	PilotMissRate float64 `json:"pilot_miss_rate,omitempty"`
+	// Picks are the selected intervals, sorted by Start.
+	Picks []Pick `json:"picks"`
+}
+
+// WeightSum returns the sum of the plan's pick weights (1 up to float
+// rounding for a well-formed plan).
+func (p *Plan) WeightSum() float64 {
+	var s float64
+	for _, pk := range p.Picks {
+		s += pk.Weight
+	}
+	return s
+}
+
+// Validate checks the structural invariants a sampled run depends on:
+// at least one pick, positive interval, strictly increasing
+// non-overlapping instruction ranges, finite non-negative weights
+// summing to 1 (within float tolerance), and finite spreads.
+func (p *Plan) Validate() error {
+	if p.Interval == 0 {
+		return fmt.Errorf("sampling: plan has zero interval granularity")
+	}
+	if len(p.Picks) == 0 {
+		return fmt.Errorf("sampling: plan selects no intervals")
+	}
+	prevEnd := uint64(0)
+	for i, pk := range p.Picks {
+		if pk.End <= pk.Start {
+			return fmt.Errorf("sampling: pick %d has empty range [%d,%d)", i, pk.Start, pk.End)
+		}
+		if i > 0 && pk.Start < prevEnd {
+			return fmt.Errorf("sampling: pick %d overlaps its predecessor", i)
+		}
+		if !(pk.Weight >= 0) || math.IsInf(pk.Weight, 0) {
+			return fmt.Errorf("sampling: pick %d has invalid weight %v", i, pk.Weight)
+		}
+		for _, sd := range []float64{pk.SDCPI, pk.SDMPKI, pk.SDAPKI} {
+			if math.IsNaN(sd) || math.IsInf(sd, 0) || sd < 0 {
+				return fmt.Errorf("sampling: pick %d has invalid spread", i)
+			}
+		}
+		prevEnd = pk.End
+	}
+	if s := p.WeightSum(); math.Abs(s-1) > 1e-6 {
+		return fmt.Errorf("sampling: pick weights sum to %v, want 1", s)
+	}
+	return nil
+}
+
+// featureDim is the per-interval clustering feature count: IPC, miss
+// rate, dead rate, false-positive rate, and LLC accesses per kilo
+// instruction (memory intensity).
+const featureDim = 5
+
+// features derives one interval's clustering vector from its raw delta
+// counters. Rates are recomputed from the counters with guarded
+// divisions rather than trusted from the (possibly hand-edited or
+// fuzzed) serialized floats, so selection can never see NaN or Inf.
+func features(iv *probe.Interval) [featureDim]float64 {
+	return [featureDim]float64{
+		ratio(iv.DInstructions, iv.DCycles),
+		ratio(iv.DMisses, iv.DAccesses),
+		ratio(iv.DPositives, iv.DPredictions),
+		ratio(iv.DFalsePositives, iv.DPredictions),
+		ratio(iv.DAccesses, iv.DInstructions) * 1000,
+	}
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Select clusters the pilot intervals and returns the sampled-run
+// plan. interval is the pilot's telemetry granularity
+// (probe.Run.Interval). Selection is deterministic: k-means with
+// farthest-first initialization, every tie broken toward the lowest
+// interval index.
+func Select(ivs []probe.Interval, interval uint64, cfg Config) (Plan, error) {
+	cfg = cfg.withDefaults()
+	if interval == 0 {
+		return Plan{}, fmt.Errorf("sampling: zero interval granularity")
+	}
+	if len(ivs) == 0 {
+		return Plan{}, fmt.Errorf("sampling: no pilot intervals to select from")
+	}
+
+	n := len(ivs)
+	// Standardized feature matrix and per-interval instruction weights.
+	feats := make([][featureDim]float64, n)
+	weights := make([]float64, n)
+	var total float64
+	for i := range ivs {
+		feats[i] = features(&ivs[i])
+		weights[i] = float64(ivs[i].DInstructions)
+		total += weights[i]
+	}
+	if total <= 0 {
+		return Plan{}, fmt.Errorf("sampling: pilot intervals cover no instructions")
+	}
+	standardize(feats)
+
+	k := cfg.Clusters
+	if k > n {
+		k = n
+	}
+	assign := kmeans(feats, weights, k, cfg.Iterations)
+
+	// One pick per non-empty cluster: the member closest to the
+	// centroid represents it; the cluster's instruction share is its
+	// weight; the within-cluster spreads of the estimation metrics
+	// become the confidence-interval inputs.
+	plan := Plan{
+		Interval:       interval,
+		Warmup:         uint64(cfg.WarmupFrac * float64(interval)),
+		Clusters:       cfg.Clusters,
+		BiasRel:        cfg.BiasRel,
+		PilotIntervals: n,
+	}
+	for c := 0; c < k; c++ {
+		var members []int
+		var clusterInstr float64
+		for i, a := range assign {
+			if a == c {
+				members = append(members, i)
+				clusterInstr += weights[i]
+			}
+		}
+		if len(members) == 0 || clusterInstr == 0 {
+			continue
+		}
+		centroid := centroidOf(feats, weights, members)
+		rep := members[0]
+		best := math.Inf(1)
+		for _, i := range members {
+			if d := dist2(feats[i], centroid); d < best {
+				best, rep = d, i
+			}
+		}
+		iv := &ivs[rep]
+		plan.Picks = append(plan.Picks, Pick{
+			Index:       iv.Index,
+			Start:       iv.Instructions - iv.DInstructions,
+			End:         iv.Instructions,
+			Weight:      clusterInstr / total,
+			ClusterSize: len(members),
+			SDCPI:       spread(ivs, members, metricCPI),
+			SDMPKI:      spread(ivs, members, metricMPKI),
+			SDAPKI:      spread(ivs, members, metricAPKI),
+		})
+	}
+	sortPicks(plan.Picks)
+	for i := range ivs {
+		plan.PilotInstructions += ivs[i].DInstructions
+	}
+	if err := checkPickRanges(plan.Picks); err != nil {
+		return Plan{}, err
+	}
+	return plan, nil
+}
+
+// AllIntervals returns the degenerate plan that measures every pilot
+// interval with its exact instruction weight — the plan under which a
+// sampled run simulates the whole stream and the estimator reproduces
+// the full run (the metamorphic identity the tests pin). Warm-up is
+// zero: every access is already simulated.
+func AllIntervals(ivs []probe.Interval, interval uint64) (Plan, error) {
+	if interval == 0 {
+		return Plan{}, fmt.Errorf("sampling: zero interval granularity")
+	}
+	if len(ivs) == 0 {
+		return Plan{}, fmt.Errorf("sampling: no pilot intervals")
+	}
+	var total float64
+	for i := range ivs {
+		total += float64(ivs[i].DInstructions)
+	}
+	if total <= 0 {
+		return Plan{}, fmt.Errorf("sampling: pilot intervals cover no instructions")
+	}
+	plan := Plan{
+		Interval:       interval,
+		Clusters:       len(ivs),
+		BiasRel:        DefaultBiasRel,
+		PilotIntervals: len(ivs),
+	}
+	for i := range ivs {
+		iv := &ivs[i]
+		if iv.DInstructions == 0 {
+			continue
+		}
+		plan.Picks = append(plan.Picks, Pick{
+			Index:       iv.Index,
+			Start:       iv.Instructions - iv.DInstructions,
+			End:         iv.Instructions,
+			Weight:      float64(iv.DInstructions) / total,
+			ClusterSize: 1,
+		})
+		plan.PilotInstructions += iv.DInstructions
+	}
+	sortPicks(plan.Picks)
+	if err := checkPickRanges(plan.Picks); err != nil {
+		return Plan{}, err
+	}
+	return plan, nil
+}
+
+// checkPickRanges rejects plans whose pilot intervals carry
+// inconsistent instruction bookkeeping (possible only for hand-built
+// or corrupted telemetry): a sampled run needs strictly increasing,
+// non-overlapping ranges.
+func checkPickRanges(picks []Pick) error {
+	prevEnd := uint64(0)
+	for i, pk := range picks {
+		if pk.End <= pk.Start {
+			return fmt.Errorf("sampling: pilot interval %d has an empty instruction range", pk.Index)
+		}
+		if i > 0 && pk.Start < prevEnd {
+			return fmt.Errorf("sampling: pilot interval %d overlaps its predecessor", pk.Index)
+		}
+		prevEnd = pk.End
+	}
+	return nil
+}
+
+// sortPicks orders picks by start instruction (insertion sort: k is
+// small and the input is nearly sorted already).
+func sortPicks(picks []Pick) {
+	for i := 1; i < len(picks); i++ {
+		for j := i; j > 0 && picks[j].Start < picks[j-1].Start; j-- {
+			picks[j], picks[j-1] = picks[j-1], picks[j]
+		}
+	}
+}
+
+// Estimation metrics: per-interval instruction-normalized rates whose
+// weighted combination is exact when every interval is measured.
+type metric int
+
+const (
+	metricCPI metric = iota
+	metricMPKI
+	metricAPKI
+)
+
+func metricOf(iv *probe.Interval, m metric) float64 {
+	switch m {
+	case metricCPI:
+		return ratio(iv.DCycles, iv.DInstructions)
+	case metricMPKI:
+		return ratio(iv.DMisses, iv.DInstructions) * 1000
+	default:
+		return ratio(iv.DAccesses, iv.DInstructions) * 1000
+	}
+}
+
+// spread is the sample standard deviation of a metric over a cluster's
+// members.
+func spread(ivs []probe.Interval, members []int, m metric) float64 {
+	if len(members) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, i := range members {
+		mean += metricOf(&ivs[i], m)
+	}
+	mean /= float64(len(members))
+	var ss float64
+	for _, i := range members {
+		d := metricOf(&ivs[i], m) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(members)-1))
+}
+
+// standardize z-scores each feature dimension in place; a
+// zero-variance dimension becomes all zeros so it cannot dominate the
+// distance metric.
+func standardize(feats [][featureDim]float64) {
+	n := float64(len(feats))
+	for d := 0; d < featureDim; d++ {
+		var mean float64
+		for i := range feats {
+			mean += feats[i][d]
+		}
+		mean /= n
+		var ss float64
+		for i := range feats {
+			diff := feats[i][d] - mean
+			ss += diff * diff
+		}
+		sd := math.Sqrt(ss / n)
+		if sd == 0 || math.IsNaN(sd) || math.IsInf(sd, 0) {
+			for i := range feats {
+				feats[i][d] = 0
+			}
+			continue
+		}
+		for i := range feats {
+			feats[i][d] = (feats[i][d] - mean) / sd
+		}
+	}
+}
+
+func dist2(a, b [featureDim]float64) float64 {
+	var s float64
+	for d := 0; d < featureDim; d++ {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}
+
+// centroidOf returns the instruction-weighted centroid of the given
+// members (unweighted mean when their instructions sum to 0).
+func centroidOf(feats [][featureDim]float64, weights []float64, members []int) [featureDim]float64 {
+	var c [featureDim]float64
+	var tw float64
+	for _, i := range members {
+		tw += weights[i]
+	}
+	if tw == 0 {
+		for _, i := range members {
+			for d := 0; d < featureDim; d++ {
+				c[d] += feats[i][d]
+			}
+		}
+		for d := 0; d < featureDim; d++ {
+			c[d] /= float64(len(members))
+		}
+		return c
+	}
+	for _, i := range members {
+		w := weights[i] / tw
+		for d := 0; d < featureDim; d++ {
+			c[d] += w * feats[i][d]
+		}
+	}
+	return c
+}
+
+// kmeans clusters the standardized features into k clusters and
+// returns each interval's cluster assignment. Deterministic:
+// farthest-first initialization seeded at the heaviest interval, Lloyd
+// iterations with ties broken toward the lowest center index, a fixed
+// iteration cap, and no randomness anywhere.
+func kmeans(feats [][featureDim]float64, weights []float64, k, iterations int) []int {
+	n := len(feats)
+	centers := make([][featureDim]float64, 0, k)
+
+	// Seed: the interval covering the most instructions (lowest index
+	// on ties) — the behavior the run spends the most time in.
+	seed := 0
+	for i := 1; i < n; i++ {
+		if weights[i] > weights[seed] {
+			seed = i
+		}
+	}
+	centers = append(centers, feats[seed])
+
+	// Farthest-first: each further center is the interval farthest
+	// from every existing center (lowest index on ties).
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = dist2(feats[i], centers[0])
+	}
+	for len(centers) < k {
+		far, farD := 0, -1.0
+		for i := 0; i < n; i++ {
+			if minDist[i] > farD {
+				far, farD = i, minDist[i]
+			}
+		}
+		centers = append(centers, feats[far])
+		for i := 0; i < n; i++ {
+			if d := dist2(feats[i], centers[len(centers)-1]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	for it := 0; it < iterations; it++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, dist2(feats[i], centers[0])
+			for c := 1; c < len(centers); c++ {
+				if d := dist2(feats[i], centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		// Recompute instruction-weighted centroids; an emptied center
+		// keeps its position (it can re-acquire members later or end
+		// up unused).
+		for c := range centers {
+			var members []int
+			for i, a := range assign {
+				if a == c {
+					members = append(members, i)
+				}
+			}
+			if len(members) > 0 {
+				centers[c] = centroidOf(feats, weights, members)
+			}
+		}
+	}
+	return assign
+}

@@ -1,0 +1,330 @@
+package sampling
+
+import (
+	"encoding/json"
+	"math"
+	"runtime"
+	"testing"
+
+	"sdbp/internal/probe"
+)
+
+// synthIntervals builds a deterministic pilot telemetry series with n
+// intervals of the given granularity, alternating between a handful of
+// behavioral phases so clustering has real structure to find.
+func synthIntervals(n int, interval uint64) []probe.Interval {
+	ivs := make([]probe.Interval, n)
+	var cum uint64
+	for i := range ivs {
+		phase := (i / 8) % 3
+		di := interval
+		if i == n-1 {
+			di = interval / 2 // short tail interval, like real runs
+		}
+		cum += di
+		iv := probe.Interval{
+			Index:         i,
+			Instructions:  cum,
+			DInstructions: di,
+			DCycles:       di * uint64(2+phase),
+			DAccesses:     di / 10,
+			DMisses:       di / uint64(20+10*phase),
+			DPredictions:  di / 15,
+			DPositives:    di / uint64(30+5*phase),
+		}
+		iv.DHits = iv.DAccesses - iv.DMisses
+		iv.ComputeRates()
+		ivs[i] = iv
+	}
+	return ivs
+}
+
+func TestSelectWeightsSumToOne(t *testing.T) {
+	ivs := synthIntervals(100, 50_000)
+	plan, err := Select(ivs, 50_000, Config{Clusters: 6})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := plan.WeightSum(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("weights sum to %v, want 1", got)
+	}
+	if len(plan.Picks) == 0 || len(plan.Picks) > 6 {
+		t.Fatalf("got %d picks, want 1..6", len(plan.Picks))
+	}
+	if want := uint64(DefaultWarmupFrac * 50_000); plan.Warmup != want {
+		t.Fatalf("warmup = %d, want the default warm-up of %d", plan.Warmup, want)
+	}
+}
+
+func TestSelectPickBoundariesMatchPilot(t *testing.T) {
+	ivs := synthIntervals(50, 10_000)
+	plan, err := Select(ivs, 10_000, Config{Clusters: 4})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	for _, pk := range plan.Picks {
+		iv := ivs[pk.Index]
+		if pk.Start != iv.Instructions-iv.DInstructions || pk.End != iv.Instructions {
+			t.Errorf("pick %d boundaries [%d,%d), pilot interval covers [%d,%d)",
+				pk.Index, pk.Start, pk.End, iv.Instructions-iv.DInstructions, iv.Instructions)
+		}
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	ivs := synthIntervals(120, 25_000)
+	prev := runtime.GOMAXPROCS(1)
+	a, errA := Select(ivs, 25_000, Config{})
+	runtime.GOMAXPROCS(prev)
+	b, errB := Select(ivs, 25_000, Config{})
+	if errA != nil || errB != nil {
+		t.Fatalf("Select: %v / %v", errA, errB)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("selection not deterministic:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestSelectFewerIntervalsThanClusters(t *testing.T) {
+	ivs := synthIntervals(3, 10_000)
+	plan, err := Select(ivs, 10_000, Config{Clusters: 8})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	// Intervals 0 and 1 are behaviorally identical (same phase, same
+	// length) and may legitimately collapse into one cluster.
+	if len(plan.Picks) < 2 || len(plan.Picks) > 3 {
+		t.Fatalf("got %d picks for 3 intervals, want 2..3", len(plan.Picks))
+	}
+	if got := plan.WeightSum(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("weights sum to %v, want 1", got)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	if _, err := Select(nil, 10_000, Config{}); err == nil {
+		t.Error("Select(no intervals) succeeded, want error")
+	}
+	if _, err := Select(synthIntervals(5, 100), 0, Config{}); err == nil {
+		t.Error("Select(interval=0) succeeded, want error")
+	}
+	zero := []probe.Interval{{Index: 0, Instructions: 0, DInstructions: 0}}
+	if _, err := Select(zero, 100, Config{}); err == nil {
+		t.Error("Select(zero-instruction pilot) succeeded, want error")
+	}
+}
+
+func TestAllIntervalsWeights(t *testing.T) {
+	ivs := synthIntervals(20, 10_000)
+	plan, err := AllIntervals(ivs, 10_000)
+	if err != nil {
+		t.Fatalf("AllIntervals: %v", err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(plan.Picks) != 20 {
+		t.Fatalf("got %d picks, want 20", len(plan.Picks))
+	}
+	var total uint64
+	for i := range ivs {
+		total += ivs[i].DInstructions
+	}
+	for i, pk := range plan.Picks {
+		want := float64(ivs[i].DInstructions) / float64(total)
+		if math.Abs(pk.Weight-want) > 1e-12 {
+			t.Errorf("pick %d weight %v, want %v", i, pk.Weight, want)
+		}
+	}
+	if plan.Warmup != 0 {
+		t.Fatalf("all-intervals plan has warmup %d, want 0", plan.Warmup)
+	}
+}
+
+// TestEstimateAllIntervalsExact is the metamorphic identity: measuring
+// every interval with its instruction weight reproduces the full run's
+// aggregate metrics exactly (up to float summation order).
+func TestEstimateAllIntervalsExact(t *testing.T) {
+	ivs := synthIntervals(40, 10_000)
+	plan, err := AllIntervals(ivs, 10_000)
+	if err != nil {
+		t.Fatalf("AllIntervals: %v", err)
+	}
+	var instr, cycles, accesses, misses uint64
+	for i := range ivs {
+		instr += ivs[i].DInstructions
+		cycles += ivs[i].DCycles
+		accesses += ivs[i].DAccesses
+		misses += ivs[i].DMisses
+	}
+	est, err := plan.Estimate(ivs, instr, instr)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	wantCPI := float64(cycles) / float64(instr)
+	wantMPKI := float64(misses) / float64(instr) * 1000
+	wantMiss := float64(misses) / float64(accesses)
+	if rel := math.Abs(est.CPI-wantCPI) / wantCPI; rel > 1e-12 {
+		t.Errorf("CPI %v, want %v (rel %v)", est.CPI, wantCPI, rel)
+	}
+	if rel := math.Abs(est.MPKI-wantMPKI) / wantMPKI; rel > 1e-12 {
+		t.Errorf("MPKI %v, want %v (rel %v)", est.MPKI, wantMPKI, rel)
+	}
+	if rel := math.Abs(est.MissRate-wantMiss) / wantMiss; rel > 1e-12 {
+		t.Errorf("MissRate %v, want %v (rel %v)", est.MissRate, wantMiss, rel)
+	}
+	if est.SimFraction != 1 {
+		t.Errorf("SimFraction %v, want 1", est.SimFraction)
+	}
+	if est.Dropped != 0 {
+		t.Errorf("Dropped %d, want 0", est.Dropped)
+	}
+}
+
+func TestEstimateDropsEmptyMeasurements(t *testing.T) {
+	ivs := synthIntervals(30, 10_000)
+	plan, err := Select(ivs, 10_000, Config{Clusters: 5})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	measured := make([]probe.Interval, len(plan.Picks))
+	for i, pk := range plan.Picks {
+		measured[i] = ivs[pk.Index]
+	}
+	// Blank out the last pick, as if its range fell beyond the stream.
+	measured[len(measured)-1] = probe.Interval{}
+	est, err := plan.Estimate(measured, 300_000, 60_000)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if est.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", est.Dropped)
+	}
+	if est.Picks != len(plan.Picks)-1 {
+		t.Fatalf("Picks = %d, want %d", est.Picks, len(plan.Picks)-1)
+	}
+	if est.CPI <= 0 || math.IsNaN(est.CPI) {
+		t.Fatalf("CPI = %v after drop", est.CPI)
+	}
+}
+
+func TestEstimateAllDroppedErrors(t *testing.T) {
+	ivs := synthIntervals(10, 10_000)
+	plan, err := Select(ivs, 10_000, Config{Clusters: 3})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	measured := make([]probe.Interval, len(plan.Picks))
+	if _, err := plan.Estimate(measured, 100_000, 0); err == nil {
+		t.Fatal("Estimate with all-empty measurements succeeded, want error")
+	}
+	if _, err := plan.Estimate(measured[:len(measured)-1], 100_000, 0); len(plan.Picks) > 1 && err == nil {
+		t.Fatal("Estimate with mismatched measurement count succeeded, want error")
+	}
+}
+
+// TestEstimateBoundsCoverStationaryStream: on a near-stationary stream
+// the representative intervals' metrics sit close to the full-run
+// values, so estimates must land within their own reported bounds of
+// the truth.
+func TestEstimateBoundsCoverStationaryStream(t *testing.T) {
+	ivs := synthIntervals(90, 20_000)
+	plan, err := Select(ivs, 20_000, Config{Clusters: 6})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	var instr, cycles, accesses, misses uint64
+	for i := range ivs {
+		instr += ivs[i].DInstructions
+		cycles += ivs[i].DCycles
+		accesses += ivs[i].DAccesses
+		misses += ivs[i].DMisses
+	}
+	measured := make([]probe.Interval, len(plan.Picks))
+	var sim uint64
+	for i, pk := range plan.Picks {
+		measured[i] = ivs[pk.Index]
+		sim += plan.Warmup + (pk.End - pk.Start)
+	}
+	est, err := plan.Estimate(measured, instr, sim)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	trueCPI := float64(cycles) / float64(instr)
+	trueMiss := float64(misses) / float64(accesses)
+	if math.Abs(est.CPI-trueCPI) > est.CPIHalf {
+		t.Errorf("CPI %v ± %v does not cover true %v", est.CPI, est.CPIHalf, trueCPI)
+	}
+	if math.Abs(est.MissRate-trueMiss) > est.MissRateHalf {
+		t.Errorf("MissRate %v ± %v does not cover true %v", est.MissRate, est.MissRateHalf, trueMiss)
+	}
+	if est.SimFraction >= 1 {
+		t.Errorf("SimFraction %v, want < 1 for a sampled plan", est.SimFraction)
+	}
+}
+
+func TestValidateRejectsMalformedPlans(t *testing.T) {
+	good := Plan{
+		Interval: 100,
+		Picks: []Pick{
+			{Index: 0, Start: 0, End: 100, Weight: 0.5},
+			{Index: 1, Start: 100, End: 200, Weight: 0.5},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+	cases := map[string]Plan{
+		"no picks":      {Interval: 100},
+		"zero interval": {Picks: good.Picks},
+		"empty range": {Interval: 100, Picks: []Pick{
+			{Index: 0, Start: 100, End: 100, Weight: 1},
+		}},
+		"overlap": {Interval: 100, Picks: []Pick{
+			{Index: 0, Start: 0, End: 150, Weight: 0.5},
+			{Index: 1, Start: 100, End: 200, Weight: 0.5},
+		}},
+		"bad weight sum": {Interval: 100, Picks: []Pick{
+			{Index: 0, Start: 0, End: 100, Weight: 0.25},
+		}},
+		"nan spread": {Interval: 100, Picks: []Pick{
+			{Index: 0, Start: 0, End: 100, Weight: 1, SDCPI: math.NaN()},
+		}},
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate succeeded, want error", name)
+		}
+	}
+}
+
+func TestSelectIgnoresSerializedRates(t *testing.T) {
+	// Selection must recompute rates from counters: poisoned float
+	// fields (as a fuzzer or hand-edited JSONL could carry) must not
+	// change the outcome or introduce NaN.
+	ivs := synthIntervals(40, 10_000)
+	clean, err := Select(ivs, 10_000, Config{Clusters: 4})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	for i := range ivs {
+		ivs[i].IPC = math.NaN()
+		ivs[i].MissRate = math.Inf(1)
+		ivs[i].DeadRate = -1e308
+		ivs[i].FPRate = math.NaN()
+	}
+	poisoned, err := Select(ivs, 10_000, Config{Clusters: 4})
+	if err != nil {
+		t.Fatalf("Select(poisoned): %v", err)
+	}
+	ja, _ := json.Marshal(clean)
+	jb, _ := json.Marshal(poisoned)
+	if string(ja) != string(jb) {
+		t.Fatal("poisoned serialized rates changed the selection")
+	}
+}

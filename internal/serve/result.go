@@ -10,6 +10,7 @@ import (
 	"sdbp/internal/dbrb"
 	"sdbp/internal/exp"
 	"sdbp/internal/obs"
+	"sdbp/internal/sampling"
 )
 
 // Addr returns the content address of a canonical spec expression: the
@@ -55,6 +56,9 @@ type Result struct {
 	Benches []BenchResult `json:"benches,omitempty"`
 	// Mixes holds quad-core mix runs, in spec order.
 	Mixes []MixResult `json:"mixes,omitempty"`
+	// Sampled holds sampled-simulation runs (specs with sampled=true),
+	// in spec order; such specs populate this instead of Benches.
+	Sampled []SampledBenchResult `json:"sampled,omitempty"`
 }
 
 // ResultSchema is the current Result layout version.
@@ -69,6 +73,19 @@ type BenchResult struct {
 	MPKI         float64        `json:"mpki"`
 	LLC          cache.Stats    `json:"llc"`
 	Accuracy     *dbrb.Accuracy `json:"accuracy,omitempty"`
+}
+
+// SampledBenchResult is the deterministic slice of one
+// sim.SampledResult: the full-run estimates with their error bounds,
+// plus the plan that produced them (selector config, chosen intervals,
+// weights), so a manifest is auditable without re-running the pilot.
+// Every field is a pure function of the canonical spec — the pilot,
+// selection and replay are all deterministic — so sampled manifests
+// byte-compare like exact ones.
+type SampledBenchResult struct {
+	Name     string            `json:"name"`
+	Estimate sampling.Estimate `json:"estimate"`
+	Plan     sampling.Plan     `json:"plan"`
 }
 
 // MixResult is the deterministic slice of one sim.MulticoreResult.
@@ -101,6 +118,23 @@ func (r Result) Marshal() ([]byte, error) {
 func ExecuteSpec(ctx context.Context, r *exp.Resolved, reg *obs.Registry) (Result, error) {
 	spec := r.String()
 	out := Result{Schema: ResultSchema, Spec: spec, Addr: Addr(spec)}
+	if r.Sampled {
+		for _, w := range r.Workloads {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+			sr, plan, err := r.RunBenchSampled(w)
+			if err != nil {
+				return Result{}, err
+			}
+			out.Sampled = append(out.Sampled, SampledBenchResult{
+				Name:     sr.Benchmark,
+				Estimate: sr.Estimate,
+				Plan:     *plan,
+			})
+		}
+		return out, nil
+	}
 	for _, w := range r.Workloads {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err

@@ -76,6 +76,56 @@ func MeanCI95(xs []float64) (mean, half float64) {
 	return mean, 1.96 * Stddev(xs) / math.Sqrt(float64(len(xs)))
 }
 
+// WeightedMean returns the weighted arithmetic mean of xs: sum(w*x) /
+// sum(w), or 0 when the weights sum to 0 (or the slices are empty).
+// The slices must have equal length. NaN or Inf inputs propagate,
+// matching Mean.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("stats: length mismatch")
+	}
+	var sx, sw float64
+	for i, x := range xs {
+		sx += ws[i] * x
+		sw += ws[i]
+	}
+	if sw == 0 {
+		return 0
+	}
+	return sx / sw
+}
+
+// StratifiedSE returns the standard error of a stratified estimator
+// that measures one sample per stratum: sqrt(sum((w_i*sd_i)^2)) with
+// the weights normalized to sum to 1. sd_i is each stratum's standard
+// deviation (here: the pilot run's within-cluster spread), w_i its
+// weight. Zero when the weights sum to 0.
+func StratifiedSE(ws, sds []float64) float64 {
+	if len(ws) != len(sds) {
+		panic("stats: length mismatch")
+	}
+	var sw float64
+	for _, w := range ws {
+		sw += w
+	}
+	if sw == 0 {
+		return 0
+	}
+	var ss float64
+	for i, w := range ws {
+		t := (w / sw) * sds[i]
+		ss += t * t
+	}
+	return math.Sqrt(ss)
+}
+
+// StratifiedCI95 returns the half-width of the 95% confidence interval
+// of a stratified estimate under a normal approximation: 1.96 times
+// StratifiedSE.
+func StratifiedCI95(ws, sds []float64) float64 {
+	return 1.96 * StratifiedSE(ws, sds)
+}
+
 // WeightedSpeedup computes the multiprogrammed weighted speedup: the sum
 // over threads of IPC_i / SingleIPC_i.
 func WeightedSpeedup(ipcs, singleIPCs []float64) float64 {

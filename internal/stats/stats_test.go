@@ -149,3 +149,52 @@ func TestNonFiniteInputs(t *testing.T) {
 		t.Errorf("Normalize with non-finite base = %v", got)
 	}
 }
+
+func TestWeightedMean(t *testing.T) {
+	if !almost(WeightedMean([]float64{1, 3}, []float64{1, 1}), 2) {
+		t.Error("equal weights should reduce to Mean")
+	}
+	if !almost(WeightedMean([]float64{1, 3}, []float64{3, 1}), 1.5) {
+		t.Error("weighted mean failed")
+	}
+	// Unnormalized weights give the same result as normalized ones.
+	if !almost(WeightedMean([]float64{2, 4, 8}, []float64{2, 4, 2}),
+		WeightedMean([]float64{2, 4, 8}, []float64{0.25, 0.5, 0.25})) {
+		t.Error("weighted mean must be invariant under weight scaling")
+	}
+	if WeightedMean(nil, nil) != 0 {
+		t.Error("WeightedMean(nil) != 0")
+	}
+	if WeightedMean([]float64{5}, []float64{0}) != 0 {
+		t.Error("all-zero weights should return 0")
+	}
+}
+
+func TestStratifiedSE(t *testing.T) {
+	// One stratum: SE is that stratum's sd.
+	if !almost(StratifiedSE([]float64{1}, []float64{0.5}), 0.5) {
+		t.Error("single-stratum SE failed")
+	}
+	// Two equal strata with equal sd s: sqrt(2*(s/2)^2) = s/sqrt(2).
+	if !almost(StratifiedSE([]float64{1, 1}, []float64{2, 2}), 2/math.Sqrt2) {
+		t.Error("two-strata SE failed")
+	}
+	// Scaling weights must not change the normalized SE.
+	if !almost(StratifiedSE([]float64{2, 6}, []float64{1, 3}),
+		StratifiedSE([]float64{0.25, 0.75}, []float64{1, 3})) {
+		t.Error("SE must be invariant under weight scaling")
+	}
+	if StratifiedSE(nil, nil) != 0 {
+		t.Error("StratifiedSE(nil) != 0")
+	}
+	if !almost(StratifiedCI95([]float64{1}, []float64{1}), 1.96) {
+		t.Error("StratifiedCI95 failed")
+	}
+}
+
+func TestStratifiedSEZeroSpread(t *testing.T) {
+	// Perfectly homogeneous strata report a zero-width interval.
+	if StratifiedSE([]float64{0.3, 0.7}, []float64{0, 0}) != 0 {
+		t.Error("zero spreads must give zero SE")
+	}
+}
