@@ -60,6 +60,23 @@ func TimeBasedDBRB() Policy { return fromExp("TimeBased") }
 // beyond the paper).
 func DuelingSamplerDBRB() Policy { return fromExp("Dueling Sampler") }
 
+// SHiP returns signature-based hit prediction (Wu et al., MICRO 2011):
+// RRIP insertion steered by a per-PC-signature hit counter table, the
+// strongest published successor to the paper's comparison set.
+func SHiP() Policy { return fromExp("SHiP") }
+
+// SkewedDBRB returns dead-block replacement and bypass driven by the
+// skewed multi-table predictor: each table indexed by its own hash of
+// the PC signature with a partial tag per entry, so one signature's
+// counters collide in at most one table.
+func SkewedDBRB() Policy { return fromExp("Skewed DBP") }
+
+// ImprovedDBRB returns the reuse-counter dead-block predictor under a
+// set duel against plain LRU — "improved DBP": eviction-time training
+// on whether a block was ever reused, with the duel as a safety net on
+// workloads where the prediction misfires.
+func ImprovedDBRB() Policy { return fromExp("Improved DBP") }
+
 // PrefetchResult reports a dead-block-directed prefetching run.
 type PrefetchResult struct {
 	// Benchmark and Policy identify the run.

@@ -35,3 +35,44 @@ func FuzzParseSpec(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParsePolicyExpr pins the full resolver — parse plus every
+// builder's knob validation — against panics. The seed corpus walks
+// the policy zoo's knob space: table counts, signature and PSEL widths,
+// training modes, nested duel sides. Anything the resolver accepts must
+// have a canonical rendering that resolves again.
+func FuzzParsePolicyExpr(f *testing.F) {
+	f.Add("ship")
+	f.Add("ship(sigbits=14,max=7,init=0,samples=64,train=sampled)")
+	f.Add("ship(train=off,init=7)")
+	f.Add("ship(sigbits=99)")
+	f.Add("ship(train=sometimes)")
+	f.Add("dbrb(base=lru,pred=skewed(sets=32,assoc=12,tables=3,entries=4096,tags=8,threshold=8))")
+	f.Add("dbrb(base=lru,pred=skewed(tags=16))")
+	f.Add("dbrb(base=lru,pred=skewed(entries=3))")
+	f.Add("dbrb(base=srrip,pred=never)")
+	f.Add("dbrb(base=lru,pred=reuse(tables=3,entries=4096,threshold=8))")
+	f.Add("dbrb(base=lru,pred=reuse(threshold=0))")
+	f.Add("duel(a=lru,b=dbrb(base=lru,pred=reuse),leaders=32,psel=10)")
+	f.Add("duel(force=a)")
+	f.Add("duel(force=maybe)")
+	f.Add("duel(psel=0)")
+	f.Add("duel(a=duel(a=lru,b=nru),b=ship)")
+	f.Add("Improved DBP")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ResolvePolicy(s)
+		if err != nil {
+			return
+		}
+		again, err := ResolvePolicy(p.Expr)
+		if err != nil {
+			t.Fatalf("accepted %q but canonical expr %q does not resolve: %v", s, p.Expr, err)
+		}
+		if again.Expr != p.Expr {
+			t.Fatalf("canonical expr not a fixed point: %q -> %q", p.Expr, again.Expr)
+		}
+		// Construction is deliberately not fuzzed: knobs are validated at
+		// resolve time, and a valid-but-enormous table size would make the
+		// fuzzer report an out-of-memory crash rather than a real bug.
+	})
+}

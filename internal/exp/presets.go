@@ -33,6 +33,9 @@ var presetList = []preset{
 	{"SamplingCounting", "dbrb(base=lru,pred=samplingcounting)"},
 	{"TimeBased", "dbrb(base=lru,pred=timebased)"},
 	{"Dueling Sampler", "dueling(base=lru,pred=sampler)"},
+	{"SHiP", "ship"},
+	{"Skewed DBP", "dbrb(base=lru,pred=skewed)"},
+	{"Improved DBP", "duel(a=lru,b=dbrb(base=lru,pred=reuse))"},
 }
 
 // presetAliases maps the single-token CLI spellings to the canonical
@@ -43,6 +46,8 @@ var presetAliases = map[string]string{
 	"PLRUSampler":    "PLRU Sampler",
 	"NRUSampler":     "NRU Sampler",
 	"DuelingSampler": "Dueling Sampler",
+	"SkewedDBP":      "Skewed DBP",
+	"ImprovedDBP":    "Improved DBP",
 }
 
 // PresetNames lists the preset policy names in presentation order (the
@@ -56,11 +61,22 @@ func PresetNames() []string {
 	return out
 }
 
+// ablationExtras extends the Figure 6 study beyond the paper's six
+// sampler variants: the same DBRB wrapper driven by the skewed
+// tagged-table predictor and by the reuse-counter core, so the ablation
+// isolates the training rule and table organization against the
+// sampler's own decomposition.
+var ablationExtras = []preset{
+	{"DBRB+skewed tags", "dbrb(base=lru,pred=skewed)"},
+	{"DBRB+reuse counters", "dbrb(base=lru,pred=reuse)"},
+}
+
 // AblationVariantNames lists the Figure 6 ablation variants in the
-// paper's bar order. Each name resolves as a policy preset expanding to
-// dbrb over the variant's sampler configuration.
+// paper's bar order, followed by the extension variants. Each name
+// resolves as a policy preset expanding to dbrb over the variant's
+// predictor configuration.
 func AblationVariantNames() []string {
-	return []string{
+	names := []string{
 		"DBRB alone",
 		"DBRB+3 tables",
 		"DBRB+sampler",
@@ -68,6 +84,10 @@ func AblationVariantNames() []string {
 		"DBRB+sampler+12-way",
 		"DBRB+sampler+3 tables+12-way",
 	}
+	for _, p := range ablationExtras {
+		names = append(names, p.name)
+	}
+	return names
 }
 
 // presetByName resolves a preset name, CLI alias, or Figure 6 ablation
@@ -84,6 +104,11 @@ func presetByName(name string) (Policy, bool) {
 	if cfg, ok := predictor.AblationConfigs()[name]; ok {
 		expr := "dbrb(base=lru,pred=" + SamplerExpr(cfg) + ")"
 		return Policy{Name: name, Expr: expr, Make: MustResolvePolicy(expr).Make}, true
+	}
+	for _, p := range ablationExtras {
+		if p.name == name {
+			return Policy{Name: p.name, Expr: p.expr, Make: MustResolvePolicy(p.expr).Make}, true
+		}
 	}
 	return Policy{}, false
 }

@@ -8,6 +8,7 @@ import (
 	"sdbp/internal/dbrb"
 	"sdbp/internal/mem"
 	"sdbp/internal/policy"
+	"sdbp/internal/policy/ship"
 	"sdbp/internal/predictor"
 )
 
@@ -69,13 +70,13 @@ func NewPolicy(nameOrExpr string, threads int) (cache.Policy, error) {
 
 // PolicyNames lists the registered policy expression names, sorted.
 func PolicyNames() []string {
-	return []string{"dbrb", "dip", "dueling", "lru", "nru", "plru", "random", "rrip", "srrip", "tadip"}
+	return []string{"dbrb", "dip", "duel", "dueling", "lru", "nru", "plru", "random", "rrip", "ship", "srrip", "tadip"}
 }
 
 // PredictorNames lists the registered predictor expression names,
 // sorted.
 func PredictorNames() []string {
-	return []string{"aip", "bursts", "counting", "reftrace", "sampler", "samplingcounting", "timebased"}
+	return []string{"aip", "bursts", "counting", "never", "reftrace", "reuse", "sampler", "samplingcounting", "skewed", "timebased"}
 }
 
 // buildPolicy validates a policy expression and returns its factory.
@@ -141,6 +142,56 @@ func buildPolicy(e Expr) (func(threads int) cache.Policy, error) {
 			return nil, err
 		}
 		return func(threads int) cache.Policy { return policy.NewDRRIP(threads, seed) }, nil
+	case "ship":
+		cfg, err := shipConfig(e)
+		if err != nil {
+			return nil, err
+		}
+		return func(int) cache.Policy { return ship.New(cfg) }, nil
+	case "duel":
+		args := newArgs(e)
+		mkA, err := buildPolicy(args.Sub("a", "lru"))
+		if err != nil {
+			return nil, err
+		}
+		mkB, err := buildPolicy(args.Sub("b", "dbrb(base=lru,pred=reuse)"))
+		if err != nil {
+			return nil, err
+		}
+		leaders, err := args.Int("leaders", 32)
+		if err != nil {
+			return nil, err
+		}
+		psel, err := args.Int("psel", 10)
+		if err != nil {
+			return nil, err
+		}
+		forceTok, _, err := args.leaf("force")
+		if err != nil {
+			return nil, err
+		}
+		if err := args.finish(); err != nil {
+			return nil, err
+		}
+		force := policy.ForceNone
+		switch forceTok {
+		case "", "none":
+		case "a":
+			force = policy.ForceA
+		case "b":
+			force = policy.ForceB
+		default:
+			return nil, fmt.Errorf("exp: duel: force=%q is not one of none, a, b", forceTok)
+		}
+		if leaders < 1 {
+			return nil, fmt.Errorf("exp: duel: need at least 1 leader set per side (got %d)", leaders)
+		}
+		if psel < 1 || psel > 30 {
+			return nil, fmt.Errorf("exp: duel: PSEL width %d outside [1, 30] bits", psel)
+		}
+		return func(threads int) cache.Policy {
+			return policy.NewAB(mkA(threads), mkB(threads), leaders, psel, force)
+		}, nil
 	case "dbrb", "dueling":
 		args := newArgs(e)
 		mkBase, err := buildPolicy(args.Sub("base", "lru"))
@@ -207,6 +258,23 @@ func buildPredictor(e Expr) (func() predictor.Predictor, error) {
 			return nil, err
 		}
 		return func() predictor.Predictor { return predictor.NewSampler(cfg) }, nil
+	case "skewed":
+		cfg, err := skewedConfig(e)
+		if err != nil {
+			return nil, err
+		}
+		return func() predictor.Predictor { return predictor.NewSkewed(cfg) }, nil
+	case "reuse":
+		cfg, err := reuseConfig(e)
+		if err != nil {
+			return nil, err
+		}
+		return func() predictor.Predictor { return predictor.NewReuse(cfg) }, nil
+	case "never":
+		if err := noArgs(e); err != nil {
+			return nil, err
+		}
+		return func() predictor.Predictor { return predictor.NewNever() }, nil
 	}
 	return nil, fmt.Errorf("exp: unknown predictor %q; registered predictors: %s",
 		e.Name, strings.Join(PredictorNames(), ", "))
@@ -248,6 +316,126 @@ func samplerConfig(e Expr) (predictor.SamplerConfig, error) {
 	if cfg.UseSampler && (cfg.SamplerSets < 1 || cfg.SamplerAssoc < 1 || !mem.IsPow2(cfg.SamplerSets)) {
 		return cfg, fmt.Errorf("exp: sampler: invalid geometry %d sets x %d ways (need assoc >= 1, sets a power of two >= 1)",
 			cfg.SamplerSets, cfg.SamplerAssoc)
+	}
+	return cfg, nil
+}
+
+// skewedConfig applies a skewed expression's parameters over the
+// defaults and validates the result (NewSkewed panics on geometry
+// errors; user-supplied expressions must fail with an error instead).
+func skewedConfig(e Expr) (predictor.SkewedConfig, error) {
+	cfg := predictor.DefaultSkewedConfig()
+	args := newArgs(e)
+	var err error
+	if cfg.SamplerSets, err = args.Int("sets", cfg.SamplerSets); err != nil {
+		return cfg, err
+	}
+	if cfg.SamplerAssoc, err = args.Int("assoc", cfg.SamplerAssoc); err != nil {
+		return cfg, err
+	}
+	if cfg.Tables, err = args.Int("tables", cfg.Tables); err != nil {
+		return cfg, err
+	}
+	if cfg.TableEntries, err = args.Int("entries", cfg.TableEntries); err != nil {
+		return cfg, err
+	}
+	if cfg.TagBits, err = args.Int("tags", cfg.TagBits); err != nil {
+		return cfg, err
+	}
+	if cfg.Threshold, err = args.Int("threshold", cfg.Threshold); err != nil {
+		return cfg, err
+	}
+	if err := args.finish(); err != nil {
+		return cfg, err
+	}
+	if cfg.Tables < 1 || cfg.TableEntries < 2 || !mem.IsPow2(cfg.TableEntries) {
+		return cfg, fmt.Errorf("exp: skewed: invalid tables %d x %d entries (need tables >= 1, entries a power of two >= 2)",
+			cfg.Tables, cfg.TableEntries)
+	}
+	if cfg.TagBits < 1 || cfg.TagBits > 15 {
+		return cfg, fmt.Errorf("exp: skewed: tag width %d outside [1, 15] bits", cfg.TagBits)
+	}
+	if cfg.SamplerSets < 1 || cfg.SamplerAssoc < 1 || !mem.IsPow2(cfg.SamplerSets) {
+		return cfg, fmt.Errorf("exp: skewed: invalid sampler geometry %d sets x %d ways (need assoc >= 1, sets a power of two >= 1)",
+			cfg.SamplerSets, cfg.SamplerAssoc)
+	}
+	return cfg, nil
+}
+
+// reuseConfig applies a reuse expression's parameters over the defaults
+// and validates the result.
+func reuseConfig(e Expr) (predictor.ReuseConfig, error) {
+	cfg := predictor.DefaultReuseConfig()
+	args := newArgs(e)
+	var err error
+	if cfg.Tables, err = args.Int("tables", cfg.Tables); err != nil {
+		return cfg, err
+	}
+	if cfg.TableEntries, err = args.Int("entries", cfg.TableEntries); err != nil {
+		return cfg, err
+	}
+	if cfg.Threshold, err = args.Int("threshold", cfg.Threshold); err != nil {
+		return cfg, err
+	}
+	if err := args.finish(); err != nil {
+		return cfg, err
+	}
+	if cfg.Tables < 1 || cfg.TableEntries < 2 || !mem.IsPow2(cfg.TableEntries) {
+		return cfg, fmt.Errorf("exp: reuse: invalid tables %d x %d entries (need tables >= 1, entries a power of two >= 2)",
+			cfg.Tables, cfg.TableEntries)
+	}
+	if cfg.Threshold < 1 || cfg.Threshold > 3*cfg.Tables {
+		return cfg, fmt.Errorf("exp: reuse: threshold %d outside [1, %d]", cfg.Threshold, 3*cfg.Tables)
+	}
+	return cfg, nil
+}
+
+// shipConfig applies a ship expression's parameters over the defaults
+// and validates the result.
+func shipConfig(e Expr) (ship.Config, error) {
+	cfg := ship.DefaultConfig()
+	args := newArgs(e)
+	var err error
+	if cfg.SigBits, err = args.Int("sigbits", cfg.SigBits); err != nil {
+		return cfg, err
+	}
+	if cfg.CounterMax, err = args.Int("max", cfg.CounterMax); err != nil {
+		return cfg, err
+	}
+	if cfg.Init, err = args.Int("init", cfg.Init); err != nil {
+		return cfg, err
+	}
+	if cfg.SampledSets, err = args.Int("samples", cfg.SampledSets); err != nil {
+		return cfg, err
+	}
+	trainTok, _, err := args.leaf("train")
+	if err != nil {
+		return cfg, err
+	}
+	switch trainTok {
+	case "", "all":
+		cfg.Train = ship.TrainAll
+	case "sampled":
+		cfg.Train = ship.TrainSampled
+	case "off":
+		cfg.Train = ship.TrainOff
+	default:
+		return cfg, fmt.Errorf("exp: ship: train=%q is not one of sampled, all, off", trainTok)
+	}
+	if err := args.finish(); err != nil {
+		return cfg, err
+	}
+	if cfg.SigBits < 1 || cfg.SigBits > 24 {
+		return cfg, fmt.Errorf("exp: ship: signature width %d outside [1, 24] bits", cfg.SigBits)
+	}
+	if cfg.CounterMax < 1 || cfg.CounterMax > 255 {
+		return cfg, fmt.Errorf("exp: ship: counter max %d outside [1, 255]", cfg.CounterMax)
+	}
+	if cfg.Init < 0 || cfg.Init > cfg.CounterMax {
+		return cfg, fmt.Errorf("exp: ship: initial counter %d outside [0, %d]", cfg.Init, cfg.CounterMax)
+	}
+	if cfg.SampledSets < 1 || !mem.IsPow2(cfg.SampledSets) {
+		return cfg, fmt.Errorf("exp: ship: sampled-set count %d must be a power of two >= 1", cfg.SampledSets)
 	}
 	return cfg, nil
 }

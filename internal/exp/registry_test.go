@@ -138,6 +138,23 @@ func TestResolveErrorsNotPanics(t *testing.T) {
 		"dbrb(base=lru,pred=sampler(bogus=1))", // unknown parameter
 		"sampler",                              // predictor, not a policy
 		"dbrb(base=lru,pred=sampler(entries=3))",
+		"ship(sigbits=99)",                    // signature wider than hash
+		"ship(max=0)",                         // counter cannot saturate
+		"ship(init=8)",                        // init above max (default 7)
+		"ship(train=sometimes)",               // unknown training mode
+		"ship(samples=3)",                     // non-pow2 sampled sets
+		"ship(bogus=1)",                       // unknown parameter
+		"duel(psel=0)",                        // PSEL needs at least one bit
+		"duel(psel=31)",                       // PSEL wider than int-safe
+		"duel(leaders=0)",                     // no leader sets to duel
+		"duel(force=maybe)",                   // unknown force token
+		"duel(a=sampler)",                     // predictor on a policy side
+		"dbrb(base=lru,pred=skewed(tags=16))", // tag wider than storage
+		"dbrb(base=lru,pred=skewed(entries=3))",
+		"dbrb(base=lru,pred=skewed(sets=3))", // non-pow2 sampler sets
+		"dbrb(base=lru,pred=reuse(threshold=0))",
+		"dbrb(base=lru,pred=reuse(threshold=99))", // above 3*tables
+		"dbrb(base=lru,pred=never(x=1))",          // never takes no args
 	} {
 		if _, err := ResolvePolicy(s); err == nil {
 			t.Errorf("ResolvePolicy(%q) accepted", s)
@@ -158,12 +175,12 @@ func TestGeometry(t *testing.T) {
 		t.Errorf("llc(kb=512,ways=8) = %+v, %v", cfg, err)
 	}
 	for _, s := range []string{
-		"llc",                 // neither mb nor kb
-		"llc(mb=1,kb=1)",      // both
-		"llc(mb=3,ways=16)",   // 3MB/16w -> non-pow2 sets
-		"llc(mb=1,ways=0)",    // bad ways
-		"l2(mb=1)",            // unknown geometry
-		"llc(mb=1,bogus=2)",   // unknown parameter
+		"llc",               // neither mb nor kb
+		"llc(mb=1,kb=1)",    // both
+		"llc(mb=3,ways=16)", // 3MB/16w -> non-pow2 sets
+		"llc(mb=1,ways=0)",  // bad ways
+		"l2(mb=1)",          // unknown geometry
+		"llc(mb=1,bogus=2)", // unknown parameter
 	} {
 		if _, err := Geometry(s); err == nil {
 			t.Errorf("Geometry(%q) accepted", s)

@@ -25,6 +25,9 @@ func ExtensionPolicies() []PolicySpec {
 		presetAs("DuelSmp", "Dueling Sampler"),
 		preset("PLRU"),
 		presetAs("PLRU+S", "PLRU Sampler"),
+		preset("SHiP"),
+		presetAs("SkewDBP", "Skewed DBP"),
+		presetAs("ImpDBP", "Improved DBP"),
 		preset("Sampler"),
 	}
 }

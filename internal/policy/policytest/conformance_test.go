@@ -1,0 +1,144 @@
+package policytest
+
+import (
+	"runtime"
+	"testing"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/exp"
+	"sdbp/internal/hier"
+	"sdbp/internal/sim"
+	"sdbp/internal/workloads"
+)
+
+// conformanceBench and conformanceScale fix the workload every policy
+// spelling runs under. One memory-intensive benchmark at the golden
+// suite's scale keeps the full matrix (every spelling × repeats ×
+// GOMAXPROCS) tractable while still exercising fills, hits, bypasses,
+// evictions and writebacks.
+const (
+	conformanceBench = "456.hmmer"
+	conformanceScale = 0.01
+)
+
+// shortExpressions is the -short subset: the paper's policy, the three
+// new zoo members, and the baseline.
+func shortExpressions() []string {
+	return []string{"LRU", "Sampler", "SHiP", "Skewed DBP", "Improved DBP"}
+}
+
+func exprsUnderTest(t *testing.T) []string {
+	if testing.Short() {
+		return shortExpressions()
+	}
+	return Expressions()
+}
+
+// same reports whether two fingerprints are identical, including the
+// dead-block accounting when both carry it.
+func same(a, b Fingerprint) bool {
+	if a.Instructions != b.Instructions || a.Cycles != b.Cycles ||
+		a.IPC != b.IPC || a.MPKI != b.MPKI || a.LLC != b.LLC || a.Cells != b.Cells {
+		return false
+	}
+	if (a.Accuracy == nil) != (b.Accuracy == nil) {
+		return false
+	}
+	if a.Accuracy != nil && *a.Accuracy != *b.Accuracy {
+		return false
+	}
+	return true
+}
+
+// checkInvariants applies the shared per-run invariants: stats
+// reconcile, the run made progress, and no dead-block verdict stands
+// without a prior prediction.
+func checkInvariants(t *testing.T, expr string, fp Fingerprint) {
+	t.Helper()
+	if msg := CheckStats(fp.LLC); msg != "" {
+		t.Errorf("%q: stats: %s", expr, msg)
+	}
+	if fp.Instructions == 0 || fp.IPC <= 0 || fp.LLC.Accesses == 0 {
+		t.Errorf("%q: run made no progress: %+v", expr, fp)
+	}
+	if acc := fp.Accuracy; acc != nil {
+		if acc.Positives > acc.Predictions {
+			t.Errorf("%q: %d dead verdicts but only %d predictions", expr, acc.Positives, acc.Predictions)
+		}
+		if acc.FalsePositives > acc.Positives {
+			t.Errorf("%q: %d false positives but only %d dead verdicts", expr, acc.FalsePositives, acc.Positives)
+		}
+		if acc.Predictions > fp.LLC.Accesses {
+			t.Errorf("%q: %d predictions exceed %d accesses", expr, acc.Predictions, fp.LLC.Accesses)
+		}
+	}
+}
+
+// TestConformanceInvariants runs every registry spelling once and
+// applies the shared invariants, then once more to pin determinism
+// across repeats: identical fingerprints, bit for bit.
+func TestConformanceInvariants(t *testing.T) {
+	for _, expr := range exprsUnderTest(t) {
+		first := Run(expr, conformanceBench, conformanceScale)
+		checkInvariants(t, expr, first)
+		second := Run(expr, conformanceBench, conformanceScale)
+		if !same(first, second) {
+			t.Errorf("%q: repeat diverged:\n  first  %+v\n  second %+v", expr, first, second)
+		}
+	}
+}
+
+// TestConformanceGOMAXPROCS pins single-core determinism against the
+// scheduler: the same run under GOMAXPROCS 1 and 4 must fingerprint
+// identically.
+func TestConformanceGOMAXPROCS(t *testing.T) {
+	exprs := exprsUnderTest(t)
+	ref := make([]Fingerprint, len(exprs))
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		for i, expr := range exprs {
+			fp := Run(expr, conformanceBench, conformanceScale)
+			if procs == 1 {
+				ref[i] = fp
+				continue
+			}
+			if !same(ref[i], fp) {
+				t.Errorf("%q: GOMAXPROCS=4 diverged from GOMAXPROCS=1:\n  1: %+v\n  4: %+v", expr, ref[i], fp)
+			}
+		}
+		runtime.GOMAXPROCS(old)
+	}
+}
+
+// allocPinned is the policy set whose steady-state LLC access path is
+// pinned allocation-free: the baseline, the paper's sampler stack, and
+// the three zoo additions of this harness.
+var allocPinned = []string{"LRU", "Sampler", "SHiP", "Skewed DBP", "Improved DBP"}
+
+// TestSteadyStateAllocs extends the repo's 0 allocs/op pin to the zoo:
+// once warm, Access must not allocate for any pinned policy.
+func TestSteadyStateAllocs(t *testing.T) {
+	w, err := workloads.ByName(conformanceBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.RunSingle(w, exp.MustResolvePolicy("LRU").Make(1),
+		sim.SingleOptions{Scale: 0.1, CaptureStream: true})
+	if len(r.Stream) == 0 {
+		t.Fatal("no LLC traffic captured")
+	}
+	for _, name := range allocPinned {
+		llc := cache.New(hier.LLCConfig(1), exp.MustResolvePolicy(name).Make(1))
+		for _, a := range r.Stream {
+			llc.Access(a)
+		}
+		i := 0
+		avg := testing.AllocsPerRun(1000, func() {
+			llc.Access(r.Stream[i%len(r.Stream)])
+			i++
+		})
+		if avg != 0 {
+			t.Errorf("%s: steady-state Access allocates %.2f allocs/op, want 0", name, avg)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package policytest is the cross-policy conformance and differential
+// harness. Every policy spelling the registry exposes — presets, CLI
+// aliases' canonical names, Figure 6 ablation variants, and the bare
+// expression names with their defaults — runs through one shared
+// invariant suite (stats reconciliation, determinism across repeats and
+// GOMAXPROCS, prediction accounting, steady-state allocation pins), and
+// a differential suite proves each composed policy degenerates to its
+// base policy when its predictor is neutralized (dbrb over the
+// always-live predictor, SHiP with a saturated frozen SHCT, a duel
+// forced to its base leader).
+//
+// Coverage is derived from the registry's own name lists, so a policy
+// registered in internal/exp is tested here with no further wiring; the
+// CI guard script (scripts/check_policy_zoo.sh) closes the remaining
+// hole by failing the build when a builder case is missing from those
+// name lists.
+package policytest
+
+import (
+	"fmt"
+
+	"sdbp/internal/cache"
+	"sdbp/internal/dbrb"
+	"sdbp/internal/exp"
+	"sdbp/internal/sim"
+	"sdbp/internal/workloads"
+)
+
+// Expressions returns every registry-visible policy spelling the
+// conformance suite must cover: preset names, Figure 6 ablation
+// variants, and each registered bare expression name (which resolves
+// with its paper defaults).
+func Expressions() []string {
+	var out []string
+	out = append(out, exp.PresetNames()...)
+	out = append(out, exp.AblationVariantNames()...)
+	out = append(out, exp.PolicyNames()...)
+	return out
+}
+
+// Fingerprint captures everything a figure cell derives from one
+// single-core run, in both raw and figure-formatted form. Two runs of
+// the same deterministic configuration must produce identical
+// fingerprints; a degenerate policy must fingerprint identically to its
+// base policy.
+type Fingerprint struct {
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+	MPKI         float64
+	LLC          cache.Stats
+	// Accuracy is the dead-block prediction accounting for DBRB-rooted
+	// policies (nil otherwise).
+	Accuracy *dbrb.Accuracy
+	// Cells is the figure-cell rendering (the "%.3f"/"%.4f" precision
+	// the experiment tables print at), so "byte-identical figure cells"
+	// is literal.
+	Cells string
+}
+
+// Run simulates one benchmark under a registry policy expression and
+// returns its fingerprint. It panics on an unresolvable expression
+// (harness inputs are registry-derived).
+func Run(nameOrExpr, bench string, scale float64) Fingerprint {
+	w, err := workloads.ByName(bench)
+	if err != nil {
+		panic(err)
+	}
+	p := exp.MustResolvePolicy(nameOrExpr)
+	r := sim.RunSingle(w, p.Make(1), sim.SingleOptions{Scale: scale})
+	return Fingerprint{
+		Instructions: r.Instructions,
+		Cycles:       r.Cycles,
+		IPC:          r.IPC,
+		MPKI:         r.MPKI,
+		LLC:          r.LLC,
+		Accuracy:     r.Accuracy,
+		Cells: fmt.Sprintf("ipc=%.3f mpki=%.3f miss=%.4f",
+			r.IPC, r.MPKI, missRate(r.LLC)),
+	}
+}
+
+func missRate(s cache.Stats) float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// CheckStats verifies the cache-stats bookkeeping invariants every
+// policy must preserve, returning a description of the first violation
+// or "" when all hold:
+//
+//   - hits + misses == accesses (every access resolves exactly once)
+//   - bypasses <= misses (only misses can bypass)
+//   - evictions <= misses - bypasses (only placed misses can evict)
+func CheckStats(s cache.Stats) string {
+	if s.Hits+s.Misses != s.Accesses {
+		return fmt.Sprintf("hits %d + misses %d != accesses %d", s.Hits, s.Misses, s.Accesses)
+	}
+	if s.Bypasses > s.Misses {
+		return fmt.Sprintf("bypasses %d > misses %d", s.Bypasses, s.Misses)
+	}
+	if s.Evictions > s.Misses-s.Bypasses {
+		return fmt.Sprintf("evictions %d > misses %d - bypasses %d", s.Evictions, s.Misses, s.Bypasses)
+	}
+	return ""
+}

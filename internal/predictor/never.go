@@ -1,0 +1,41 @@
+package predictor
+
+import (
+	"sdbp/internal/mem"
+	"sdbp/internal/power"
+)
+
+// Never is the degenerate always-live predictor: it never predicts a
+// block dead, so dbrb(base=X,pred=never) performs no bypasses and no
+// dead-block victimizations and must behave exactly like X. The
+// cross-policy differential harness (internal/policy/policytest) pins
+// that identity for every base policy; it is also a useful null
+// hypothesis when sweeping predictor configurations.
+type Never struct{}
+
+// NewNever returns the always-live predictor.
+func NewNever() *Never { return &Never{} }
+
+// Name implements Predictor.
+func (*Never) Name() string { return "Never" }
+
+// Reset implements Predictor.
+func (*Never) Reset(int, int) {}
+
+// OnAccess implements Predictor.
+func (*Never) OnAccess(uint32, mem.Access) {}
+
+// PredictArriving implements Predictor: nothing is dead on arrival.
+func (*Never) PredictArriving(uint32, mem.Access) bool { return false }
+
+// OnHit implements Predictor: nothing is ever dead.
+func (*Never) OnHit(uint32, int, mem.Access) bool { return false }
+
+// OnFill implements Predictor.
+func (*Never) OnFill(uint32, int, mem.Access) bool { return false }
+
+// OnEvict implements Predictor.
+func (*Never) OnEvict(uint32, int) {}
+
+// Storage implements Predictor: the null predictor has no hardware.
+func (*Never) Storage() []power.Structure { return nil }

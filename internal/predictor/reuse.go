@@ -1,0 +1,188 @@
+package predictor
+
+import (
+	"fmt"
+
+	"sdbp/internal/mem"
+	"sdbp/internal/power"
+)
+
+// ReuseConfig parameterizes the reuse-counter predictor. The zero value
+// is not valid; use DefaultReuseConfig.
+type ReuseConfig struct {
+	// Tables is the number of hashed prediction tables whose counters
+	// are summed.
+	Tables int
+	// TableEntries is the number of 2-bit counters per table.
+	TableEntries int
+	// Threshold is the confidence sum at or above which a block is
+	// predicted dead.
+	Threshold int
+}
+
+// DefaultReuseConfig is three 4,096-entry tables with threshold 8 — the
+// same table budget as the paper's sampling predictor, so comparisons
+// isolate the training rule.
+func DefaultReuseConfig() ReuseConfig {
+	return ReuseConfig{Tables: 3, TableEntries: 4096, Threshold: 8}
+}
+
+// Reuse is the "improved DBP" reuse-counter core: every block carries
+// the signature of the PC that filled it and a saturating reuse
+// counter. Nothing trains until the block leaves the cache; at eviction
+// the fill signature trains dead exactly when the block was never
+// reused. Prediction asks whether blocks filled by this PC typically
+// see zero reuse, so one early burst of hits cannot flip a PC's verdict
+// the way per-access training can — the reuse counter integrates the
+// block's whole lifetime before the tables hear about it.
+type Reuse struct {
+	cfg ReuseConfig
+
+	// table holds cfg.Tables banks of 2-bit counters flattened into one
+	// contiguous slice.
+	table []uint8
+	salts []uint64
+
+	blockSig []uint32 // fill-PC signature per LLC block
+	reuse    []uint8  // saturating reuse count per LLC block
+	ways     int
+	llcSets  int
+
+	accesses uint64
+	updates  uint64
+}
+
+// reuseMax is the per-block reuse counter's saturation value (2 bits).
+const reuseMax = 3
+
+// NewReuse builds a reuse-counter predictor. It panics on an invalid
+// configuration (the registry validates user expressions first).
+func NewReuse(cfg ReuseConfig) *Reuse {
+	if cfg.Tables < 1 || cfg.TableEntries < 2 || !mem.IsPow2(cfg.TableEntries) {
+		panic(fmt.Sprintf("predictor: invalid reuse tables %d x %d", cfg.Tables, cfg.TableEntries))
+	}
+	r := &Reuse{cfg: cfg}
+	r.salts = make([]uint64, cfg.Tables)
+	for i := range r.salts {
+		r.salts[i] = 0x9e3779b97f4a7c15 * uint64(i+1)
+	}
+	return r
+}
+
+// Name implements Predictor.
+func (r *Reuse) Name() string { return "Reuse" }
+
+// Config returns the predictor's configuration.
+func (r *Reuse) Config() ReuseConfig { return r.cfg }
+
+// Reset implements Predictor.
+func (r *Reuse) Reset(sets, ways int) {
+	r.llcSets = sets
+	r.ways = ways
+	r.table = make([]uint8, r.cfg.Tables*r.cfg.TableEntries)
+	r.blockSig = make([]uint32, sets*ways)
+	r.reuse = make([]uint8, sets*ways)
+	r.accesses = 0
+	r.updates = 0
+}
+
+func (r *Reuse) idx(set uint32, way int) int { return int(set)*r.ways + way }
+
+func (r *Reuse) tableIndex(t int, sig uint32) int {
+	return int(mem.Mix64(uint64(sig)^r.salts[t]) & uint64(r.cfg.TableEntries-1))
+}
+
+func (r *Reuse) confidence(sig uint32) int {
+	c := 0
+	for t := 0; t < r.cfg.Tables; t++ {
+		c += int(r.table[t*r.cfg.TableEntries+r.tableIndex(t, sig)])
+	}
+	return c
+}
+
+func (r *Reuse) predict(sig uint32) bool {
+	return r.confidence(sig) >= r.cfg.Threshold
+}
+
+func (r *Reuse) train(sig uint32, dead bool) {
+	for t := 0; t < r.cfg.Tables; t++ {
+		i := t*r.cfg.TableEntries + r.tableIndex(t, sig)
+		if dead {
+			if r.table[i] < 3 {
+				r.table[i]++
+			}
+		} else if r.table[i] > 0 {
+			r.table[i]--
+		}
+	}
+}
+
+// OnAccess implements Predictor: the reuse predictor has no decoupled
+// sampler; all its learning happens at evictions.
+func (r *Reuse) OnAccess(_ uint32, _ mem.Access) {
+	r.accesses++
+}
+
+// PredictArriving implements Predictor.
+func (r *Reuse) PredictArriving(_ uint32, a mem.Access) bool {
+	return r.predict(pcSignature(a.PC))
+}
+
+// OnHit implements Predictor: the block's reuse counter saturates
+// upward; its verdict re-evaluates against the fill signature's current
+// confidence.
+func (r *Reuse) OnHit(set uint32, way int, _ mem.Access) bool {
+	i := r.idx(set, way)
+	if r.reuse[i] < reuseMax {
+		r.reuse[i]++
+	}
+	return r.predict(r.blockSig[i])
+}
+
+// OnFill implements Predictor: the fill PC's signature sticks to the
+// block for its whole residency.
+func (r *Reuse) OnFill(set uint32, way int, a mem.Access) bool {
+	i := r.idx(set, way)
+	sig := pcSignature(a.PC)
+	r.blockSig[i] = sig
+	r.reuse[i] = 0
+	return r.predict(sig)
+}
+
+// OnEvict implements Predictor: the only training point. The fill
+// signature trains dead exactly when the block saw no reuse.
+func (r *Reuse) OnEvict(set uint32, way int) {
+	i := r.idx(set, way)
+	r.train(r.blockSig[i], r.reuse[i] == 0)
+	r.updates++
+}
+
+// ConfidenceOf returns the confidence sum for a PC's signature (tests
+// and diagnostics).
+func (r *Reuse) ConfidenceOf(pc uint64) int {
+	return r.confidence(pcSignature(pc))
+}
+
+// UpdateFraction returns the fraction of LLC accesses that updated the
+// predictor (one update per eviction).
+func (r *Reuse) UpdateFraction() float64 {
+	if r.accesses == 0 {
+		return 0
+	}
+	return float64(r.updates) / float64(r.accesses)
+}
+
+// Storage implements Predictor: the counter tables plus per-block
+// metadata (fill signature, 2-bit reuse counter, dead bit).
+func (r *Reuse) Storage() []power.Structure {
+	return []power.Structure{
+		{
+			Name: "prediction tables", Kind: power.TaglessRAM,
+			Entries: r.cfg.Tables * r.cfg.TableEntries, BitsPerEntry: 2, Banks: r.cfg.Tables,
+		},
+		{
+			Name: "block signatures + reuse counters + dead bits", Kind: power.CacheMetadata,
+			Entries: r.llcSets * r.ways, BitsPerEntry: sigBits + 2 + 1,
+		},
+	}
+}

@@ -1,0 +1,310 @@
+package predictor
+
+import (
+	"fmt"
+
+	"sdbp/internal/mem"
+	"sdbp/internal/power"
+)
+
+// SkewedConfig parameterizes the skewed tagged-table predictor. The
+// zero value is not valid; use DefaultSkewedConfig.
+type SkewedConfig struct {
+	// SamplerSets and SamplerAssoc size the decoupled sampler tag array
+	// (the same structure the paper's sampling predictor uses).
+	SamplerSets  int
+	SamplerAssoc int
+	// Tables is the number of skewed prediction tables.
+	Tables int
+	// TableEntries is the number of entries per table. Each entry holds
+	// a 2-bit counter and a TagBits partial tag.
+	TableEntries int
+	// TagBits is the width of the partial tag stored per table entry.
+	// Wider tags reject more aliases at the cost of storage.
+	TagBits int
+	// Threshold is the confidence sum at or above which a block is
+	// predicted dead (only tag-matching tables contribute).
+	Threshold int
+}
+
+// DefaultSkewedConfig mirrors the paper's sampler geometry over three
+// skewed 4,096-entry tables, each entry carrying an 8-bit partial tag.
+func DefaultSkewedConfig() SkewedConfig {
+	return SkewedConfig{
+		SamplerSets:  32,
+		SamplerAssoc: 12,
+		Tables:       3,
+		TableEntries: 4096,
+		TagBits:      8,
+		Threshold:    8,
+	}
+}
+
+// Skewed is a skewed multi-table dead block predictor: like the paper's
+// sampling predictor it trains from a small decoupled sampler, but its
+// prediction tables are tagged. Each table hashes the PC signature with
+// its own hash function; an entry only contributes its counter to the
+// confidence sum when its partial tag matches, and training reallocates
+// mismatching entries. Tags trade capacity for alias rejection: two
+// signatures that collide in one table's index no longer pool their
+// counters unless they also collide in the tag.
+type Skewed struct {
+	cfg SkewedConfig
+
+	// ctr and tag are the Tables banks flattened contiguously (bank t
+	// occupies [t*TableEntries, (t+1)*TableEntries)).
+	ctr     []uint8
+	tag     []uint16
+	salts   []uint64
+	tagMask uint32
+
+	entries []samplerEntry // SamplerSets*SamplerAssoc, row-major
+
+	llcSets    int
+	llcSetBits uint
+	ways       int
+
+	intervalMask  uint32
+	intervalShift uint
+
+	accesses uint64
+	updates  uint64
+}
+
+// NewSkewed builds a skewed tagged-table predictor. It panics on an
+// invalid configuration (geometry errors are programming mistakes; the
+// registry validates user expressions first).
+func NewSkewed(cfg SkewedConfig) *Skewed {
+	if cfg.Tables < 1 || cfg.TableEntries < 2 || !mem.IsPow2(cfg.TableEntries) {
+		panic(fmt.Sprintf("predictor: invalid skewed tables %d x %d", cfg.Tables, cfg.TableEntries))
+	}
+	if cfg.TagBits < 1 || cfg.TagBits > 15 {
+		panic(fmt.Sprintf("predictor: invalid skewed tag width %d", cfg.TagBits))
+	}
+	if cfg.SamplerSets < 1 || cfg.SamplerAssoc < 1 || !mem.IsPow2(cfg.SamplerSets) {
+		panic(fmt.Sprintf("predictor: invalid skewed sampler geometry %d sets x %d ways", cfg.SamplerSets, cfg.SamplerAssoc))
+	}
+	s := &Skewed{cfg: cfg, tagMask: 1<<uint(cfg.TagBits) - 1}
+	s.salts = make([]uint64, cfg.Tables)
+	for i := range s.salts {
+		s.salts[i] = 0x9e3779b97f4a7c15 * uint64(i+1)
+	}
+	return s
+}
+
+// Name implements Predictor.
+func (s *Skewed) Name() string { return "Skewed" }
+
+// Config returns the predictor's configuration.
+func (s *Skewed) Config() SkewedConfig { return s.cfg }
+
+// Reset implements Predictor.
+func (s *Skewed) Reset(sets, ways int) {
+	s.llcSets = sets
+	s.llcSetBits = uint(mem.Log2(sets))
+	s.ways = ways
+	s.ctr = make([]uint8, s.cfg.Tables*s.cfg.TableEntries)
+	s.tag = make([]uint16, s.cfg.Tables*s.cfg.TableEntries)
+	interval := sets / s.cfg.SamplerSets
+	if interval < 1 {
+		interval = 1
+	}
+	s.intervalMask = uint32(interval - 1)
+	s.intervalShift = uint(mem.Log2(interval))
+	s.entries = make([]samplerEntry, s.cfg.SamplerSets*s.cfg.SamplerAssoc)
+	for i := range s.entries {
+		s.entries[i].lru = uint8(i % s.cfg.SamplerAssoc)
+	}
+	s.accesses = 0
+	s.updates = 0
+}
+
+// slot computes table t's (index, partial tag) pair for a signature.
+// Index and tag come from disjoint halves of one per-table hash, so
+// each table sees an independent placement (the skewed organization)
+// and tags stay consistent per signature.
+func (s *Skewed) slot(t int, sig uint32) (int, uint16) {
+	h := mem.Mix64(uint64(sig) ^ s.salts[t])
+	idx := int(h & uint64(s.cfg.TableEntries-1))
+	// Tags are offset by one so a zeroed table (tag 0) matches nothing:
+	// every live tag lies in [1, 1<<TagBits], which fits uint16 for the
+	// permitted widths.
+	tag := uint16((uint32(h>>32) & s.tagMask) + 1)
+	return idx, tag
+}
+
+// confidence sums the counters of the tables whose partial tag matches
+// the signature.
+func (s *Skewed) confidence(sig uint32) int {
+	c := 0
+	for t := 0; t < s.cfg.Tables; t++ {
+		idx, tag := s.slot(t, sig)
+		i := t*s.cfg.TableEntries + idx
+		if s.tag[i] == tag {
+			c += int(s.ctr[i])
+		}
+	}
+	return c
+}
+
+func (s *Skewed) predict(sig uint32) bool {
+	return s.confidence(sig) >= s.cfg.Threshold
+}
+
+// train adjusts each table's entry for the signature: matching entries
+// count up (dead) or down (live) with 2-bit saturation; a mismatching
+// entry is reallocated to the signature with its counter restarted.
+func (s *Skewed) train(sig uint32, dead bool) {
+	for t := 0; t < s.cfg.Tables; t++ {
+		idx, tag := s.slot(t, sig)
+		i := t*s.cfg.TableEntries + idx
+		if s.tag[i] != tag {
+			s.tag[i] = tag
+			if dead {
+				s.ctr[i] = 1
+			} else {
+				s.ctr[i] = 0
+			}
+			continue
+		}
+		if dead {
+			if s.ctr[i] < 3 {
+				s.ctr[i]++
+			}
+		} else if s.ctr[i] > 0 {
+			s.ctr[i]--
+		}
+	}
+}
+
+// sampled reports whether an LLC set is tracked, and by which sampler
+// set.
+func (s *Skewed) sampled(set uint32) (int, bool) {
+	if set&s.intervalMask != 0 {
+		return 0, false
+	}
+	ss := int(set >> s.intervalShift)
+	if ss >= s.cfg.SamplerSets {
+		return 0, false
+	}
+	return ss, true
+}
+
+// OnAccess implements Predictor: the sampler flow is the paper's — a
+// sampler hit trains the entry's previous signature live and adopts the
+// current one; a sampler miss victimizes an invalid or LRU entry,
+// training the victim's signature dead.
+func (s *Skewed) OnAccess(set uint32, a mem.Access) {
+	s.accesses++
+	ss, ok := s.sampled(set)
+	if !ok {
+		return
+	}
+	s.updates++
+	tag := partialTagShifted(a.Addr, s.llcSetBits)
+	sig := pcSignature(a.PC)
+	base := ss * s.cfg.SamplerAssoc
+	ents := s.entries[base : base+s.cfg.SamplerAssoc : base+s.cfg.SamplerAssoc]
+
+	invalid := -1
+	for w := range ents {
+		e := &ents[w]
+		if !e.valid {
+			if invalid < 0 {
+				invalid = w
+			}
+			continue
+		}
+		if e.tag == tag {
+			s.train(e.sig, false)
+			e.sig = sig
+			s.promote(ents, w)
+			return
+		}
+	}
+
+	victim := invalid
+	if victim < 0 {
+		lru := uint8(s.cfg.SamplerAssoc - 1)
+		for w := range ents {
+			if ents[w].lru == lru {
+				victim = w
+				break
+			}
+		}
+	}
+	e := &ents[victim]
+	if e.valid {
+		s.train(e.sig, true)
+	}
+	e.tag = tag
+	e.sig = sig
+	e.valid = true
+	s.promote(ents, victim)
+}
+
+// promote moves sampler entry way to MRU within its set.
+func (s *Skewed) promote(ents []samplerEntry, way int) {
+	old := ents[way].lru
+	for w := range ents {
+		if ents[w].lru < old {
+			ents[w].lru++
+		}
+	}
+	ents[way].lru = 0
+}
+
+// PredictArriving implements Predictor.
+func (s *Skewed) PredictArriving(_ uint32, a mem.Access) bool {
+	return s.predict(pcSignature(a.PC))
+}
+
+// OnHit implements Predictor: the block's dead bit refreshes from the
+// hitting PC; training happens only in the sampler.
+func (s *Skewed) OnHit(_ uint32, _ int, a mem.Access) bool {
+	return s.predict(pcSignature(a.PC))
+}
+
+// OnFill implements Predictor.
+func (s *Skewed) OnFill(_ uint32, _ int, a mem.Access) bool {
+	return s.predict(pcSignature(a.PC))
+}
+
+// OnEvict implements Predictor: the decoupled sampler learns only from
+// its own evictions.
+func (s *Skewed) OnEvict(uint32, int) {}
+
+// ConfidenceOf returns the confidence sum for a PC's signature (tests
+// and diagnostics).
+func (s *Skewed) ConfidenceOf(pc uint64) int {
+	return s.confidence(pcSignature(pc))
+}
+
+// UpdateFraction returns the fraction of LLC accesses that updated the
+// predictor.
+func (s *Skewed) UpdateFraction() float64 {
+	if s.accesses == 0 {
+		return 0
+	}
+	return float64(s.updates) / float64(s.accesses)
+}
+
+// Storage implements Predictor: tagged tables (2-bit counter + partial
+// tag per entry), the sampler array, and one dead bit per LLC block.
+func (s *Skewed) Storage() []power.Structure {
+	return []power.Structure{
+		{
+			Name: "tagged prediction tables", Kind: power.TagArray,
+			Entries: s.cfg.Tables * s.cfg.TableEntries, BitsPerEntry: 2 + s.cfg.TagBits, Banks: s.cfg.Tables,
+		},
+		{
+			Name: "sampler", Kind: power.TagArray,
+			Entries:      s.cfg.SamplerSets * s.cfg.SamplerAssoc,
+			BitsPerEntry: sigBits + sigBits + 1 + 1 + 4,
+		},
+		{
+			Name: "dead bits", Kind: power.CacheMetadata,
+			Entries: s.llcSets * s.ways, BitsPerEntry: 1,
+		},
+	}
+}

@@ -1,0 +1,79 @@
+#!/bin/sh
+# check_policy_zoo.sh — enforce the registry/harness coverage invariant.
+#
+# The cross-policy conformance harness (internal/policy/policytest)
+# derives its coverage from the registry's own name lists: PolicyNames,
+# PredictorNames, PresetNames, and AblationVariantNames. A builder case
+# added to buildPolicy or buildPredictor without the matching entry in
+# its name list would construct fine but silently escape the harness.
+# This guard fails the build when the two drift: every `case "x"` in
+# the registry switches must appear in the corresponding name-list
+# literal, and every listed name must have a builder case.
+#
+# It also pins the harness wiring itself: policytest must keep deriving
+# Expressions() from the registry lists rather than a private copy.
+set -eu
+cd "$(dirname "$0")/.."
+
+registry=internal/exp/registry.go
+harness=internal/policy/policytest/policytest.go
+
+# cases FUNC — the case-clause name tokens of one top-level function's
+# switch, first case block per line, aliases like `case "dbrb",
+# "dueling":` split onto separate lines.
+cases() {
+    awk -v fn="$1" '
+        $0 ~ "^func " fn "\\(" { inside = 1; next }
+        inside && /^}/ { inside = 0 }
+        # Builder switches dispatch on e.Name at one indent level;
+        # deeper case clauses belong to knob validation, not dispatch.
+        inside && /^\tcase "/ {
+            line = $0
+            while (match(line, /"[a-z]+"/)) {
+                print substr(line, RSTART + 1, RLENGTH - 2)
+                line = substr(line, RSTART + RLENGTH)
+            }
+        }
+    ' "$registry" | sort
+}
+
+# listed FUNC — the string literals of a name-list function.
+listed() {
+    awk -v fn="$1" '
+        $0 ~ "^func " fn "\\(" { inside = 1 }
+        inside && /return \[\]string\{/ {
+            line = $0
+            while (match(line, /"[a-z]+"/)) {
+                print substr(line, RSTART + 1, RLENGTH - 2)
+                line = substr(line, RSTART + RLENGTH)
+            }
+            exit
+        }
+    ' "$registry" | sort
+}
+
+fail=0
+check() {
+    kind="$1"; built="$2"; names="$3"
+    if [ "$built" != "$names" ]; then
+        echo "policy zoo guard: $kind builder cases and name list drifted:" >&2
+        echo "  builder cases: $(echo $built)" >&2
+        echo "  name list:     $(echo $names)" >&2
+        echo "add the name to both the switch and the list (the conformance harness derives coverage from the list)" >&2
+        fail=1
+    fi
+}
+
+check "policy" "$(cases buildPolicy)" "$(listed PolicyNames)"
+check "predictor" "$(cases buildPredictor)" "$(listed PredictorNames)"
+
+for src in PresetNames AblationVariantNames PolicyNames; do
+    if ! grep -q "exp\.$src()" "$harness"; then
+        echo "policy zoo guard: policytest.Expressions no longer derives from exp.$src()" >&2
+        echo "the harness must enumerate coverage from the registry, not a private list" >&2
+        fail=1
+    fi
+done
+
+[ "$fail" -eq 0 ] || exit 1
+echo "policy zoo guard: ok"
