@@ -8,6 +8,12 @@
 //	report -in probe.jsonl -out report.html
 //	report -in probe.jsonl -out - > report.html   # stdout
 //	report -in probe.jsonl -topk 10               # tighter PC tables
+//	report -spans trace.json -out waterfall.html  # job-trace waterfall
+//
+// -spans renders the other telemetry artifact: a job trace fetched
+// with 'sdbpctl trace ADDR', as a per-stage waterfall of the sdbpd
+// pipeline (decode → cache lookup → queue wait → coalesce → run →
+// store).
 //
 // The output embeds everything inline (CSS and SVG, no scripts, no
 // external references) and is a pure function of the input bytes, so
@@ -31,14 +37,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "interval telemetry JSONL (from experiments -trace-out)")
+	spans := fs.String("spans", "", "render a job-trace waterfall from this trace JSON (from 'sdbpctl trace')")
 	out := fs.String("out", "report.html", `output HTML path ("-" = stdout)`)
 	topk := fs.Int("topk", 0, "bound each per-PC table to this many named rows (0 = all rows in the file)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *in == "" {
-		fmt.Fprintln(stderr, "report: -in FILE is required (the JSONL experiments wrote with -trace-out)")
+	if (*in == "") == (*spans == "") {
+		fmt.Fprintln(stderr, "report: exactly one of -in FILE (telemetry JSONL) or -spans FILE (trace JSON) is required")
 		return 2
+	}
+	if *spans != "" {
+		data, err := os.ReadFile(*spans)
+		if err != nil {
+			fmt.Fprintf(stderr, "report: %v\n", err)
+			return 1
+		}
+		html, err := renderWaterfall(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "report: rendering %s: %v\n", *spans, err)
+			return 1
+		}
+		return writeOut(html, *out, fmt.Sprintf("trace waterfall rendered to %s", *out), stdout, stderr)
 	}
 
 	f, err := os.Open(*in)
@@ -63,17 +83,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	if *out == "-" {
+	return writeOut(html, *out, fmt.Sprintf("%d benchmark(s) rendered to %s", len(series), *out), stdout, stderr)
+}
+
+// writeOut delivers a rendered page to -out (or stdout for "-").
+func writeOut(html []byte, out, note string, stdout, stderr io.Writer) int {
+	if out == "-" {
 		if _, err := stdout.Write(html); err != nil {
 			fmt.Fprintf(stderr, "report: %v\n", err)
 			return 1
 		}
 		return 0
 	}
-	if err := os.WriteFile(*out, html, 0o644); err != nil {
+	if err := os.WriteFile(out, html, 0o644); err != nil {
 		fmt.Fprintf(stderr, "report: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stderr, "report: %d benchmark(s) rendered to %s\n", len(series), *out)
+	fmt.Fprintf(stderr, "report: %s\n", note)
 	return 0
 }

@@ -1,0 +1,167 @@
+package main
+
+// Waterfall rendering for job traces (report -spans FILE). The input
+// is the JSON body of GET /v1/traces/ADDR — or just its spans array —
+// and the output is one self-contained HTML page: each span a bar
+// positioned by its offset from the trace start and scaled to the
+// end-to-end duration, indented by its depth in the span tree, with
+// attributes inline. Like the telemetry report it embeds everything
+// (one <style> block, no scripts) and renders deterministically.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"sort"
+	"time"
+
+	"sdbp/internal/obs"
+)
+
+// traceDoc is the shape /v1/traces/ADDR answers with.
+type traceDoc struct {
+	Trace string           `json:"trace"`
+	Addr  string           `json:"addr"`
+	Spans []obs.SpanRecord `json:"spans"`
+}
+
+// readSpans accepts either a full trace body or a bare spans array.
+func readSpans(data []byte) (traceDoc, error) {
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err == nil && len(doc.Spans) > 0 {
+		return doc, nil
+	}
+	var spans []obs.SpanRecord
+	if err := json.Unmarshal(data, &spans); err != nil || len(spans) == 0 {
+		return traceDoc{}, fmt.Errorf("input is neither a trace body nor a span array")
+	}
+	return traceDoc{Spans: spans}, nil
+}
+
+// waterfallRow is one rendered bar.
+type waterfallRow struct {
+	Name     string
+	Depth    int
+	LeftPct  string // bar offset as % of the trace window
+	WidthPct string // bar width as % of the trace window
+	Duration string
+	Attrs    string
+}
+
+// buildWaterfall lays spans out against the trace window
+// [min start, max end]. Children follow their parents (depth-first in
+// start order), so the visual nesting matches the span tree even when
+// siblings overlap in time.
+func buildWaterfall(spans []obs.SpanRecord) []waterfallRow {
+	byParent := map[string][]obs.SpanRecord{}
+	ids := map[string]bool{}
+	for _, sp := range spans {
+		ids[sp.ID] = true
+	}
+	var t0, t1 time.Time
+	for i, sp := range spans {
+		parent := sp.Parent
+		if !ids[parent] {
+			parent = "" // orphans render as roots rather than vanish
+		}
+		byParent[parent] = append(byParent[parent], sp)
+		end := sp.Start.Add(sp.Duration)
+		if i == 0 || sp.Start.Before(t0) {
+			t0 = sp.Start
+		}
+		if i == 0 || end.After(t1) {
+			t1 = end
+		}
+	}
+	window := t1.Sub(t0)
+	if window <= 0 {
+		window = time.Nanosecond
+	}
+	for _, kids := range byParent {
+		kids := kids
+		sort.Slice(kids, func(i, j int) bool {
+			if !kids[i].Start.Equal(kids[j].Start) {
+				return kids[i].Start.Before(kids[j].Start)
+			}
+			if kids[i].Name != kids[j].Name {
+				return kids[i].Name < kids[j].Name
+			}
+			return kids[i].ID < kids[j].ID
+		})
+	}
+
+	var rows []waterfallRow
+	var walk func(parent string, depth int)
+	walk = func(parent string, depth int) {
+		for _, sp := range byParent[parent] {
+			left := float64(sp.Start.Sub(t0)) / float64(window) * 100
+			width := float64(sp.Duration) / float64(window) * 100
+			if width < 0.2 {
+				width = 0.2 // keep microsecond spans visible
+			}
+			var attrs bytes.Buffer
+			for _, k := range obs.SortedAttrKeys(sp.Attrs) {
+				fmt.Fprintf(&attrs, " %s=%s", k, sp.Attrs[k])
+			}
+			rows = append(rows, waterfallRow{
+				Name:     sp.Name,
+				Depth:    depth,
+				LeftPct:  fmt.Sprintf("%.2f", left),
+				WidthPct: fmt.Sprintf("%.2f", width),
+				Duration: sp.Duration.Round(time.Microsecond).String(),
+				Attrs:    attrs.String(),
+			})
+			if sp.ID != "" && sp.ID != parent {
+				walk(sp.ID, depth+1)
+			}
+		}
+	}
+	walk("", 0)
+	return rows
+}
+
+var waterfallTmpl = template.Must(template.New("waterfall").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>job trace {{.Addr}}</title>
+<style>
+body { font: 13px/1.5 system-ui, sans-serif; margin: 2rem; color: #111; }
+h1 { font-size: 1.1rem; } code { background: #f3f4f6; padding: 0 .25em; }
+.row { display: flex; align-items: center; margin: 2px 0; }
+.label { flex: 0 0 22rem; white-space: nowrap; overflow: hidden; text-overflow: ellipsis; }
+.lane { position: relative; flex: 1; height: 16px; background: #f8fafc; border-left: 1px solid #e5e7eb; }
+.bar { position: absolute; top: 2px; height: 12px; background: #2563eb; border-radius: 2px; min-width: 1px; }
+.depth1 .bar { background: #059669; } .depth2 .bar { background: #d97706; }
+.depth3 .bar { background: #dc2626; } .dur { color: #6b7280; margin-left: .5em; }
+.attrs { color: #6b7280; }
+</style>
+</head>
+<body>
+<h1>job trace{{if .Addr}} <code>{{.Addr}}</code>{{end}}{{if .Trace}} ({{.Trace}}){{end}}</h1>
+{{range .Rows}}<div class="row depth{{.Depth}}">
+<div class="label" style="padding-left: {{.Depth}}rem">{{.Name}}<span class="dur">{{.Duration}}</span><span class="attrs">{{.Attrs}}</span></div>
+<div class="lane"><div class="bar" style="left: {{.LeftPct}}%; width: {{.WidthPct}}%"></div></div>
+</div>
+{{end}}</body>
+</html>
+`))
+
+// renderWaterfall renders a trace body into the waterfall page.
+func renderWaterfall(data []byte) ([]byte, error) {
+	doc, err := readSpans(data)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	err = waterfallTmpl.Execute(&buf, struct {
+		Addr  string
+		Trace string
+		Rows  []waterfallRow
+	}{doc.Addr, doc.Trace, buildWaterfall(doc.Spans)})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

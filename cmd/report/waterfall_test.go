@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sdbp/internal/obs"
+)
+
+// fixtureTrace is a miniature sdbpd job trace: root → two stages, one
+// with nested pipeline children.
+func fixtureTrace(t *testing.T) string {
+	t.Helper()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	doc := struct {
+		Trace string           `json:"trace"`
+		Addr  string           `json:"addr"`
+		Spans []obs.SpanRecord `json:"spans"`
+	}{
+		Trace: "t1",
+		Addr:  "abc123",
+		Spans: []obs.SpanRecord{
+			{TraceID: "t1", ID: "1", Name: "job", Start: t0, Duration: 100 * time.Millisecond,
+				Attrs: map[string]string{"source": "miss"}},
+			{TraceID: "t1", ID: "2", Parent: "1", Name: "stage:decode", Start: t0, Duration: 5 * time.Millisecond},
+			{TraceID: "t1", ID: "3", Parent: "1", Name: "stage:execute", Start: t0.Add(5 * time.Millisecond), Duration: 95 * time.Millisecond},
+			{TraceID: "t1", ID: "4", Parent: "3", Name: "queue_wait", Start: t0.Add(5 * time.Millisecond), Duration: 10 * time.Millisecond},
+			{TraceID: "t1", ID: "5", Parent: "3", Name: "run", Start: t0.Add(15 * time.Millisecond), Duration: 80 * time.Millisecond},
+		},
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWaterfallRenders(t *testing.T) {
+	path := fixtureTrace(t)
+	html := string(render(t, "-spans", path))
+	for _, want := range []string{
+		"job", "stage:decode", "stage:execute", "queue_wait", "run",
+		"abc123", "source=miss",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("waterfall missing %q", want)
+		}
+	}
+	// The run bar spans 80% of the 100ms window, offset 15%.
+	if !strings.Contains(html, `left: 15.00%; width: 80.00%`) {
+		t.Error("run bar not positioned against the trace window")
+	}
+	// Self-contained: no scripts, no external references.
+	for _, forbid := range []string{"<script", "http://", "https://"} {
+		if strings.Contains(html, forbid) {
+			t.Errorf("waterfall contains %q; must be self-contained", forbid)
+		}
+	}
+}
+
+// TestWaterfallDepth: children indent under their parents in tree
+// order, not flat file order.
+func TestWaterfallDepth(t *testing.T) {
+	path := fixtureTrace(t)
+	html := string(render(t, "-spans", path))
+	if !strings.Contains(html, `class="row depth2"`) {
+		t.Error("no depth-2 rows: pipeline children not nested under stage:execute")
+	}
+	// The root renders before its stages, stages before their children.
+	job := strings.Index(html, ">job<")
+	exec := strings.Index(html, "stage:execute")
+	run := strings.Index(html, ">run<")
+	if !(job < exec && exec < run) {
+		t.Errorf("rows out of tree order: job@%d execute@%d run@%d", job, exec, run)
+	}
+}
+
+func TestWaterfallDeterministic(t *testing.T) {
+	path := fixtureTrace(t)
+	if !bytes.Equal(render(t, "-spans", path), render(t, "-spans", path)) {
+		t.Error("two renders of the same trace differ")
+	}
+}
+
+func TestWaterfallBadInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"nope":true}`), 0o644)
+	if code := run([]string{"-spans", bad, "-out", "-"}, &stdout, &stderr); code != 1 {
+		t.Errorf("non-trace input: exit %d, want 1", code)
+	}
+	// -in and -spans are mutually exclusive.
+	if code := run([]string{"-in", "a", "-spans", "b"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-in with -spans: exit %d, want 2", code)
+	}
+}

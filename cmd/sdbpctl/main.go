@@ -5,7 +5,9 @@
 //	sdbpctl submit -server URL -policy Sampler -bench 456.hmmer -scale 0.1
 //	sdbpctl addr   -spec exp.json                      # print the content address, offline
 //	sdbpctl get    -server URL ADDR -wait 30s          # poll a result by address
-//	sdbpctl metrics -server URL                        # dump the metrics snapshot
+//	sdbpctl watch  -server URL ADDR                    # stream a job's live progress
+//	sdbpctl trace  -server URL ADDR [-check]           # fetch (and validate) a job's trace
+//	sdbpctl metrics -server URL [-format prom] [-lint] # dump the metrics snapshot
 //
 // submit prints the result manifest (JSON) on stdout. Backpressure is
 // honored, not retried into: on 429/503 the client sleeps the server's
@@ -14,6 +16,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	"sdbp/internal/exp"
+	"sdbp/internal/obs"
 	"sdbp/internal/serve"
 )
 
@@ -34,7 +38,7 @@ func main() {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: sdbpctl {submit|get|addr|metrics} [flags]  (run a subcommand with -h for its flags)")
+	fmt.Fprintln(stderr, "usage: sdbpctl {submit|get|addr|watch|trace|metrics} [flags]  (run a subcommand with -h for its flags)")
 	return 2
 }
 
@@ -50,6 +54,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runGet(rest, stdout, stderr)
 	case "addr":
 		return runAddr(rest, stdout, stderr)
+	case "watch":
+		return runWatch(rest, stdout, stderr)
+	case "trace":
+		return runTrace(rest, stdout, stderr)
 	case "metrics":
 		return runMetrics(rest, stdout, stderr)
 	default:
@@ -244,27 +252,203 @@ func runAddr(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func runMetrics(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("sdbpctl metrics", flag.ContinueOnError)
+// runWatch tails a job's server-sent event stream, rendering one line
+// per lifecycle event and an updating counter for interval progress.
+// It exits 0 when the job reaches "done", 1 when it reaches "failed".
+func runWatch(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sdbpctl watch", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	server := fs.String("server", "http://127.0.0.1:8344", "sdbpd base URL")
+	wait := fs.Duration("wait", 0, "poll until the job feed appears or this deadline passes (0 = one shot)")
+	every := fs.Duration("every", 250*time.Millisecond, "poll interval with -wait")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "sdbpctl: watch needs exactly one job address (see 'sdbpctl addr')")
+		return 2
+	}
+	addr := fs.Arg(0)
+	if !serve.ValidAddr(addr) {
+		fmt.Fprintf(stderr, "sdbpctl: %q is not a job address (64 hex digits)\n", addr)
+		return 2
+	}
+
+	// Streaming: no client timeout; a finished job closes its stream.
+	client := &http.Client{}
+	deadline := time.Now().Add(*wait)
+	var resp *http.Response
+	for {
+		r, err := client.Get(*server + "/v1/jobs/" + addr + "/events")
+		if err != nil {
+			fmt.Fprintln(stderr, "sdbpctl:", err)
+			return 1
+		}
+		if r.StatusCode == http.StatusOK {
+			resp = r
+			break
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode == http.StatusNotFound && *wait > 0 && time.Now().Before(deadline) {
+			time.Sleep(*every)
+			continue
+		}
+		fmt.Fprintf(stderr, "sdbpctl: watch failed: HTTP %d\n", r.StatusCode)
+		return 1
+	}
+	defer resp.Body.Close()
+
+	terminal := ""
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev serve.JobEvent
+		if err := json.Unmarshal([]byte(line[6:]), &ev); err != nil {
+			fmt.Fprintln(stderr, "sdbpctl: bad event:", err)
+			return 1
+		}
+		switch ev.Type {
+		case "progress":
+			fmt.Fprintf(stdout, "  [%d/%d] %s\n", ev.Done, ev.Total, ev.Detail)
+		case "done", "failed":
+			terminal = ev.Type
+			fallthrough
+		default:
+			if ev.Detail != "" {
+				fmt.Fprintf(stdout, "%s: %s\n", ev.Type, ev.Detail)
+			} else {
+				fmt.Fprintln(stdout, ev.Type)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(stderr, "sdbpctl:", err)
+		return 1
+	}
+	switch terminal {
+	case "done":
+		return 0
+	case "failed":
+		return 1
+	default:
+		fmt.Fprintln(stderr, "sdbpctl: event stream ended without a terminal event")
+		return 1
+	}
+}
+
+// runTrace fetches a job's trace. -check additionally validates it
+// with the same reconciliation pass the server's tests use; -format
+// chrome asks for the trace-event document chrome://tracing loads.
+func runTrace(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sdbpctl trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://127.0.0.1:8344", "sdbpd base URL")
+	format := fs.String("format", "json", "output format: json or chrome (trace-event)")
+	check := fs.Bool("check", false, "validate the trace: structure, containment, stage/latency reconciliation")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "sdbpctl: trace needs exactly one job address (see 'sdbpctl addr')")
+		return 2
+	}
+	addr := fs.Arg(0)
+	if !serve.ValidAddr(addr) {
+		fmt.Fprintf(stderr, "sdbpctl: %q is not a job address (64 hex digits)\n", addr)
+		return 2
+	}
+	url := *server + "/v1/traces/" + addr
+	if *format == "chrome" {
+		url += "?format=chrome"
+	} else if *format != "json" {
+		fmt.Fprintf(stderr, "sdbpctl: unknown trace format %q (json or chrome)\n", *format)
+		return 2
+	}
+	if *check && *format == "chrome" {
+		fmt.Fprintln(stderr, "sdbpctl: -check needs -format json (the chrome document drops span records)")
+		return 2
+	}
+
 	client := &http.Client{Timeout: time.Minute}
-	resp, err := client.Get(*server + "/metrics")
+	resp, err := client.Get(url)
 	if err != nil {
 		fmt.Fprintln(stderr, "sdbpctl:", err)
 		return 1
 	}
-	defer resp.Body.Close()
-	if _, err := io.Copy(stdout, resp.Body); err != nil {
+	data, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		fmt.Fprintln(stderr, "sdbpctl:", rerr)
+		return 1
+	}
+	stdout.Write(data)
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "sdbpctl: trace failed: HTTP %d\n", resp.StatusCode)
+		return 1
+	}
+	if *check {
+		var tb struct {
+			Spans []obs.SpanRecord `json:"spans"`
+		}
+		if err := json.Unmarshal(data, &tb); err != nil {
+			fmt.Fprintln(stderr, "sdbpctl: trace body does not parse:", err)
+			return 1
+		}
+		if err := serve.CheckTrace(tb.Spans); err != nil {
+			fmt.Fprintln(stderr, "sdbpctl: trace check failed:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "sdbpctl: trace ok (%d spans, reconciles)\n", len(tb.Spans))
+	}
+	return 0
+}
+
+func runMetrics(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sdbpctl metrics", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://127.0.0.1:8344", "sdbpd base URL")
+	format := fs.String("format", "json", "wire format to request: json or prom")
+	lint := fs.Bool("lint", false, "with -format prom: fail unless the exposition passes the Prometheus text-format lint")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *format {
+	case "json", "prom":
+	default:
+		fmt.Fprintf(stderr, "sdbpctl: unknown metrics format %q (json or prom)\n", *format)
+		return 2
+	}
+	if *lint && *format != "prom" {
+		fmt.Fprintln(stderr, "sdbpctl: -lint needs -format prom")
+		return 2
+	}
+	client := &http.Client{Timeout: time.Minute}
+	resp, err := client.Get(*server + "/metrics?format=" + *format)
+	if err != nil {
 		fmt.Fprintln(stderr, "sdbpctl:", err)
 		return 1
 	}
+	data, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		fmt.Fprintln(stderr, "sdbpctl:", rerr)
+		return 1
+	}
+	stdout.Write(data)
 	if resp.StatusCode != http.StatusOK {
 		fmt.Fprintf(stderr, "sdbpctl: metrics failed: HTTP %d\n", resp.StatusCode)
 		return 1
+	}
+	if *lint {
+		if err := obs.LintPrometheus(data); err != nil {
+			fmt.Fprintln(stderr, "sdbpctl: exposition lint failed:", err)
+			return 1
+		}
+		fmt.Fprintln(stderr, "sdbpctl: exposition ok")
 	}
 	return 0
 }

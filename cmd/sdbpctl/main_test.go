@@ -150,3 +150,90 @@ func TestCtlUsageErrors(t *testing.T) {
 		t.Errorf("invalid get address: exit %d, want 2", code)
 	}
 }
+
+// TestCtlWatchTraceMetricsProm drives the observability subcommands
+// against a real backend: watch replays a finished job's lifecycle in
+// order, trace -check validates the reconciled span tree, and
+// metrics -format prom -lint round-trips the Prometheus exposition.
+func TestCtlWatchTraceMetricsProm(t *testing.T) {
+	ts := newBackend(t)
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"submit", "-server", ts.URL, "-policy", "LRU", "-bench", "456.hmmer", "-scale", "0.01"}, &out, &errBuf); code != 0 {
+		t.Fatalf("submit exit %d; stderr: %s", code, errBuf.String())
+	}
+	var manifest struct {
+		Addr string `json:"addr"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &manifest); err != nil {
+		t.Fatal(err)
+	}
+
+	var watchOut bytes.Buffer
+	errBuf.Reset()
+	if code := run([]string{"watch", "-server", ts.URL, manifest.Addr}, &watchOut, &errBuf); code != 0 {
+		t.Fatalf("watch exit %d; stderr: %s", code, errBuf.String())
+	}
+	lines := strings.Fields(strings.ReplaceAll(watchOut.String(), "\n", " "))
+	first, last := lines[0], lines[len(lines)-1]
+	if first != "submitted" || last != "done" {
+		t.Errorf("watch output bracket = %q...%q, want submitted...done\n%s", first, last, watchOut.String())
+	}
+	if !strings.Contains(watchOut.String(), "[1/1]") {
+		t.Errorf("watch shows no interval progress:\n%s", watchOut.String())
+	}
+
+	var traceOut bytes.Buffer
+	errBuf.Reset()
+	if code := run([]string{"trace", "-server", ts.URL, "-check", manifest.Addr}, &traceOut, &errBuf); code != 0 {
+		t.Fatalf("trace -check exit %d; stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "trace ok") {
+		t.Errorf("trace -check did not confirm: %s", errBuf.String())
+	}
+	if !strings.Contains(traceOut.String(), "stage:execute") {
+		t.Errorf("trace output missing pipeline stages: %s", traceOut.String())
+	}
+
+	var chromeOut bytes.Buffer
+	if code := run([]string{"trace", "-server", ts.URL, "-format", "chrome", manifest.Addr}, &chromeOut, &errBuf); code != 0 {
+		t.Fatalf("trace -format chrome exit %d; stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(chromeOut.String(), "traceEvents") {
+		t.Errorf("chrome export malformed: %s", chromeOut.String())
+	}
+
+	var promOut bytes.Buffer
+	errBuf.Reset()
+	if code := run([]string{"metrics", "-server", ts.URL, "-format", "prom", "-lint"}, &promOut, &errBuf); code != 0 {
+		t.Fatalf("metrics -format prom -lint exit %d; stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(promOut.String(), "serve_submits_total") {
+		t.Errorf("prom exposition missing serve_submits_total: %s", promOut.String())
+	}
+	if !strings.Contains(errBuf.String(), "exposition ok") {
+		t.Errorf("lint did not confirm: %s", errBuf.String())
+	}
+}
+
+// TestCtlWatchTraceUsageErrors: flag validation for the new
+// subcommands fails fast, before any network traffic.
+func TestCtlWatchTraceUsageErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"watch", "-server", "http://x", "nothex"}, &out, &errBuf); code != 2 {
+		t.Errorf("watch bad addr: exit %d, want 2", code)
+	}
+	if code := run([]string{"trace", "-server", "http://x", "nothex"}, &out, &errBuf); code != 2 {
+		t.Errorf("trace bad addr: exit %d, want 2", code)
+	}
+	addr := strings.Repeat("ab", 32)
+	if code := run([]string{"trace", "-server", "http://x", "-format", "chrome", "-check", addr}, &out, &errBuf); code != 2 {
+		t.Errorf("trace -check with -format chrome: exit %d, want 2", code)
+	}
+	if code := run([]string{"metrics", "-server", "http://x", "-lint"}, &out, &errBuf); code != 2 {
+		t.Errorf("metrics -lint without -format prom: exit %d, want 2", code)
+	}
+	if code := run([]string{"metrics", "-server", "http://x", "-format", "bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("metrics bogus format: exit %d, want 2", code)
+	}
+}

@@ -12,12 +12,14 @@
 // in-flight jobs into the JSONL checkpoint so a restarted server
 // resumes byte-identically.
 //
-//	POST /v1/jobs          submit an exp.Spec JSON body; returns the manifest
-//	GET  /v1/results/ADDR  fetch a cached manifest by content address
-//	GET  /healthz          liveness
-//	GET  /readyz           readiness (503 while draining)
-//	GET  /metrics          obs.Snapshot JSON: queue depth, cache hit
-//	                       ratio, coalesce counts, job latency histograms
+//	POST /v1/jobs               submit an exp.Spec JSON body; returns the manifest
+//	GET  /v1/results/ADDR       fetch a cached manifest by content address
+//	GET  /v1/traces/ADDR        a job's pipeline trace (?format=chrome for chrome://tracing)
+//	GET  /v1/jobs/ADDR/events   live job lifecycle + progress as server-sent events
+//	GET  /healthz               liveness
+//	GET  /readyz                readiness (503 while draining)
+//	GET  /metrics               obs.Snapshot JSON; Prometheus text with
+//	                            ?format=prom or a text/plain Accept header
 //
 // See cmd/sdbpctl for the matching submit/poll client.
 package main
@@ -33,6 +35,7 @@ import (
 	"os"
 	"time"
 
+	"sdbp/internal/obs"
 	"sdbp/internal/runner"
 	"sdbp/internal/serve"
 )
@@ -60,9 +63,16 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer) int {
 	storeKind := fs.String("store", "mem", "result cache backend: mem or disk")
 	storeDir := fs.String("store-dir", "sdbpd-store", "directory for -store disk")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown drain deadline after SIGINT/SIGTERM")
+	logLevel := fs.String("log-level", "info", "minimum structured log level: debug, info, warn, or error")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "sdbpd:", err)
+		return 2
+	}
+	obs.SetDefault(obs.NewLogger(stderr, level))
 	logger := log.New(stderr, "sdbpd: ", log.LstdFlags)
 
 	var store serve.Store

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Structured leveled logging: one timestamped key=value line per
+// event, shared by the service, the runner's degradation warnings and
+// the CLIs, so every log consumer parses one format. A nil *Logger is
+// a no-op, matching the rest of the package's nil-safety contract.
+//
+//	ts=2026-08-08T12:00:00.000Z level=warn msg="torn journal tail" component=runner lines=3
+
+// Level orders log severities.
+type Level int
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "level(" + strconv.Itoa(int(l)) + ")"
+}
+
+// ParseLevel maps a -log-level flag value to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (valid: debug, info, warn, error)", s)
+}
+
+// Logger writes structured key=value lines at or above a minimum
+// level. Safe for concurrent use; nil is a no-op.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+	now func() time.Time // test hook; nil means time.Now
+}
+
+// NewLogger returns a logger writing to w at min level and above.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min}
+}
+
+// Enabled reports whether a record at l would be written.
+func (lg *Logger) Enabled(l Level) bool {
+	return lg != nil && l >= lg.min
+}
+
+// Log writes one record: a timestamp, the level, the message, then
+// the key/value pairs in the order given (values are formatted with
+// %v and quoted when they contain spaces or quotes). A trailing
+// unpaired key gets the value "(missing)".
+func (lg *Logger) Log(l Level, msg string, kv ...any) {
+	if !lg.Enabled(l) {
+		return
+	}
+	now := time.Now
+	if lg.now != nil {
+		now = lg.now
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(l.String())
+	b.WriteString(" msg=")
+	b.WriteString(logQuote(msg))
+	for i := 0; i < len(kv); i += 2 {
+		key := fmt.Sprintf("%v", kv[i])
+		val := "(missing)"
+		if i+1 < len(kv) {
+			val = fmt.Sprintf("%v", kv[i+1])
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(logQuote(val))
+	}
+	b.WriteByte('\n')
+	lg.mu.Lock()
+	io.WriteString(lg.w, b.String())
+	lg.mu.Unlock()
+}
+
+// Debug, Info, Warn and Error are Log at the corresponding level.
+func (lg *Logger) Debug(msg string, kv ...any) { lg.Log(LevelDebug, msg, kv...) }
+func (lg *Logger) Info(msg string, kv ...any)  { lg.Log(LevelInfo, msg, kv...) }
+func (lg *Logger) Warn(msg string, kv ...any)  { lg.Log(LevelWarn, msg, kv...) }
+func (lg *Logger) Error(msg string, kv ...any) { lg.Log(LevelError, msg, kv...) }
+
+// logQuote quotes a value when it contains anything that would break
+// key=value parsing; bare tokens pass through untouched.
+func logQuote(s string) string {
+	if s != "" && !strings.ContainsAny(s, " \t\n\"=\\") {
+		return s
+	}
+	return strconv.Quote(s)
+}
+
+// defaultLogger is the process-wide sink shared by components that
+// have no logger plumbed to them (runner.Warnf most prominently).
+var defaultLogger atomic.Pointer[Logger]
+
+func init() {
+	defaultLogger.Store(NewLogger(os.Stderr, LevelInfo))
+}
+
+// Default returns the process-wide logger.
+func Default() *Logger { return defaultLogger.Load() }
+
+// SetDefault replaces the process-wide logger (nil silences it) and
+// returns the previous one.
+func SetDefault(lg *Logger) *Logger {
+	prev := defaultLogger.Load()
+	if lg == nil {
+		lg = NewLogger(io.Discard, LevelError)
+	}
+	defaultLogger.Store(lg)
+	return prev
+}
+
+// SortedAttrKeys returns a span attribute map's keys in sorted order,
+// for deterministic rendering by exporters and reports.
+func SortedAttrKeys(attrs map[string]string) []string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

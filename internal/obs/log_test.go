@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedLogger(buf *bytes.Buffer, min Level) *Logger {
+	lg := NewLogger(buf, min)
+	lg.now = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+	return lg
+}
+
+func TestLoggerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	lg := fixedLogger(&buf, LevelDebug)
+	lg.Warn("torn journal tail", "component", "runner", "lines", 3, "path", "a b.ckpt")
+	got := buf.String()
+	want := `ts=2026-08-08T12:00:00.000Z level=warn msg="torn journal tail" component=runner lines=3 path="a b.ckpt"` + "\n"
+	if got != want {
+		t.Errorf("line = %q, want %q", got, want)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	lg := fixedLogger(&buf, LevelWarn)
+	lg.Debug("d")
+	lg.Info("i")
+	lg.Warn("w")
+	lg.Error("e")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "level=warn") || !strings.Contains(lines[1], "level=error") {
+		t.Errorf("filtered output = %q", buf.String())
+	}
+	if lg.Enabled(LevelInfo) || !lg.Enabled(LevelError) {
+		t.Error("Enabled disagrees with the min level")
+	}
+}
+
+func TestLoggerOddKV(t *testing.T) {
+	var buf bytes.Buffer
+	fixedLogger(&buf, LevelDebug).Info("m", "key")
+	if !strings.Contains(buf.String(), "key=(missing)") {
+		t.Errorf("odd kv line = %q", buf.String())
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var lg *Logger
+	lg.Info("nothing happens")
+	lg.Log(LevelError, "still nothing")
+	if lg.Enabled(LevelError) {
+		t.Error("nil logger claims to be enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, " WARN ": LevelWarn,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestDefaultLoggerSwap(t *testing.T) {
+	var buf bytes.Buffer
+	prev := SetDefault(fixedLogger(&buf, LevelInfo))
+	defer SetDefault(prev)
+	Default().Warn("hello", "k", "v")
+	if !strings.Contains(buf.String(), `msg=hello k=v`) {
+		t.Errorf("default logger line = %q", buf.String())
+	}
+	// SetDefault(nil) silences instead of crashing later users.
+	SetDefault(nil)
+	Default().Error("dropped")
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	lg := fixedLogger(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				lg.Info("tick", "j", j)
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "ts=") || !strings.Contains(l, "msg=tick") {
+			t.Fatalf("interleaved line %q", l)
+		}
+	}
+}

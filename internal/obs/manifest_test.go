@@ -99,6 +99,37 @@ func TestManifestSimSectionDeterministic(t *testing.T) {
 	}
 }
 
+// TestManifestSectionsStartOrder extends the determinism contract to
+// spans: sections in the manifest follow span start order even when the
+// spans end concurrently in arbitrary order (the snapshot sorts by
+// start time, not append order).
+func TestManifestSectionsStartOrder(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"section:a", "section:b", "section:c", "section:d"}
+	spans := make([]*Span, len(names))
+	for i, n := range names {
+		spans[i] = r.StartSpan(n)
+		time.Sleep(200 * time.Microsecond)
+	}
+	done := make(chan struct{})
+	for i := len(spans) - 1; i >= 0; i-- {
+		go func(sp *Span) { sp.End(); done <- struct{}{} }(spans[i])
+	}
+	for range spans {
+		<-done
+	}
+	m := NewManifest("test")
+	m.FillFromRegistry(r)
+	if len(m.Timing.Sections) != len(names) {
+		t.Fatalf("sections = %+v, want %d", m.Timing.Sections, len(names))
+	}
+	for i, sec := range m.Timing.Sections {
+		if sec.Name != names[i] {
+			t.Errorf("section %d = %q, want %q (start order)", i, sec.Name, names[i])
+		}
+	}
+}
+
 // TestManifestBuildInfo checks the env section stamps the binary's
 // module identity. Test binaries are built with module support, so
 // the main module path must come through; the VCS fields are only

@@ -210,22 +210,46 @@ func (g *Gauge) Value() float64 {
 // guard against pathological callers.
 const histSampleCap = 8192
 
+// BucketBounds are the histogram's fixed upper bounds, in seconds,
+// chosen to straddle the service's job latencies (sub-millisecond
+// cached paths through multi-minute campaigns). The Prometheus
+// exposition renders these as cumulative le buckets with an implicit
+// +Inf equal to the total count.
+var BucketBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 300,
+}
+
 // Histogram accumulates float64 observations (timings, in seconds, by
-// convention) and reports count, sum, extrema and quantiles.
+// convention) and reports count, sum, extrema, quantiles and fixed
+// cumulative buckets. NaN and ±Inf observations are rejected (counted
+// separately) rather than poisoning sum, extrema or quantiles.
 type Histogram struct {
 	mu       sync.Mutex
 	count    uint64
+	invalid  uint64
 	sum      float64
 	min, max float64
 	samples  []float64
+	buckets  [numBuckets]uint64
 }
 
-// Observe records one value. No-op on nil.
+// numBuckets is len(BucketBounds), fixed so the per-histogram bucket
+// array needs no allocation.
+const numBuckets = 16
+
+// Observe records one value. NaN and ±Inf are dropped (tallied as
+// invalid). No-op on nil.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
 	h.mu.Lock()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.invalid++
+		h.mu.Unlock()
+		return
+	}
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -234,6 +258,12 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	for i, ub := range BucketBounds {
+		if v <= ub {
+			h.buckets[i]++
+			break
+		}
+	}
 	if len(h.samples) < histSampleCap {
 		h.samples = append(h.samples, v)
 	}
@@ -284,12 +314,21 @@ func quantile(samples []float64, q float64) float64 {
 	return samples[lo]*(1-frac) + samples[lo+1]*frac
 }
 
+// Bucket is one cumulative histogram bucket: Count observations were
+// <= UpperBound.
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
 // HistogramStats is a histogram's point-in-time summary, as serialized
 // into the manifest's timing section.
 type HistogramStats struct {
-	// Count is the total number of observations (exact, even past the
-	// sample cap).
+	// Count is the total number of valid observations (exact, even past
+	// the sample cap).
 	Count uint64 `json:"count"`
+	// Invalid counts NaN/±Inf observations that were dropped.
+	Invalid uint64 `json:"invalid,omitempty"`
 	// Sum is the exact sum of all observations.
 	Sum float64 `json:"sum"`
 	// Min and Max are exact extrema.
@@ -306,12 +345,20 @@ type HistogramStats struct {
 	P50 float64 `json:"p50"`
 	P90 float64 `json:"p90"`
 	P99 float64 `json:"p99"`
+	// Buckets are the cumulative fixed buckets (BucketBounds order);
+	// the implicit +Inf bucket equals Count.
+	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
 // stats summarizes the histogram under its lock.
 func (h *Histogram) stats() HistogramStats {
 	h.mu.Lock()
-	s := HistogramStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	s := HistogramStats{Count: h.count, Invalid: h.invalid, Sum: h.sum, Min: h.min, Max: h.max}
+	var cum uint64
+	for i, ub := range BucketBounds {
+		cum += h.buckets[i]
+		s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: cum})
+	}
 	sorted := append([]float64(nil), h.samples...)
 	h.mu.Unlock()
 	if s.Count > 0 {
@@ -359,6 +406,7 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	s.Spans = append(s.Spans, r.spans...)
 	r.mu.RUnlock()
+	sortSpans(s.Spans)
 	for k, c := range counters {
 		s.Counters[k] = c.Value()
 	}

@@ -135,6 +135,92 @@ func TestHistogramStatsEdgeCases(t *testing.T) {
 	}
 }
 
+// TestHistogramInvalidObservations is the satellite contract: NaN and
+// ±Inf observations must not panic and must not poison count, sum,
+// extrema or quantiles — they are dropped and tallied separately.
+func TestHistogramInvalidObservations(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		count   uint64
+		invalid uint64
+		min     float64
+		max     float64
+		sum     float64
+	}{
+		{"only NaN", []float64{math.NaN()}, 0, 1, 0, 0, 0},
+		{"only +Inf", []float64{math.Inf(1)}, 0, 1, 0, 0, 0},
+		{"only -Inf", []float64{math.Inf(-1)}, 0, 1, 0, 0, 0},
+		{"NaN before valid", []float64{math.NaN(), 2, 4}, 2, 1, 2, 4, 6},
+		{"Inf between valid", []float64{3, math.Inf(1), 1, math.Inf(-1)}, 2, 2, 1, 3, 4},
+		{"all invalid", []float64{math.NaN(), math.Inf(1), math.Inf(-1)}, 0, 3, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			h := r.Histogram("h")
+			for _, v := range tc.samples {
+				h.Observe(v)
+			}
+			if got := h.Count(); got != tc.count {
+				t.Errorf("Count = %d, want %d", got, tc.count)
+			}
+			s := r.Snapshot().Histograms["h"]
+			if s.Count != tc.count || s.Invalid != tc.invalid {
+				t.Errorf("count/invalid = %d/%d, want %d/%d", s.Count, s.Invalid, tc.count, tc.invalid)
+			}
+			if s.Min != tc.min || s.Max != tc.max || !almost(s.Sum, tc.sum) {
+				t.Errorf("min/max/sum = %v/%v/%v, want %v/%v/%v",
+					s.Min, s.Max, s.Sum, tc.min, tc.max, tc.sum)
+			}
+			if math.IsNaN(s.Mean) || math.IsInf(s.Mean, 0) ||
+				math.IsNaN(s.P99) || math.IsInf(s.P99, 0) {
+				t.Errorf("derived stats poisoned: %+v", s)
+			}
+		})
+	}
+}
+
+// TestHistogramBuckets pins the cumulative-bucket shape the Prometheus
+// exposition depends on: bounds in BucketBounds order, nondecreasing
+// counts, and an implicit +Inf bucket equal to Count.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.3, 2, 1000} {
+		h.Observe(v) // 1000 is beyond the largest bound: only in +Inf
+	}
+	h.Observe(math.NaN()) // must not land in any bucket
+	s := r.Snapshot().Histograms["h"]
+	if len(s.Buckets) != len(BucketBounds) {
+		t.Fatalf("got %d buckets, want %d", len(s.Buckets), len(BucketBounds))
+	}
+	want := map[float64]uint64{0.001: 1, 0.0025: 3, 0.5: 4, 2.5: 5, 300: 5}
+	prev := uint64(0)
+	for i, b := range s.Buckets {
+		if b.UpperBound != BucketBounds[i] {
+			t.Errorf("bucket %d bound = %v, want %v", i, b.UpperBound, BucketBounds[i])
+		}
+		if b.Count < prev {
+			t.Errorf("bucket %v count %d < previous %d (not cumulative)", b.UpperBound, b.Count, prev)
+		}
+		prev = b.Count
+		if w, ok := want[b.UpperBound]; ok && b.Count != w {
+			t.Errorf("bucket le=%v count = %d, want %d", b.UpperBound, b.Count, w)
+		}
+	}
+	// Last finite bucket excludes the 1000s outlier; Count includes it.
+	if last := s.Buckets[len(s.Buckets)-1].Count; last != 5 || s.Count != 6 {
+		t.Errorf("last bucket %d / count %d, want 5 / 6 (+Inf holds the outlier)", last, s.Count)
+	}
+	// An empty histogram still reports the full (all-zero) bucket list.
+	r.Histogram("empty")
+	es := r.Snapshot().Histograms["empty"]
+	if len(es.Buckets) != len(BucketBounds) || es.Buckets[len(es.Buckets)-1].Count != 0 {
+		t.Errorf("empty histogram buckets = %+v", es.Buckets)
+	}
+}
+
 func TestSpans(t *testing.T) {
 	r := NewRegistry()
 	sp := r.StartSpan("section:test")

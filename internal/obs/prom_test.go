@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// promSnapshot builds a registry exercising every instrument kind and
+// returns its snapshot.
+func promSnapshot() Snapshot {
+	r := NewRegistry()
+	r.Counter("serve_http_requests").Add(17)
+	r.Counter("sim_llc_accesses").Add(123456)
+	r.Gauge("serve_queue_depth").Set(3)
+	r.Gauge("weird-name!").Set(-1.5)
+	h := r.Histogram("runner_job_seconds")
+	for _, v := range []float64{0.0004, 0.003, 0.003, 0.7, 42} {
+		h.Observe(v)
+	}
+	return r.Snapshot()
+}
+
+// TestWritePrometheusLints pins the central contract: whatever the
+// encoder emits, the hand-rolled lint accepts.
+func TestWritePrometheusLints(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus(buf.Bytes()); err != nil {
+		t.Fatalf("encoder output fails its own lint: %v\n%s", err, buf.String())
+	}
+}
+
+// TestWritePrometheusShape checks naming conventions and histogram
+// structure in the rendered text.
+func TestWritePrometheusShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE serve_http_requests_total counter",
+		"serve_http_requests_total 17",
+		"# TYPE serve_queue_depth gauge",
+		"serve_queue_depth 3",
+		"weird_name_ -1.5", // sanitized
+		"# TYPE runner_job_seconds histogram",
+		`runner_job_seconds_bucket{le="0.001"} 1`,
+		`runner_job_seconds_bucket{le="0.005"} 3`,
+		`runner_job_seconds_bucket{le="+Inf"} 5`,
+		"runner_job_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output: re-encoding the same snapshot is
+	// byte-identical.
+	var again bytes.Buffer
+	WritePrometheus(&again, promSnapshot())
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two encodings of the same registry shape differ")
+	}
+}
+
+// TestLintRejections drives the lint with broken documents; each must
+// fail, and each failure message should name the problem.
+func TestLintRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"sample before TYPE", "foo 1\n"},
+		{"bad metric name", "# TYPE 9foo counter\n9foo_total 1\n"},
+		{"bad value", "# TYPE foo counter\nfoo nope\n"},
+		{"duplicate sample", "# TYPE foo gauge\nfoo 1\nfoo 2\n"},
+		{"duplicate TYPE", "# TYPE foo gauge\n# TYPE foo gauge\nfoo 1\n"},
+		{"unknown type", "# TYPE foo banana\nfoo 1\n"},
+		{"non-contiguous family", "# TYPE a gauge\n# TYPE b gauge\na 1\nb 1\na 2\n"},
+		{"unterminated labels", "# TYPE foo gauge\nfoo{le=\"1\" 1\n"},
+		{"unquoted label value", "# TYPE foo gauge\nfoo{x=1} 1\n"},
+		{"bucket le out of order",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"0.5\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n"},
+		{"bucket counts decrease",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"},
+		{"no +Inf bucket",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"Inf bucket != count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n"},
+		{"missing count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n"},
+		{"bucket without le",
+			"# TYPE h histogram\nh_bucket{x=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"trailing fields", "# TYPE foo gauge\nfoo 1 2 3\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := LintPrometheus([]byte(tc.doc)); err == nil {
+				t.Errorf("lint accepted broken document:\n%s", tc.doc)
+			}
+		})
+	}
+}
+
+// TestLintAcceptsHandWritten: a well-formed hand-written document with
+// labels and special values passes.
+func TestLintAcceptsHandWritten(t *testing.T) {
+	doc := `# HELP up Whether the scrape worked.
+# TYPE up gauge
+up 1
+# TYPE temp gauge
+temp{site="lab",unit="c"} -3.5
+# TYPE h histogram
+h_bucket{le="0.1"} 0
+h_bucket{le="+Inf"} 4
+h_sum 12.5
+h_count 4
+`
+	if err := LintPrometheus([]byte(doc)); err != nil {
+		t.Fatalf("lint rejected a valid document: %v", err)
+	}
+}
+
+func TestPromFloat(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{1.5, "1.5"}, {0, "0"}, {math.Inf(1), "+Inf"}, {math.Inf(-1), "-Inf"},
+	} {
+		if got := promFloat(tc.v); got != tc.want {
+			t.Errorf("promFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	if promFloat(math.NaN()) != "NaN" {
+		t.Error("NaN not spelled out")
+	}
+}
+
+func TestPromNameSanitize(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"ok_name", "ok_name"},
+		{"9lead", "_9lead"},
+		{"dash-dot.x", "dash_dot_x"},
+		{"", "_"},
+	} {
+		if got := promName(tc.in); got != tc.want {
+			t.Errorf("promName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceHierarchy: a trace reconstructs into a tree — children
+// share the trace ID, point at their parent, and carry attributes.
+func TestTraceHierarchy(t *testing.T) {
+	tr, root := NewTrace("job")
+	if tr.ID() == "" {
+		t.Fatal("trace has no ID")
+	}
+	root.SetAttr("addr", "abc")
+	c1 := root.StartChild("stage:decode")
+	c1.End()
+	c2 := root.StartChild("stage:execute")
+	g := c2.StartChild("run")
+	g.SetAttr("attempt", "1")
+	g.End()
+	c2.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4: %+v", len(spans), spans)
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range spans {
+		if sp.TraceID != tr.ID() {
+			t.Errorf("span %s trace = %q, want %q", sp.Name, sp.TraceID, tr.ID())
+		}
+		if sp.ID == "" {
+			t.Errorf("span %s has no ID", sp.Name)
+		}
+		byName[sp.Name] = sp
+	}
+	rootRec := byName["job"]
+	if rootRec.Parent != "" {
+		t.Errorf("root has parent %q", rootRec.Parent)
+	}
+	if rootRec.Attrs["addr"] != "abc" {
+		t.Errorf("root attrs = %v", rootRec.Attrs)
+	}
+	if byName["stage:decode"].Parent != rootRec.ID || byName["stage:execute"].Parent != rootRec.ID {
+		t.Error("stage spans do not point at the root")
+	}
+	if byName["run"].Parent != byName["stage:execute"].ID {
+		t.Error("grandchild does not point at its parent")
+	}
+	if byName["run"].Attrs["attempt"] != "1" {
+		t.Errorf("grandchild attrs = %v", byName["run"].Attrs)
+	}
+}
+
+// TestTraceNilSafety: the whole trace API is a no-op on nils, so
+// disabled tracing needs no guards.
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" || tr.Spans() != nil {
+		t.Error("nil trace not inert")
+	}
+	var s *Span
+	s.SetAttr("k", "v")
+	if s.StartChild("c") != nil {
+		t.Error("nil span produced a child")
+	}
+	if s.End() != 0 {
+		t.Error("nil span End returned nonzero")
+	}
+	// A registry span is not a trace span: children are nil.
+	reg := NewRegistry()
+	if reg.StartSpan("s").StartChild("c") != nil {
+		t.Error("registry span produced a trace child")
+	}
+}
+
+// TestSpanOrderDeterministicUnderConcurrentEnd is the satellite
+// contract: spans started in a known order but ended concurrently in
+// arbitrary order must snapshot in start order, independent of
+// GOMAXPROCS — so manifests built from snapshots are stable.
+func TestSpanOrderDeterministicUnderConcurrentEnd(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(procs)
+		r := NewRegistry()
+		const n = 32
+		spans := make([]*Span, n)
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+			spans[i] = r.StartSpan(names[i])
+			time.Sleep(100 * time.Microsecond) // distinct start times
+		}
+		perm := rand.Perm(n)
+		var wg sync.WaitGroup
+		for _, i := range perm {
+			wg.Add(1)
+			go func(sp *Span) {
+				defer wg.Done()
+				sp.End()
+			}(spans[i])
+		}
+		wg.Wait()
+		got := r.Spans()
+		for i, sp := range got {
+			if sp.Name != names[i] {
+				t.Fatalf("GOMAXPROCS=%d: span %d = %q, want %q (start order)", procs, i, sp.Name, names[i])
+			}
+		}
+		snap := r.Snapshot()
+		for i, sp := range snap.Spans {
+			if sp.Name != names[i] {
+				t.Fatalf("GOMAXPROCS=%d: snapshot span %d = %q, want %q", procs, i, sp.Name, names[i])
+			}
+		}
+	}
+}
+
+// TestTraceSpansSortedByStart: trace snapshots sort by start time too,
+// with concurrent End racing.
+func TestTraceSpansSortedByStart(t *testing.T) {
+	tr, root := NewTrace("root")
+	const n = 16
+	children := make([]*Span, n)
+	for i := 0; i < n; i++ {
+		children[i] = root.StartChild("c")
+		time.Sleep(100 * time.Microsecond)
+	}
+	var wg sync.WaitGroup
+	for _, i := range rand.Perm(n) {
+		wg.Add(1)
+		go func(sp *Span) {
+			defer wg.Done()
+			sp.End()
+		}(children[i])
+	}
+	wg.Wait()
+	root.End()
+	spans := tr.Spans()
+	if spans[0].Name != "root" {
+		t.Fatalf("first span = %q, want the root (earliest start)", spans[0].Name)
+	}
+	for i := 2; i < len(spans); i++ {
+		if spans[i].Start.Before(spans[i-1].Start) {
+			t.Fatalf("spans not sorted by start at %d", i)
+		}
+	}
+}

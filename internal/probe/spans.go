@@ -1,0 +1,117 @@
+package probe
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+
+	"sdbp/internal/obs"
+)
+
+// Span export: obs.SpanRecord slices (a job trace from the sdbpd
+// service, or a registry's section spans) rendered as the same Chrome
+// trace-event JSON document as the interval series, so a job's
+// decode → cache lookup → queue wait → run → store waterfall loads
+// directly in chrome://tracing or Perfetto.
+//
+// Unlike the interval export, span timestamps are real wall-clock
+// times; each trace's timeline starts at zero (microseconds since the
+// trace's earliest span start), each distinct trace ID becomes one
+// process, and nesting falls out of the start/duration containment on
+// a single thread.
+
+// spanArgs carries a span's identity and attributes into the trace
+// viewer. encoding/json sorts the attribute map's keys, so output is
+// deterministic.
+type spanArgs struct {
+	Span   string            `json:"span"`
+	Parent string            `json:"parent,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// WriteSpanTraceEvents writes the spans as one Chrome trace-event JSON
+// document. Spans are grouped by trace ID (one process per trace, in
+// sorted trace-ID order; records with an empty trace ID form their own
+// group) and ordered deterministically within a group by (start, name,
+// id). The output is byte-stable for a given input.
+func WriteSpanTraceEvents(w io.Writer, spans []obs.SpanRecord) error {
+	byTrace := map[string][]obs.SpanRecord{}
+	for _, sp := range spans {
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	traceIDs := make([]string, 0, len(byTrace))
+	for id := range byTrace {
+		traceIDs = append(traceIDs, id)
+	}
+	sort.Strings(traceIDs)
+
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev traceEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(bw, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+	for pid, id := range traceIDs {
+		group := byTrace[id]
+		sort.SliceStable(group, func(i, j int) bool {
+			if !group[i].Start.Equal(group[j].Start) {
+				return group[i].Start.Before(group[j].Start)
+			}
+			if group[i].Name != group[j].Name {
+				return group[i].Name < group[j].Name
+			}
+			return group[i].ID < group[j].ID
+		})
+		name := id
+		if name == "" {
+			name = "spans"
+		}
+		if err := emit(traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: nameArgs{"trace " + name},
+		}); err != nil {
+			return err
+		}
+		if err := emit(traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pid,
+			Args: nameArgs{"spans"},
+		}); err != nil {
+			return err
+		}
+		epoch := group[0].Start
+		for _, sp := range group {
+			dur := uint64(sp.Duration.Microseconds())
+			if dur == 0 {
+				dur = 1 // zero-width spans are invisible in the viewer
+			}
+			if err := emit(traceEvent{
+				Name: sp.Name, Ph: "X", Pid: pid,
+				Ts:  uint64(sp.Start.Sub(epoch).Microseconds()),
+				Dur: dur,
+				Args: spanArgs{
+					Span: sp.ID, Parent: sp.Parent, Attrs: sp.Attrs,
+				},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

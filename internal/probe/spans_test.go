@@ -1,0 +1,110 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"sdbp/internal/obs"
+)
+
+func sampleSpans() []obs.SpanRecord {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return []obs.SpanRecord{
+		{TraceID: "t2", ID: "9", Name: "job", Start: t0,
+			Duration: 5 * time.Millisecond, Attrs: map[string]string{"addr": "def"}},
+		{TraceID: "t1", ID: "1", Name: "job", Start: t0,
+			Duration: 10 * time.Millisecond, Attrs: map[string]string{"addr": "abc"}},
+		{TraceID: "t1", ID: "2", Name: "stage:decode", Parent: "1",
+			Start: t0.Add(time.Millisecond), Duration: 2 * time.Millisecond},
+		{TraceID: "t1", ID: "3", Name: "stage:execute", Parent: "1",
+			Start: t0.Add(3 * time.Millisecond), Duration: 6 * time.Millisecond},
+	}
+}
+
+func TestWriteSpanTraceEventsShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpanTraceEvents(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+			Args struct {
+				Name   string            `json:"name"`
+				Span   string            `json:"span"`
+				Parent string            `json:"parent"`
+				Attrs  map[string]string `json:"attrs"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// Two traces → two processes, sorted by trace ID: t1 is pid 0.
+	var procs []string
+	spansByPid := map[int]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procs = append(procs, ev.Args.Name)
+		}
+		if ev.Ph == "X" {
+			spansByPid[ev.Pid]++
+		}
+	}
+	if len(procs) != 2 || procs[0] != "trace t1" || procs[1] != "trace t2" {
+		t.Errorf("processes = %v, want [trace t1, trace t2]", procs)
+	}
+	if spansByPid[0] != 3 || spansByPid[1] != 1 {
+		t.Errorf("span events per pid = %v, want {0:3, 1:1}", spansByPid)
+	}
+	// t1's decode span: 1ms offset from the trace epoch, 2ms wide,
+	// parented to the root.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "stage:decode" {
+			if ev.Ts != 1000 || ev.Dur != 2000 || ev.Args.Parent != "1" {
+				t.Errorf("decode event = ts %d dur %d parent %q", ev.Ts, ev.Dur, ev.Args.Parent)
+			}
+		}
+		if ev.Ph == "X" && ev.Name == "job" && ev.Pid == 0 {
+			if ev.Ts != 0 || ev.Args.Attrs["addr"] != "abc" {
+				t.Errorf("root event = ts %d attrs %v", ev.Ts, ev.Args.Attrs)
+			}
+		}
+	}
+	// Determinism: same input, identical bytes.
+	var again bytes.Buffer
+	WriteSpanTraceEvents(&again, sampleSpans())
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two exports of the same spans differ")
+	}
+}
+
+func TestWriteSpanTraceEventsZeroDuration(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSpanTraceEvents(&buf, []obs.SpanRecord{
+		{TraceID: "t1", ID: "1", Name: "instant", Start: time.Unix(0, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"dur":1`) {
+		t.Errorf("zero-duration span not widened to 1us:\n%s", buf.String())
+	}
+}
+
+func TestWriteSpanTraceEventsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpanTraceEvents(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Errorf("empty export is not valid JSON: %s", buf.String())
+	}
+}

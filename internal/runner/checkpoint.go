@@ -6,15 +6,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"sync"
+
+	"sdbp/internal/obs"
 )
 
 // Warnf receives non-fatal checkpoint degradation notices (a torn or
-// corrupt journal tail skipped on resume). It defaults to the standard
-// logger; commands may redirect it, tests may capture it.
-var Warnf = func(format string, args ...any) { log.Printf(format, args...) }
+// corrupt journal tail skipped on resume). It defaults to the process
+// structured logger at warn level (obs.Default, swappable via
+// obs.SetDefault); commands may redirect it, tests may capture it.
+var Warnf = func(format string, args ...any) {
+	obs.Default().Warn(fmt.Sprintf(format, args...), "component", "runner")
+}
 
 // Checkpoint is an append-only JSON-lines journal of completed job
 // results. Each line is {"key": ..., "value": ...}; the key embeds

@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -35,6 +36,11 @@ import (
 type Job[T any] struct {
 	Key string
 	Run func(ctx context.Context) (T, error)
+	// Span, when non-nil, is the job's trace span: each attempt becomes
+	// an "attempt" child annotated with the try number and outcome
+	// (ok, error, panic, timeout, drained). The runner never ends Span
+	// itself — the caller owns the job span's lifetime.
+	Span *obs.Span
 }
 
 // JobError reports one job's failure.
@@ -224,6 +230,7 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) *Set[T] {
 				if err := ctx.Err(); err != nil {
 					// Drain: account for the job without running it.
 					opts.Obs.Counter(obs.CtrJobsDrained).Inc()
+					j.Span.SetAttr("outcome", "drained")
 					jerr := &JobError{Key: j.Key, Err: err}
 					mu.Lock()
 					set.Errors[j.Key] = jerr
@@ -266,20 +273,37 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) *Set[T] {
 	return set
 }
 
-// attempt runs one job with bounded retries.
+// attempt runs one job with bounded retries. Each try is traced as an
+// "attempt" child of the job's span (when the job carries one).
 func attempt[T any](ctx context.Context, job Job[T], opts Options) (T, *JobError) {
 	var zero T
 	for try := 0; ; try++ {
+		sp := job.Span.StartChild("attempt")
+		sp.SetAttr("try", strconv.Itoa(try+1))
 		v, jerr := runOnce(ctx, job, opts.Timeout)
 		if jerr == nil {
+			sp.SetAttr("outcome", "ok")
+			sp.End()
 			return v, nil
 		}
+		switch {
+		case jerr.TimedOut:
+			sp.SetAttr("outcome", "timeout")
+		case jerr.Stack != "":
+			sp.SetAttr("outcome", "panic")
+		default:
+			sp.SetAttr("outcome", "error")
+		}
+		sp.SetAttr("error", jerr.Err.Error())
 		jerr.Attempts = try + 1
 		retryable := !jerr.TimedOut && ctx.Err() == nil &&
 			!errors.Is(jerr.Err, context.Canceled)
 		if try >= opts.Retries || !retryable {
+			sp.End()
 			return zero, jerr
 		}
+		sp.SetAttr("retrying", "true")
+		sp.End()
 		opts.Obs.Counter(obs.CtrJobRetries).Inc()
 		select {
 		case <-ctx.Done():

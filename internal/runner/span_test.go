@@ -1,0 +1,126 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sdbp/internal/obs"
+)
+
+// attemptSpans filters a trace's records down to the "attempt" children
+// of the given job span, in start order.
+func attemptSpans(tr *obs.Trace, jobSpanID string) []obs.SpanRecord {
+	var out []obs.SpanRecord
+	for _, sp := range tr.Spans() {
+		if sp.Name == "attempt" && sp.Parent == jobSpanID {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// jobSpanID finds the record for the named job span.
+func jobSpanID(t *testing.T, tr *obs.Trace, name string) string {
+	t.Helper()
+	for _, sp := range tr.Spans() {
+		if sp.Name == name {
+			return sp.ID
+		}
+	}
+	t.Fatalf("no %q span in trace: %+v", name, tr.Spans())
+	return ""
+}
+
+// TestJobSpanRecordsAttempts: a traced job that fails twice and then
+// succeeds yields three attempt children annotated with try numbers,
+// outcomes and the retry marker.
+func TestJobSpanRecordsAttempts(t *testing.T) {
+	tr, root := obs.NewTrace("job")
+	var calls int
+	jobs := []Job[int]{{
+		Key:  "flaky",
+		Span: root,
+		Run: func(context.Context) (int, error) {
+			calls++
+			if calls < 3 {
+				return 0, errors.New("transient")
+			}
+			return 7, nil
+		},
+	}}
+	set := Run(context.Background(), jobs, Options{
+		Workers: 1, Retries: 2, Backoff: time.Millisecond,
+	})
+	if v, ok := set.Value("flaky"); !ok || v != 7 {
+		t.Fatalf("flaky = %d, %t; want 7 after retries", v, ok)
+	}
+	root.End()
+
+	atts := attemptSpans(tr, jobSpanID(t, tr, "job"))
+	if len(atts) != 3 {
+		t.Fatalf("got %d attempt spans, want 3: %+v", len(atts), atts)
+	}
+	for i, sp := range atts {
+		if want := string(rune('1' + i)); sp.Attrs["try"] != want {
+			t.Errorf("attempt %d try = %q, want %q", i, sp.Attrs["try"], want)
+		}
+		if sp.Duration <= 0 {
+			t.Errorf("attempt %d has no duration", i)
+		}
+	}
+	for _, sp := range atts[:2] {
+		if sp.Attrs["outcome"] != "error" || sp.Attrs["retrying"] != "true" ||
+			sp.Attrs["error"] != "transient" {
+			t.Errorf("failed attempt attrs = %v", sp.Attrs)
+		}
+	}
+	last := atts[2]
+	if last.Attrs["outcome"] != "ok" || last.Attrs["retrying"] != "" {
+		t.Errorf("final attempt attrs = %v", last.Attrs)
+	}
+}
+
+// TestJobSpanAnnotatesPanicAndTimeout pins the failure annotations.
+func TestJobSpanAnnotatesPanicAndTimeout(t *testing.T) {
+	tr, root := obs.NewTrace("batch")
+	pSpan := root.StartChild("job:panics")
+	hSpan := root.StartChild("job:hangs")
+	jobs := []Job[int]{
+		{Key: "panics", Span: pSpan,
+			Run: func(context.Context) (int, error) { panic("boom") }},
+		{Key: "hangs", Span: hSpan,
+			Run: func(ctx context.Context) (int, error) {
+				<-ctx.Done()
+				return 0, ctx.Err()
+			}},
+	}
+	set := Run(context.Background(), jobs, Options{
+		Workers: 2, Timeout: 50 * time.Millisecond,
+	})
+	if len(set.Errors) != 2 {
+		t.Fatalf("errors = %+v, want both jobs failing", set.Errors)
+	}
+	pSpan.End()
+	hSpan.End()
+	root.End()
+
+	p := attemptSpans(tr, jobSpanID(t, tr, "job:panics"))
+	if len(p) != 1 || p[0].Attrs["outcome"] != "panic" {
+		t.Errorf("panic attempts = %+v", p)
+	}
+	h := attemptSpans(tr, jobSpanID(t, tr, "job:hangs"))
+	if len(h) != 1 || h[0].Attrs["outcome"] != "timeout" {
+		t.Errorf("timeout attempts = %+v", h)
+	}
+}
+
+// TestUntracedJobStillRuns: a nil Span means zero tracing work and no
+// panics anywhere on the job path.
+func TestUntracedJobStillRuns(t *testing.T) {
+	set := Run(context.Background(), intJobs(4), Options{Workers: 2, Retries: 1})
+	if len(set.Values) != 4 {
+		t.Fatalf("values = %d, want 4", len(set.Values))
+	}
+}

@@ -27,10 +27,27 @@ type task struct {
 	spec     string // canonical spec; the checkpoint journal key
 	resolved *exp.Resolved
 
+	// Trace spans carried through the pipeline: exec is the job trace's
+	// stage:execute span (owned and ended by the submit handler); queue,
+	// coalesce and run are its children, each ended by the pipeline
+	// stage that completes it. All are nil-safe, so untraced tasks (and
+	// tests constructing tasks directly) cost nothing.
+	exec     *obs.Span
+	queue    *obs.Span
+	coalesce *obs.Span
+	run      *obs.Span
+
 	once sync.Once
 	done chan struct{}
 	val  []byte
 	err  error
+}
+
+// collected marks the task's hand-off from the admission queue into a
+// forming batch: the queue_wait span ends, the coalesce span begins.
+func (t *task) collected() {
+	t.queue.End()
+	t.coalesce = t.exec.StartChild("coalesce")
 }
 
 func (t *task) finish(val []byte, err error) {
@@ -98,6 +115,7 @@ type batcher struct {
 	store   Store
 	wrapJob func(addr string, run func(ctx context.Context) (Result, error)) func(ctx context.Context) (Result, error)
 	warnf   func(format string, args ...any)
+	events  *eventBroker
 
 	sem      chan struct{}
 	wg       sync.WaitGroup // executing batches
@@ -121,12 +139,16 @@ func (b *batcher) loop() {
 			b.failQueued()
 			return
 		}
+		first.collected()
+		b.events.publish(first.addr, "coalesced", "", 0, 0)
 		batch := []*task{first}
 		timer := time.NewTimer(b.maxWait)
 	collect:
 		for len(batch) < b.maxBatch {
 			select {
 			case t := <-b.q.ch:
+				t.collected()
+				b.events.publish(t.addr, "coalesced", "", 0, 0)
 				batch = append(batch, t)
 			case <-timer.C:
 				break collect
@@ -140,6 +162,8 @@ func (b *batcher) loop() {
 		case <-b.stop:
 			// Draining: never start a new batch once stop is closed.
 			for _, t := range batch {
+				t.coalesce.SetAttr("error", errShuttingDown.Error())
+				t.coalesce.End()
 				t.finish(nil, errShuttingDown)
 			}
 			continue
@@ -160,6 +184,8 @@ func (b *batcher) failQueued() {
 	for {
 		select {
 		case t := <-b.q.ch:
+			t.queue.SetAttr("error", errShuttingDown.Error())
+			t.queue.End()
 			t.finish(nil, errShuttingDown)
 		default:
 			return
@@ -175,23 +201,35 @@ func (b *batcher) execute(batch []*task) {
 	jobs := make([]runner.Job[Result], 0, len(batch))
 	for _, t := range batch {
 		t := t
+		t.coalesce.End()
+		t.run = t.exec.StartChild("run")
+		b.events.publish(t.addr, "running", "", 0, 0)
 		run := func(ctx context.Context) (Result, error) {
-			return ExecuteSpec(ctx, t.resolved, b.reg)
+			return ExecuteSpec(ctx, t.resolved, b.reg, func(done, total int, name string) {
+				b.events.publish(t.addr, "progress", name, done, total)
+			})
 		}
 		if b.wrapJob != nil {
 			run = b.wrapJob(t.addr, run)
 		}
-		jobs = append(jobs, runner.Job[Result]{Key: t.spec, Run: run})
+		jobs = append(jobs, runner.Job[Result]{Key: t.spec, Run: run, Span: t.run})
 	}
 	set := runner.Run(b.runCtx, jobs, b.opts)
 	for _, t := range batch {
 		res, ok := set.Value(t.spec)
 		if !ok {
-			t.finish(nil, set.Err(t.spec))
+			err := set.Err(t.spec)
+			t.run.SetAttr("error", err.Error())
+			t.run.End()
+			t.finish(nil, err)
 			continue
 		}
+		t.run.End()
+		storeSpan := t.exec.StartChild("store")
 		data, err := res.Marshal()
 		if err != nil {
+			storeSpan.SetAttr("error", err.Error())
+			storeSpan.End()
 			t.finish(nil, err)
 			continue
 		}
@@ -200,8 +238,13 @@ func (b *batcher) execute(batch []*task) {
 		// submission just recomputes.
 		if err := b.store.Put(t.addr, data); err != nil {
 			b.reg.Counter(CtrStoreErrors).Inc()
+			storeSpan.SetAttr("error", err.Error())
 			b.warnf("serve: caching result %s: %v", t.addr, err)
 		}
+		storeSpan.End()
+		// "stored" precedes the waiters' terminal "done": finish() is
+		// what unblocks them.
+		b.events.publish(t.addr, "stored", "", 0, 0)
 		t.finish(data, nil)
 	}
 }

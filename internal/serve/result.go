@@ -115,9 +115,23 @@ func (r Result) Marshal() ([]byte, error) {
 // individual simulations are not preemptible — so a canceled batch
 // stops at the next boundary. Live simulator counters are folded into
 // reg at each run boundary, keeping the per-access path metric-free.
-func ExecuteSpec(ctx context.Context, r *exp.Resolved, reg *obs.Registry) (Result, error) {
+// progress, when non-nil, is called after each completed work unit
+// with (done, total, name) — the service turns these into streamed
+// interval-progress events.
+func ExecuteSpec(ctx context.Context, r *exp.Resolved, reg *obs.Registry, progress func(done, total int, name string)) (Result, error) {
 	spec := r.String()
 	out := Result{Schema: ResultSchema, Spec: spec, Addr: Addr(spec)}
+	total := len(r.Workloads) + len(r.Mixes)
+	if r.Sampled {
+		total = len(r.Workloads)
+	}
+	done := 0
+	step := func(name string) {
+		done++
+		if progress != nil {
+			progress(done, total, name)
+		}
+	}
 	if r.Sampled {
 		for _, w := range r.Workloads {
 			if err := ctx.Err(); err != nil {
@@ -132,6 +146,7 @@ func ExecuteSpec(ctx context.Context, r *exp.Resolved, reg *obs.Registry) (Resul
 				Estimate: sr.Estimate,
 				Plan:     *plan,
 			})
+			step(sr.Benchmark)
 		}
 		return out, nil
 	}
@@ -150,6 +165,7 @@ func ExecuteSpec(ctx context.Context, r *exp.Resolved, reg *obs.Registry) (Resul
 			LLC:          sr.LLC,
 			Accuracy:     sr.Accuracy,
 		})
+		step(sr.Benchmark)
 	}
 	for _, m := range r.Mixes {
 		if err := ctx.Err(); err != nil {
@@ -168,6 +184,7 @@ func ExecuteSpec(ctx context.Context, r *exp.Resolved, reg *obs.Registry) (Resul
 			MPKI:         mr.MPKI,
 			LLC:          mr.LLC,
 		})
+		step(mr.MixName)
 	}
 	return out, nil
 }

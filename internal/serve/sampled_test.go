@@ -36,7 +36,7 @@ func TestExecuteSpecSampled(t *testing.T) {
 	r := resolveSampled(t)
 
 	reg := obs.NewRegistry()
-	res, err := serve.ExecuteSpec(context.Background(), r, reg)
+	res, err := serve.ExecuteSpec(context.Background(), r, reg, nil)
 	if err != nil {
 		t.Fatalf("ExecuteSpec: %v", err)
 	}
@@ -77,7 +77,7 @@ func TestExecuteSpecSampled(t *testing.T) {
 	}
 
 	// Byte-identical across executions (the cache/resume contract).
-	again, err := serve.ExecuteSpec(context.Background(), r, obs.NewRegistry())
+	again, err := serve.ExecuteSpec(context.Background(), r, obs.NewRegistry(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -35,6 +36,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -71,6 +73,9 @@ type Config struct {
 	// Checkpoint, when non-nil, journals every completed job for
 	// crash-safe resume; the server does not close it.
 	Checkpoint *runner.Checkpoint
+	// Traces bounds retained job traces (and job event feeds); 0 means
+	// 256. The oldest address is evicted first.
+	Traces int
 	// Obs receives all metrics; nil means a fresh registry.
 	Obs *obs.Registry
 	// Log receives degradation warnings; nil means log.Default().
@@ -100,6 +105,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.Traces <= 0 {
+		c.Traces = 256
+	}
 	if c.Store == nil {
 		c.Store = NewMemStore()
 	}
@@ -121,6 +129,8 @@ type Server struct {
 	flights *flightGroup
 	q       *admission
 	b       *batcher
+	traces  *traceStore
+	events  *eventBroker
 
 	ready   atomic.Bool
 	runCtx  context.Context
@@ -138,6 +148,8 @@ func New(cfg Config) *Server {
 		store:   cfg.Store,
 		flights: newFlightGroup(),
 		q:       newAdmission(cfg.Queue),
+		traces:  newTraceStore(cfg.Traces),
+		events:  newEventBroker(cfg.Traces),
 		started: time.Now(),
 	}
 	s.runCtx, s.cancel = context.WithCancel(context.Background())
@@ -157,6 +169,7 @@ func New(cfg Config) *Server {
 		store:   cfg.Store,
 		wrapJob: cfg.WrapJob,
 		warnf:   cfg.Log.Printf,
+		events:  s.events,
 		sem:     make(chan struct{}, cfg.Batches),
 	}
 	s.b.start()
@@ -190,6 +203,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/results/{addr}", s.handleResult)
+	mux.HandleFunc("GET /v1/traces/{addr}", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{addr}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -227,12 +242,19 @@ func (s *Server) writeError(w http.ResponseWriter, status int, addr string, err 
 
 // handleSubmit is the job intake: decode strictly, resolve to the
 // canonical spec, and answer from the cache, an in-flight duplicate,
-// or a freshly admitted task — in that order, cheapest first.
+// or a freshly admitted task — in that order, cheapest first. The
+// whole path runs under one job trace whose contiguous stage spans
+// (decode, cache_lookup, execute) reconcile against the root span —
+// which ends immediately before the response is written.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tr, root := obs.NewTrace("job")
+	decSpan := root.StartChild("stage:decode")
 	var spec exp.Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		decSpan.End()
+		root.End()
 		s.reg.Counter(CtrBadRequests).Inc()
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -244,28 +266,48 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	resolved, err := spec.Resolve()
 	if err != nil {
+		decSpan.End()
+		root.End()
 		s.reg.Counter(CtrBadRequests).Inc()
 		s.writeError(w, http.StatusBadRequest, "", err)
 		return
 	}
 	canonical := resolved.String()
 	addr := Addr(canonical)
+	decSpan.End()
+	root.SetAttr("addr", addr)
 	s.reg.Counter(CtrSubmits).Inc()
 	w.Header().Set("X-Sdbpd-Addr", addr)
+	// Register the trace and open the event feed as soon as the address
+	// exists: a mid-flight GET /v1/traces/{addr} sees the stages so far,
+	// and watchers get the full lifecycle from "submitted" on.
+	s.traces.put(addr, tr)
+	s.events.submitted(addr)
 
-	if data, ok := s.cacheGet(addr); ok {
+	lookSpan := root.StartChild("stage:cache_lookup")
+	data, ok := s.cacheGet(addr)
+	lookSpan.End()
+	if ok {
 		s.reg.Counter(CtrCacheHits).Inc()
+		root.SetAttr("source", "hit")
+		root.End()
+		s.events.publish(addr, "cached", "", 0, 0)
+		s.events.finish(addr, "done", "")
 		s.writeResult(w, data, "hit")
 		return
 	}
 	s.reg.Counter(CtrCacheMisses).Inc()
 
 	if !s.ready.Load() {
+		root.SetAttr("error", errShuttingDown.Error())
+		root.End()
 		s.reg.Counter(CtrShutdownRejects).Inc()
+		s.events.finish(addr, "failed", errShuttingDown.Error())
 		s.writeError(w, http.StatusServiceUnavailable, addr, errShuttingDown)
 		return
 	}
 
+	execSpan := root.StartChild("stage:execute")
 	data, err, joined := s.flights.Do(addr, func() ([]byte, error) {
 		// A flight for this address may have completed and cached
 		// between our miss and taking the flight lock; counting it as a
@@ -274,10 +316,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// cache/singleflight hits, however the race lands.
 		if data, ok := s.cacheGet(addr); ok {
 			s.reg.Counter(CtrCacheHits).Inc()
+			execSpan.SetAttr("source", "cache-race")
 			return data, nil
 		}
-		t := &task{addr: addr, spec: canonical, resolved: resolved, done: make(chan struct{})}
+		t := &task{addr: addr, spec: canonical, resolved: resolved, done: make(chan struct{}),
+			exec: execSpan}
+		t.queue = execSpan.StartChild("queue_wait")
+		// Publish before the push: once the task is in the channel the
+		// batcher races us, and "queued" must precede its "coalesced".
+		s.events.publish(addr, "queued", "", 0, 0)
 		if err := s.q.push(t); err != nil {
+			t.queue.SetAttr("error", err.Error())
+			t.queue.End()
 			return nil, err
 		}
 		<-t.done
@@ -285,21 +335,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 	if joined {
 		s.reg.Counter(CtrSingleflightShared).Inc()
+		execSpan.SetAttr("joined", "true")
 	}
+	execSpan.End()
 	switch {
 	case err == nil:
 		source := "miss"
 		if joined {
 			source = "flight"
 		}
+		root.SetAttr("source", source)
+		root.End()
+		s.events.finish(addr, "done", "")
 		s.writeResult(w, data, source)
 	case errors.Is(err, errQueueFull):
+		root.SetAttr("error", err.Error())
+		root.End()
 		s.reg.Counter(CtrQueueRejects).Inc()
+		s.events.finish(addr, "failed", err.Error())
 		s.writeError(w, http.StatusTooManyRequests, addr, err)
 	case errors.Is(err, errShuttingDown), errors.Is(err, context.Canceled):
+		root.SetAttr("error", errShuttingDown.Error())
+		root.End()
 		s.reg.Counter(CtrShutdownRejects).Inc()
+		s.events.finish(addr, "failed", errShuttingDown.Error())
 		s.writeError(w, http.StatusServiceUnavailable, addr, errShuttingDown)
 	default:
+		root.SetAttr("error", err.Error())
+		root.End()
+		s.events.finish(addr, "failed", err.Error())
 		s.writeError(w, http.StatusInternalServerError, addr, err)
 	}
 }
@@ -357,10 +421,23 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-// handleMetrics serves the whole registry as one obs.Snapshot.
+// handleMetrics serves the registry, content-negotiated: the JSON
+// obs.Snapshot by default (the original wire format, kept for existing
+// consumers), or Prometheus text exposition when the client asks for
+// text/plain or openmetrics — or forces it with ?format=prom.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge(GaugeQueueDepth).Set(float64(s.q.depth()))
 	snap := s.reg.Snapshot()
+	if wantsPrometheus(r) {
+		var buf bytes.Buffer
+		if err := obs.WritePrometheus(&buf, snap); err != nil {
+			s.writeError(w, http.StatusInternalServerError, "", err)
+			return
+		}
+		w.Header().Set("Content-Type", obs.ContentTypePrometheus)
+		w.Write(buf.Bytes())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	b, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -368,6 +445,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Write(append(b, '\n'))
+}
+
+// wantsPrometheus decides the /metrics representation: explicit
+// ?format=prom wins, then an Accept header naming text/plain or an
+// openmetrics type (a Prometheus scraper); everything else — including
+// no Accept at all — stays JSON.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 // Registry exposes the server's metrics registry (for embedding tools

@@ -6,9 +6,12 @@
 #   1. start sdbpd with a disk store and a checkpoint journal;
 #   2. submit a small spec twice through sdbpctl and prove the second
 #      submission is answered from the result cache (via /metrics);
-#   3. submit a long job, SIGTERM the daemon mid-run, and let the
+#   3. check the observability surface: the job's trace reconciles
+#      (sdbpctl trace -check), its SSE lifecycle replays in order
+#      (sdbpctl watch), and /metrics serves lint-clean Prometheus text;
+#   4. submit a long job, SIGTERM the daemon mid-run, and let the
 #      drain checkpoint whatever finished;
-#   4. restart with -resume and verify the resumed manifest is
+#   5. restart with -resume and verify the resumed manifest is
 #      byte-identical to an uninterrupted run of the same spec.
 #
 # Exits non-zero on the first broken promise. Needs only a Go
@@ -69,6 +72,28 @@ echo "== submit small spec twice: second must be a cache hit"
 cmp -s "$workdir/small1.json" "$workdir/small2.json" || fail "resubmitted manifest differs"
 hits=$(counter serve_cache_hits)
 [ "${hits:-0}" -ge 1 ] || fail "serve_cache_hits = ${hits:-unset}, want >= 1"
+
+echo "== trace must be complete and reconcile"
+addr=$("$workdir/sdbpctl" addr -spec "$workdir/small.json")
+"$workdir/sdbpctl" trace -server "$base" -check "$addr" > "$workdir/trace.json" \
+    || fail "job trace does not reconcile"
+"$workdir/sdbpctl" trace -server "$base" -format chrome "$addr" > "$workdir/trace-chrome.json" \
+    || fail "chrome trace export failed"
+grep -q traceEvents "$workdir/trace-chrome.json" || fail "chrome export has no traceEvents"
+
+echo "== SSE lifecycle must replay in order"
+# The second submission was a cache hit, so the job's current feed
+# holds the short cached lifecycle, in its deterministic order.
+"$workdir/sdbpctl" watch -server "$base" "$addr" > "$workdir/watch.out" \
+    || fail "watch did not end with the job done"
+[ "$(cat "$workdir/watch.out")" = "submitted
+cached
+done" ] || fail "SSE lifecycle out of order: $(cat "$workdir/watch.out")"
+
+echo "== /metrics Prometheus exposition must lint clean"
+"$workdir/sdbpctl" metrics -server "$base" -format prom -lint > "$workdir/metrics.prom" \
+    || fail "Prometheus exposition fails the grammar lint"
+grep -q '^serve_submits_total ' "$workdir/metrics.prom" || fail "exposition missing serve_submits_total"
 
 echo "== SIGTERM mid-job, then resume"
 # The big spec runs for seconds; the submit will be cut off by the
