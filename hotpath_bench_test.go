@@ -97,6 +97,34 @@ func BenchmarkLLCAccessLRU(b *testing.B) {
 	}
 }
 
+// BenchmarkLLCAccessBatch measures the steady-state per-access cost of
+// the same sampling-policy LLC driven through the block-granular
+// AccessBatch entry point in drive-loop-sized chunks. The delta against
+// BenchmarkLLCAccess is what batching the dispatch is worth at the LLC
+// alone (the private-level filter loops show up only in the campaign
+// benchmarks).
+func BenchmarkLLCAccessBatch(b *testing.B) {
+	stream := llcStream(b, "456.hmmer")
+	llc := samplerLLC()
+	llc.AccessBatch(stream, nil) // warm up
+	const chunk = 256
+	rs := make([]cache.Result, chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		lo := done % len(stream)
+		n := chunk
+		if lo+n > len(stream) {
+			n = len(stream) - lo
+		}
+		if n > b.N-done {
+			n = b.N - done
+		}
+		llc.AccessBatch(stream[lo:lo+n], rs[:n])
+		done += n
+	}
+}
+
 // BenchmarkSingleCoreCampaign measures one full single-core simulation
 // — synthetic trace generation through L1/L2/LLC with the sampling
 // policy and the core timing model — per iteration. This is the unit
@@ -111,6 +139,28 @@ func BenchmarkSingleCoreCampaign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pol := dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
 		r := sim.RunSingle(w, pol, sim.SingleOptions{Scale: 0.1})
+		if r.LLC.Accesses == 0 {
+			b.Fatal("simulation saw no LLC traffic")
+		}
+	}
+}
+
+// BenchmarkMulticoreCampaign measures one quad-core shared-LLC run —
+// four goroutine-parallel generate+private-filter producers feeding the
+// timestamp-ordered LLC merge — per iteration, at the figure campaigns'
+// multicore scale.
+func BenchmarkMulticoreCampaign(b *testing.B) {
+	mixes := workloads.Mixes()
+	if len(mixes) == 0 {
+		b.Fatal("no mixes registered")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pol := dbrb.New(policy.NewLRU(), predictor.NewSampler(predictor.DefaultSamplerConfig()))
+		r, err := sim.RunMulticore(mixes[0], pol, sim.MulticoreOptions{Scale: 0.02})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.LLC.Accesses == 0 {
 			b.Fatal("simulation saw no LLC traffic")
 		}

@@ -106,7 +106,19 @@ type Cache struct {
 	clock uint64 // accesses so far; drives efficiency accounting
 	stats Stats
 	eff   efficiency
+
+	// memoBN/memoIdx memoize the line the last AccessPrivate call left
+	// resident at MRU (block number and flat key index). Streams re-hit
+	// the same line in bursts, and for such a repeat the whole lookup
+	// and promotion are provably no-ops, so AccessPrivate short-circuits
+	// them. Any other mutation path (Access, InsertPrefetch) clears the
+	// memo. memoBN is memoNone when no line is memoized.
+	memoBN  uint64
+	memoIdx int32
 }
+
+// memoNone is an impossible block number (addresses are < 2^63).
+const memoNone = ^uint64(0)
 
 // New builds a cache. It panics on an invalid configuration because
 // geometry errors are programming mistakes, not runtime conditions.
@@ -123,6 +135,7 @@ func New(cfg Config, p Policy) *Cache {
 		policy:   p,
 		setMask:  uint64(cfg.Sets() - 1),
 		tagShift: uint(mem.Log2(cfg.Sets())),
+		memoBN:   memoNone,
 	}
 	p.Reset(c.sets, c.ways)
 	if !cfg.SkipEfficiency {
@@ -167,6 +180,7 @@ func (c *Cache) setKeys(set uint32) []uint64 {
 // (write-allocate) unless the policy bypasses it; dirty victims report a
 // write-back address.
 func (c *Cache) Access(a mem.Access) Result {
+	c.memoBN = memoNone
 	c.clock++
 	c.stats.Accesses++
 	if a.Write {
@@ -287,6 +301,7 @@ type PrefetchPlacer interface {
 // dropped. It reports whether the block was placed (false also when it
 // was already resident).
 func (c *Cache) InsertPrefetch(a mem.Access) bool {
+	c.memoBN = memoNone
 	bn := a.Addr >> mem.BlockBits
 	set := uint32(bn & c.setMask)
 	tag := bn >> c.tagShift

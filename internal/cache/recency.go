@@ -1,6 +1,9 @@
 package cache
 
-import "bytes"
+import (
+	"bytes"
+	"math/bits"
+)
 
 // Recency is an exact per-set LRU recency stack: position 0 is MRU,
 // ways-1 is LRU. It is the state behind the plain LRU policy, defined
@@ -8,15 +11,49 @@ import "bytes"
 // (see PlainLRU) while the policy package re-exports it through the
 // Policy interface for every composed variant (DIP, TADIP, dead-block
 // replacement bases).
+//
+// Up to 16 ways — every standard geometry in the reproduction — a set's
+// whole stack packs into one uint64 of 4-bit way indices (MRU in the
+// low nibble), making Promote, Demote, and Victim constant-time bit
+// operations instead of O(ways) walks over a position array. Wider
+// caches fall back to the position-array representation.
 type Recency struct {
 	ways int
-	pos  []uint8 // sets*ways stack positions, row-major by set
+	// ord is the packed representation: ord[set]'s nibble p holds the
+	// way at stack position p. Nibbles at positions >= ways (when ways
+	// < 16) keep their initial identity values; they never collide with
+	// a real way index and are preserved by every operation.
+	ord []uint64
+	// pos is the fallback: sets*ways stack positions, row-major by set.
+	pos []uint8
+}
+
+// nibbleOnes spreads a way index across all 16 nibble lanes.
+const nibbleOnes = 0x1111111111111111
+
+// nibblePos returns the stack position of way in the packed order o:
+// the index of o's unique nibble equal to way. The zero-nibble borrow
+// trick can flag spurious positions above the true match, never below,
+// so the lowest flag is exact.
+func nibblePos(o uint64, way int) int {
+	x := o ^ uint64(way)*nibbleOnes
+	m := (x - nibbleOnes) &^ x & 0x8888888888888888
+	return bits.TrailingZeros64(m) >> 2
 }
 
 // Reset sizes the stack for a geometry and installs an arbitrary valid
-// permutation per set.
+// permutation per set (way w starts at position w).
 func (s *Recency) Reset(sets, ways int) {
 	s.ways = ways
+	if ways <= 16 {
+		s.ord = make([]uint64, sets)
+		for i := range s.ord {
+			s.ord[i] = 0xFEDCBA9876543210 // identity: nibble p holds way p
+		}
+		s.pos = nil
+		return
+	}
+	s.ord = nil
 	s.pos = make([]uint8, sets*ways)
 	for i := range s.pos {
 		s.pos[i] = uint8(i % ways)
@@ -24,7 +61,7 @@ func (s *Recency) Reset(sets, ways int) {
 }
 
 // set returns one set's positions as a full-capacity subslice so the
-// per-access loops index with a single bounds check.
+// fallback per-access loops index with a single bounds check.
 func (s *Recency) set(set uint32) []uint8 {
 	base := int(set) * s.ways
 	return s.pos[base : base+s.ways : base+s.ways]
@@ -32,8 +69,25 @@ func (s *Recency) set(set uint32) []uint8 {
 
 // Promote moves way to the MRU position of set.
 func (s *Recency) Promote(set uint32, way int) {
+	if s.ord != nil {
+		o := s.ord[set]
+		if o&0xF == uint64(way) {
+			// Already MRU. Bursty private-cache streams re-hit the MRU
+			// way constantly.
+			return
+		}
+		p := nibblePos(o, way)
+		shift := uint(4 * (p + 1))
+		// Nibbles above p (including any identity tail) are untouched;
+		// nibbles below p shift up one position; way lands at MRU.
+		s.ord[set] = o>>shift<<shift | (o&(uint64(1)<<uint(4*p)-1))<<4 | uint64(way)
+		return
+	}
 	pos := s.set(set)
 	old := pos[way]
+	if old == 0 {
+		return
+	}
 	for w := range pos {
 		if pos[w] < old {
 			pos[w]++
@@ -44,8 +98,26 @@ func (s *Recency) Promote(set uint32, way int) {
 
 // Demote moves way to the LRU position of set.
 func (s *Recency) Demote(set uint32, way int) {
+	if s.ord != nil {
+		o := s.ord[set]
+		last := uint(4 * (s.ways - 1))
+		if o>>last&0xF == uint64(way) {
+			return // already LRU
+		}
+		p := nibblePos(o, way)
+		// Positions p+1..ways-1 shift down one; way lands at LRU;
+		// nibbles at and above ways (the identity tail) are untouched.
+		mask := uint64(1)<<uint(4*s.ways) - 1
+		mid := (o & mask) >> uint(4*(p+1)) << uint(4*p)
+		below := o & (uint64(1)<<uint(4*p) - 1)
+		s.ord[set] = o&^mask | uint64(way)<<last | mid | below
+		return
+	}
 	pos := s.set(set)
 	old := pos[way]
+	if old == uint8(s.ways-1) {
+		return // already LRU; the shift walk would be a no-op
+	}
 	for w := range pos {
 		if pos[w] > old {
 			pos[w]--
@@ -56,6 +128,9 @@ func (s *Recency) Demote(set uint32, way int) {
 
 // Victim returns the LRU way of set.
 func (s *Recency) Victim(set uint32) int {
+	if s.ord != nil {
+		return int(s.ord[set] >> uint(4*(s.ways-1)) & 0xF)
+	}
 	if w := bytes.IndexByte(s.set(set), uint8(s.ways-1)); w >= 0 {
 		return w
 	}
@@ -65,6 +140,9 @@ func (s *Recency) Victim(set uint32) int {
 
 // Pos returns way's stack position in set (0 = MRU).
 func (s *Recency) Pos(set uint32, way int) int {
+	if s.ord != nil {
+		return nibblePos(s.ord[set], way)
+	}
 	return int(s.pos[int(set)*s.ways+way])
 }
 

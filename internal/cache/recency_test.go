@@ -1,0 +1,81 @@
+package cache
+
+import (
+	"testing"
+
+	"sdbp/internal/mem"
+)
+
+// forcePosRepresentation rebuilds a Recency on the fallback position
+// array regardless of way count, so tests can differentiate the packed
+// nibble representation against it.
+func forcePosRepresentation(s *Recency, sets, ways int) {
+	s.ways = ways
+	s.ord = nil
+	s.pos = make([]uint8, sets*ways)
+	for i := range s.pos {
+		s.pos[i] = uint8(i % ways)
+	}
+}
+
+// TestRecencyPackedMatchesPositions drives the packed nibble
+// representation and the position-array fallback through an identical
+// random operation stream and requires the full stack order — Pos of
+// every way, plus each op's Victim — to agree at every step, across the
+// way counts the simulator configures (and the odd ones in between).
+func TestRecencyPackedMatchesPositions(t *testing.T) {
+	for _, ways := range []int{1, 2, 3, 5, 8, 15, 16} {
+		const sets = 16
+		var packed, fallback Recency
+		packed.Reset(sets, ways)
+		if packed.ord == nil {
+			t.Fatalf("ways=%d: Reset chose the fallback representation", ways)
+		}
+		forcePosRepresentation(&fallback, sets, ways)
+
+		r := mem.NewRand(0xC0FFEE + uint64(ways))
+		for i := 0; i < 20000; i++ {
+			set := uint32(r.Intn(sets))
+			way := r.Intn(ways)
+			switch r.Intn(3) {
+			case 0:
+				packed.Promote(set, way)
+				fallback.Promote(set, way)
+			case 1:
+				packed.Demote(set, way)
+				fallback.Demote(set, way)
+			default:
+				if pv, fv := packed.Victim(set), fallback.Victim(set); pv != fv {
+					t.Fatalf("ways=%d op %d: Victim(%d) = %d, fallback %d", ways, i, set, pv, fv)
+				}
+			}
+			for w := 0; w < ways; w++ {
+				if pp, fp := packed.Pos(set, w), fallback.Pos(set, w); pp != fp {
+					t.Fatalf("ways=%d op %d: Pos(%d,%d) = %d, fallback %d", ways, i, set, w, pp, fp)
+				}
+			}
+		}
+	}
+}
+
+// TestRecencyWideFallback pins that way counts beyond the packed
+// representation's reach still behave as an exact LRU stack.
+func TestRecencyWideFallback(t *testing.T) {
+	const sets, ways = 4, 24
+	var s Recency
+	s.Reset(sets, ways)
+	if s.ord != nil {
+		t.Fatalf("ways=%d: expected the fallback representation", ways)
+	}
+	// Promote every way of set 1 in order; the first promoted is LRU.
+	for w := 0; w < ways; w++ {
+		s.Promote(1, w)
+	}
+	if got := s.Victim(1); got != 0 {
+		t.Fatalf("Victim = %d, want 0", got)
+	}
+	s.Demote(1, ways-1)
+	if got := s.Victim(1); got != ways-1 {
+		t.Fatalf("Victim after Demote = %d, want %d", got, ways-1)
+	}
+}

@@ -59,10 +59,14 @@ type Core struct {
 	fetch        float64 // cycle the fetch frontier has reached
 	lastRetire   float64 // retire time of the newest retired-order op
 
-	// window holds memory ops younger than WindowSize instructions; the
-	// head's retire time gates fetch when the window wraps.
+	// window is a power-of-two ring of the memory ops younger than
+	// WindowSize instructions; the head's retire time gates fetch when
+	// the window wraps. Ops retire distinct instructions, so at most
+	// WindowSize are live and the ring never overflows.
 	window      []memOp
-	windowHead  int
+	windowMask  uint32
+	windowHead  uint32
+	windowTail  uint32
 	gatedRetire float64 // retire time of the newest op fallen out of the window
 
 	depReady float64 // completion time of the last load (dependence chain)
@@ -74,16 +78,16 @@ func New(cfg Config) *Core {
 	if cfg.Width < 1 || cfg.WindowSize < 1 {
 		panic("cpu: invalid core configuration")
 	}
-	// The window slice is compacted once windowHead passes 4096. At most
-	// WindowSize ops are ever live (each op retires a distinct
-	// instruction), and windowHead can overshoot the compaction mark by
-	// one windowful in a single Record, so this capacity is the slice's
-	// high-water mark: Record never grows it.
+	ringSize := 1
+	for ringSize <= cfg.WindowSize {
+		ringSize <<= 1
+	}
 	c := &Core{
 		cfg:    cfg,
 		fetch:  float64(cfg.PipelineDepth),
-		window: make([]memOp, 0, 4096+2*cfg.WindowSize+16),
+		window: make([]memOp, ringSize),
 	}
+	c.windowMask = uint32(ringSize - 1)
 	if cfg.Width&(cfg.Width-1) == 0 {
 		c.invWidth = 1 / float64(cfg.Width)
 	}
@@ -111,9 +115,9 @@ func (c *Core) Record(gap uint32, latency int, dependent bool) {
 	// Window constraint: the op cannot be fetched until the instruction
 	// WindowSize older has retired. Pop ops that have fallen out of the
 	// window, remembering the newest popped retire time.
-	for c.windowHead < len(c.window) &&
-		c.window[c.windowHead].instr+uint64(c.cfg.WindowSize) <= c.instructions {
-		c.gatedRetire = c.window[c.windowHead].retire
+	for c.windowHead != c.windowTail &&
+		c.window[c.windowHead&c.windowMask].instr+uint64(c.cfg.WindowSize) <= c.instructions {
+		c.gatedRetire = c.window[c.windowHead&c.windowMask].retire
 		c.windowHead++
 	}
 	if c.gatedRetire > c.fetch {
@@ -141,12 +145,8 @@ func (c *Core) Record(gap uint32, latency int, dependent bool) {
 	}
 	c.lastRetire = retire
 
-	c.window = append(c.window, memOp{instr: c.instructions, retire: retire})
-	// Compact the slice occasionally so it does not grow with the trace.
-	if c.windowHead > 4096 {
-		c.window = append(c.window[:0], c.window[c.windowHead:]...)
-		c.windowHead = 0
-	}
+	c.window[c.windowTail&c.windowMask] = memOp{instr: c.instructions, retire: retire}
+	c.windowTail++
 }
 
 // ChargeDRAM consumes one line transfer of off-chip bandwidth without

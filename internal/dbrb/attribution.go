@@ -42,9 +42,15 @@ type PCRow struct {
 
 // Attribution is the per-PC table plus the per-line provenance state
 // that makes exact attribution possible: which PC filled each line and
-// which PC's prediction set each line's standing dead bit.
+// which PC's prediction set each line's standing dead bit. The table is
+// an index map over a flat arena of PCStats rather than a map of
+// pointers: counter bumps for the (few, hot) distinct PCs then land in
+// one contiguous array, and the PC set a workload touches stays small,
+// so the map is consulted only to translate PC → arena index.
 type Attribution struct {
-	table map[uint64]*PCStats
+	index map[uint64]int32
+	arena []PCStats
+	pcs   []uint64 // arena index → PC (for iteration)
 	// fillPC is the PC of the demand access that filled each line (0
 	// for writeback fills and untracked lines).
 	fillPC []uint64
@@ -56,7 +62,7 @@ type Attribution struct {
 
 func newAttribution(sets, ways int) *Attribution {
 	return &Attribution{
-		table:  make(map[uint64]*PCStats),
+		index:  make(map[uint64]int32),
 		fillPC: make([]uint64, sets*ways),
 		deadPC: make([]uint64, sets*ways),
 		ways:   ways,
@@ -64,12 +70,14 @@ func newAttribution(sets, ways int) *Attribution {
 }
 
 func (at *Attribution) at(pc uint64) *PCStats {
-	s := at.table[pc]
-	if s == nil {
-		s = &PCStats{}
-		at.table[pc] = s
+	i, ok := at.index[pc]
+	if !ok {
+		i = int32(len(at.arena))
+		at.index[pc] = i
+		at.arena = append(at.arena, PCStats{})
+		at.pcs = append(at.pcs, pc)
 	}
-	return s
+	return &at.arena[i]
 }
 
 // predicted charges one prediction (and, when dead, one positive) to
@@ -94,8 +102,8 @@ func (at *Attribution) evicted(pc uint64) { at.at(pc).Evictions++ }
 // reconciliation invariant the report generator and tests check.
 func (at *Attribution) Totals() PCStats {
 	var t PCStats
-	for _, s := range at.table {
-		t.add(*s)
+	for i := range at.arena {
+		t.add(at.arena[i])
 	}
 	return t
 }
@@ -103,9 +111,9 @@ func (at *Attribution) Totals() PCStats {
 // Rows returns the whole table in deterministic order: dead verdicts
 // descending, then predictions descending, then PC ascending.
 func (at *Attribution) Rows() []PCRow {
-	rows := make([]PCRow, 0, len(at.table))
-	for pc, s := range at.table {
-		rows = append(rows, PCRow{PC: pc, PCStats: *s})
+	rows := make([]PCRow, 0, len(at.arena))
+	for i := range at.arena {
+		rows = append(rows, PCRow{PC: at.pcs[i], PCStats: at.arena[i]})
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].Positives != rows[j].Positives {

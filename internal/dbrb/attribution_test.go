@@ -162,7 +162,8 @@ func TestAttributionWritebackFills(t *testing.T) {
 		c.Access(mem.Access{Addr: 1<<20 + uint64(i)*mem.BlockSize, PC: 0x400500})
 	}
 	at := pol.Attribution()
-	if at.table[0] == nil || at.table[0].Evictions == 0 {
+	i, ok := at.index[0]
+	if !ok || at.arena[i].Evictions == 0 {
 		t.Error("no evictions charged to PC 0 after writeback fills were displaced")
 	}
 }

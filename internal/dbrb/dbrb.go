@@ -18,11 +18,13 @@ type Policy struct {
 	pred predictor.Predictor
 
 	ways int
-	dead []bool // sets*ways dead bits (the 1 bit/line of cache metadata)
-	// tracked marks lines whose predictor per-block state is valid:
+	// flags is the per-line metadata arena, one byte per LLC line:
+	// fDead is the dead bit (the 1 bit/line of cache metadata), and
+	// fTracked marks lines whose predictor per-block state is valid —
 	// demand fills set it, writeback fills clear it, so evictions of
 	// writeback-filled lines do not train the predictor on stale state.
-	tracked []bool
+	// One flat byte array keeps the victim scan to one load per way.
+	flags []uint8
 
 	acc Accuracy
 
@@ -33,6 +35,12 @@ type Policy struct {
 	attr        *Attribution
 	attrEnabled bool
 }
+
+// Per-line flag bits in Policy.flags.
+const (
+	fDead uint8 = 1 << iota
+	fTracked
+)
 
 // Accuracy tallies the prediction quality measures of the paper's
 // Figure 9. Coverage is positive predictions over all predictions (one
@@ -88,8 +96,7 @@ func (p *Policy) Accuracy() Accuracy { return p.acc }
 // Reset implements cache.Policy.
 func (p *Policy) Reset(sets, ways int) {
 	p.ways = ways
-	p.dead = make([]bool, sets*ways)
-	p.tracked = make([]bool, sets*ways)
+	p.flags = make([]uint8, sets*ways)
 	p.base.Reset(sets, ways)
 	p.pred.Reset(sets, ways)
 	p.acc = Accuracy{}
@@ -145,7 +152,7 @@ func (p *Policy) Victim(set uint32, a mem.Access) int {
 	aging, _ := p.pred.(Aging)
 	victim, bestRank := -1, -1
 	for w := 0; w < p.ways; w++ {
-		if !p.dead[p.idx(set, w)] && (aging == nil || !aging.DeadNow(set, w)) {
+		if p.flags[p.idx(set, w)]&fDead == 0 && (aging == nil || !aging.DeadNow(set, w)) {
 			continue
 		}
 		rank := 0
@@ -172,26 +179,27 @@ func (p *Policy) OnHit(set uint32, way int, a mem.Access) {
 		return
 	}
 	i := p.idx(set, way)
-	if !p.tracked[i] {
+	if p.flags[i]&fTracked == 0 {
 		// First demand touch of a writeback-filled line: the predictor
 		// starts tracking it as if filled now.
-		p.dead[i] = p.pred.OnFill(set, way, a)
-		p.tracked[i] = true
+		dead := p.pred.OnFill(set, way, a)
+		p.flags[i] = fTracked
 		p.acc.Predictions++
-		if p.dead[i] {
+		if dead {
+			p.flags[i] = fTracked | fDead
 			p.acc.Positives++
 		}
 		if p.attr != nil {
-			p.attr.predicted(a.PC, p.dead[i])
+			p.attr.predicted(a.PC, dead)
 			p.attr.fillPC[i] = a.PC
-			if p.dead[i] {
+			if dead {
 				p.attr.deadPC[i] = a.PC
 			}
 		}
 		p.base.OnHit(set, way, a)
 		return
 	}
-	if p.dead[i] {
+	if p.flags[i]&fDead != 0 {
 		p.acc.FalsePositives++
 		if p.attr != nil {
 			p.attr.falsePositive(p.attr.deadPC[i])
@@ -201,8 +209,10 @@ func (p *Policy) OnHit(set uint32, way int, a mem.Access) {
 	p.acc.Predictions++
 	if d {
 		p.acc.Positives++
+		p.flags[i] = fTracked | fDead
+	} else {
+		p.flags[i] = fTracked
 	}
-	p.dead[i] = d
 	if p.attr != nil {
 		p.attr.predicted(a.PC, d)
 		if d {
@@ -217,17 +227,19 @@ func (p *Policy) OnHit(set uint32, way int, a mem.Access) {
 func (p *Policy) OnFill(set uint32, way int, a mem.Access) {
 	i := p.idx(set, way)
 	if a.Writeback {
-		p.dead[i] = false
-		p.tracked[i] = false
+		p.flags[i] = 0
 		if p.attr != nil {
 			p.attr.fillPC[i] = 0
 		}
 	} else {
-		p.dead[i] = p.pred.OnFill(set, way, a)
-		p.tracked[i] = true
+		dead := p.pred.OnFill(set, way, a)
+		p.flags[i] = fTracked
+		if dead {
+			p.flags[i] = fTracked | fDead
+		}
 		if p.attr != nil {
 			p.attr.fillPC[i] = a.PC
-			if p.dead[i] {
+			if dead {
 				p.attr.deadPC[i] = a.PC
 			}
 		}
@@ -240,11 +252,10 @@ func (p *Policy) OnFill(set uint32, way int, a mem.Access) {
 // feedback mildly beneficial).
 func (p *Policy) OnEvict(set uint32, way int) {
 	i := p.idx(set, way)
-	if p.tracked[i] {
+	if p.flags[i]&fTracked != 0 {
 		p.pred.OnEvict(set, way)
-		p.tracked[i] = false
 	}
-	p.dead[i] = false
+	p.flags[i] = 0
 	if p.attr != nil {
 		p.attr.evicted(p.attr.fillPC[i])
 		p.attr.fillPC[i] = 0
@@ -259,7 +270,7 @@ func (p *Policy) PrefetchVictim(set uint32) (int, bool) {
 	ranked, _ := p.base.(policy.Ranked)
 	victim, bestRank := -1, -1
 	for w := 0; w < p.ways; w++ {
-		if !p.dead[p.idx(set, w)] {
+		if p.flags[p.idx(set, w)]&fDead == 0 {
 			continue
 		}
 		rank := 0
@@ -277,14 +288,16 @@ func (p *Policy) PrefetchVictim(set uint32) (int, bool) {
 // predicted dead. Applications that filter on deadness at eviction
 // time (e.g. a dead-block-filtered victim cache) read it from an
 // OnEvict wrapper before this policy clears the bit.
-func (p *Policy) IsDead(set uint32, way int) bool { return p.dead[p.idx(set, way)] }
+func (p *Policy) IsDead(set uint32, way int) bool {
+	return p.flags[p.idx(set, way)]&fDead != 0
+}
 
 // DeadCount returns how many blocks currently stand predicted dead (for
 // tests and diagnostics).
 func (p *Policy) DeadCount() int {
 	n := 0
-	for _, d := range p.dead {
-		if d {
+	for _, f := range p.flags {
+		if f&fDead != 0 {
 			n++
 		}
 	}

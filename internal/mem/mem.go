@@ -14,12 +14,23 @@ const BlockSize = 1 << BlockBits
 // Access is a single memory reference as issued by a core. It carries the
 // program counter of the instruction making the access, which is the raw
 // material for all of the paper's dead block predictors.
+//
+// The simulator moves accesses through the hierarchy in blocks (slices
+// of Access), so the layout is tuned for block-array locality: the
+// fields every level reads on every access (PC, Addr, Gap) lead, the
+// flag bytes trail, and the total is exactly 24 bytes with no padding
+// — pinned by TestAccessLayout so a new field cannot silently widen
+// every block buffer.
 type Access struct {
 	// PC is the address of the instruction making the access. Synthetic
 	// workloads assign a stable PC per code site.
 	PC uint64
 	// Addr is the byte address accessed.
 	Addr uint64
+	// Gap is the number of non-memory instructions retired between the
+	// previous access and this one. It converts the memory trace back
+	// into an instruction count for MPKI and IPC.
+	Gap uint32
 	// Write is true for stores.
 	Write bool
 	// Writeback marks a dirty eviction arriving from the level above
@@ -30,10 +41,6 @@ type Access struct {
 	// load's value (pointer chasing). The CPU model serializes such loads
 	// rather than overlapping their misses.
 	DependentLoad bool
-	// Gap is the number of non-memory instructions retired between the
-	// previous access and this one. It converts the memory trace back
-	// into an instruction count for MPKI and IPC.
-	Gap uint32
 	// Thread identifies the hardware thread issuing the access. It is 0
 	// for single-thread runs and the core index for multi-core runs.
 	Thread uint8

@@ -22,6 +22,8 @@ import (
 	"sdbp/internal/cache"
 	"sdbp/internal/dbrb"
 	"sdbp/internal/exp"
+	"sdbp/internal/hier"
+	"sdbp/internal/mem"
 	"sdbp/internal/sim"
 	"sdbp/internal/workloads"
 )
@@ -78,6 +80,98 @@ func Run(nameOrExpr, bench string, scale float64) Fingerprint {
 		Cells: fmt.Sprintf("ipc=%.3f mpki=%.3f miss=%.4f",
 			r.IPC, r.MPKI, missRate(r.LLC)),
 	}
+}
+
+// BatchDifferential drives the same LLC-bound stream through two fresh
+// caches built from the same policy expression — one per-access through
+// Access, one in chunks through AccessBatch — and returns a description
+// of the first divergence in per-access results, statistics, or final
+// tag state ("" when byte-identical). chunk sets the batch size (a
+// value that does not divide the stream length also exercises the
+// trailing short batch).
+func BatchDifferential(nameOrExpr string, stream []mem.Access, chunk int) string {
+	p := exp.MustResolvePolicy(nameOrExpr)
+	scalar := cache.New(hier.LLCConfig(1), p.Make(1))
+	batch := cache.New(hier.LLCConfig(1), p.Make(1))
+
+	scalarRs := make([]cache.Result, len(stream))
+	for i, a := range stream {
+		scalarRs[i] = scalar.Access(a)
+	}
+	batchRs := make([]cache.Result, len(stream))
+	for lo := 0; lo < len(stream); lo += chunk {
+		hi := lo + chunk
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		batch.AccessBatch(stream[lo:hi], batchRs[lo:hi])
+	}
+
+	for i := range scalarRs {
+		if scalarRs[i] != batchRs[i] {
+			return fmt.Sprintf("access %d: scalar result %+v != batch result %+v", i, scalarRs[i], batchRs[i])
+		}
+	}
+	if s, b := scalar.Stats(), batch.Stats(); s != b {
+		return fmt.Sprintf("stats diverged: scalar %+v != batch %+v", s, b)
+	}
+	return diffKeys("LLC", scalar, batch)
+}
+
+// HierBatchDifferential drives the same raw demand stream through two
+// fresh full hierarchies under the same policy expression — one
+// per-access through hier.Core.Access, one in chunks through AccessBlock
+// (which routes the private levels through cache.AccessPrivate and the
+// LLC through AccessBatch) — and returns the first divergence in
+// satisfying levels, per-level statistics, or final tag state at any
+// level ("" when byte-identical).
+func HierBatchDifferential(nameOrExpr string, stream []mem.Access, chunk int) string {
+	p := exp.MustResolvePolicy(nameOrExpr)
+	scalarCore := hier.NewCore(hier.DefaultConfig(), cache.New(hier.LLCConfig(1), p.Make(1)))
+	batchCore := hier.NewCore(hier.DefaultConfig(), cache.New(hier.LLCConfig(1), p.Make(1)))
+
+	scalarLv := make([]hier.Level, len(stream))
+	for i, a := range stream {
+		scalarLv[i] = scalarCore.Access(a)
+	}
+	batchLv := make([]hier.Level, len(stream))
+	for lo := 0; lo < len(stream); lo += chunk {
+		hi := lo + chunk
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		batchCore.AccessBlock(stream[lo:hi], batchLv[lo:hi])
+	}
+
+	for i := range scalarLv {
+		if scalarLv[i] != batchLv[i] {
+			return fmt.Sprintf("access %d: scalar level %v != batch level %v", i, scalarLv[i], batchLv[i])
+		}
+	}
+	if s, b := scalarCore.Stats(), batchCore.Stats(); s != b {
+		return fmt.Sprintf("level stats diverged:\n  scalar %+v\n  batch  %+v", s, b)
+	}
+	if msg := diffKeys("L1", scalarCore.L1, batchCore.L1); msg != "" {
+		return msg
+	}
+	if msg := diffKeys("L2", scalarCore.L2, batchCore.L2); msg != "" {
+		return msg
+	}
+	return diffKeys("LLC", scalarCore.LLC, batchCore.LLC)
+}
+
+// diffKeys compares two caches' complete tag state.
+func diffKeys(level string, a, b *cache.Cache) string {
+	ka, kb := a.KeysSnapshot(), b.KeysSnapshot()
+	if len(ka) != len(kb) {
+		return fmt.Sprintf("%s: key array lengths diverged: %d != %d", level, len(ka), len(kb))
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return fmt.Sprintf("%s: tag state diverged at line %d: %#x != %#x", level, i, ka[i], kb[i])
+		}
+	}
+	return ""
 }
 
 func missRate(s cache.Stats) float64 {

@@ -1,0 +1,81 @@
+package predictor
+
+// The sampler tag array is the predictors' hottest state: every access
+// to a sampled LLC set scans one sampler set of it. As a struct of
+// small fields one way cost 12 bytes and the scan loop touched three of
+// them per way; packed into a single word per way, a sampler set is one
+// dense cache-line-sized run the scan walks with one load per way. The
+// packing is pure representation — the policytest conformance matrix
+// pins every composed policy's output across it.
+
+// sEntry packs one sampler way:
+//
+//	bits  0..14  partial tag (sigBits wide)
+//	bits 15..29  partial-PC signature of the last access to the tag
+//	bit  30      valid
+//	bit  31      dead prediction made at the last access (Sampler only)
+//	bits 32..39  LRU stack position
+type sEntry uint64
+
+const (
+	seSigShift = sigBits
+	seValid    = 1 << 30
+	seDead     = 1 << 31
+	seLRUShift = 32
+)
+
+func (e sEntry) tag() uint32 { return uint32(e) & sigMask }
+func (e sEntry) sig() uint32 { return uint32(e>>seSigShift) & sigMask }
+func (e sEntry) valid() bool { return e&seValid != 0 }
+func (e sEntry) dead() bool  { return e&seDead != 0 }
+func (e sEntry) lru() uint8  { return uint8(e >> seLRUShift) }
+
+// update replaces the entry's signature and dead prediction after a
+// sampler hit, keeping tag, valid bit, and LRU position.
+func (e *sEntry) update(sig uint32, dead bool) {
+	v := *e &^ (sEntry(sigMask)<<seSigShift | seDead)
+	v |= sEntry(sig) << seSigShift
+	if dead {
+		v |= seDead
+	}
+	*e = v
+}
+
+// fill installs a new tag after a sampler miss, keeping only the LRU
+// position.
+func (e *sEntry) fill(tag, sig uint32, dead bool) {
+	v := *e & (sEntry(0xff) << seLRUShift)
+	v |= sEntry(tag) | sEntry(sig)<<seSigShift | seValid
+	if dead {
+		v |= seDead
+	}
+	*e = v
+}
+
+func (e *sEntry) setLRU(p uint8) {
+	*e = *e&^(sEntry(0xff)<<seLRUShift) | sEntry(p)<<seLRUShift
+}
+
+// newSamplerArena allocates sets*assoc packed entries, row-major by
+// set, each set holding a valid LRU permutation.
+func newSamplerArena(sets, assoc int) []sEntry {
+	ents := make([]sEntry, sets*assoc)
+	for i := range ents {
+		ents[i] = sEntry(uint64(i%assoc)) << seLRUShift
+	}
+	return ents
+}
+
+// promoteEntry moves one set's way to MRU (position 0).
+func promoteEntry(ents []sEntry, way int) {
+	old := ents[way].lru()
+	if old == 0 {
+		return // already MRU; the shift walk would be a no-op
+	}
+	for w := range ents {
+		if l := ents[w].lru(); l < old {
+			ents[w].setLRU(l + 1)
+		}
+	}
+	ents[way].setLRU(0)
+}

@@ -43,10 +43,13 @@ type Reuse struct {
 	table []uint8
 	salts []uint64
 
-	blockSig []uint32 // fill-PC signature per LLC block
-	reuse    []uint8  // saturating reuse count per LLC block
-	ways     int
-	llcSets  int
+	// block packs each LLC block's metadata into one word — fill-PC
+	// signature in bits 0..14, saturating reuse count above sigBits —
+	// so the hit and evict paths load one flat arena entry instead of
+	// two parallel slices.
+	block   []uint32
+	ways    int
+	llcSets int
 
 	accesses uint64
 	updates  uint64
@@ -80,8 +83,7 @@ func (r *Reuse) Reset(sets, ways int) {
 	r.llcSets = sets
 	r.ways = ways
 	r.table = make([]uint8, r.cfg.Tables*r.cfg.TableEntries)
-	r.blockSig = make([]uint32, sets*ways)
-	r.reuse = make([]uint8, sets*ways)
+	r.block = make([]uint32, sets*ways)
 	r.accesses = 0
 	r.updates = 0
 }
@@ -133,10 +135,11 @@ func (r *Reuse) PredictArriving(_ uint32, a mem.Access) bool {
 // confidence.
 func (r *Reuse) OnHit(set uint32, way int, _ mem.Access) bool {
 	i := r.idx(set, way)
-	if r.reuse[i] < reuseMax {
-		r.reuse[i]++
+	b := r.block[i]
+	if b>>sigBits < reuseMax {
+		r.block[i] = b + 1<<sigBits
 	}
-	return r.predict(r.blockSig[i])
+	return r.predict(b & sigMask)
 }
 
 // OnFill implements Predictor: the fill PC's signature sticks to the
@@ -144,16 +147,15 @@ func (r *Reuse) OnHit(set uint32, way int, _ mem.Access) bool {
 func (r *Reuse) OnFill(set uint32, way int, a mem.Access) bool {
 	i := r.idx(set, way)
 	sig := pcSignature(a.PC)
-	r.blockSig[i] = sig
-	r.reuse[i] = 0
+	r.block[i] = sig // reuse count restarts at zero
 	return r.predict(sig)
 }
 
 // OnEvict implements Predictor: the only training point. The fill
 // signature trains dead exactly when the block saw no reuse.
 func (r *Reuse) OnEvict(set uint32, way int) {
-	i := r.idx(set, way)
-	r.train(r.blockSig[i], r.reuse[i] == 0)
+	b := r.block[r.idx(set, way)]
+	r.train(b&sigMask, b>>sigBits == 0)
 	r.updates++
 }
 

@@ -76,17 +76,6 @@ func AblationConfigs() map[string]SamplerConfig {
 	return cfgs
 }
 
-// samplerEntry is one way of a sampler set: a 15-bit partial tag, the
-// 15-bit partial-PC signature of the last access to the tag, the dead
-// prediction made at that access, and LRU bookkeeping.
-type samplerEntry struct {
-	tag   uint32
-	sig   uint32
-	valid bool
-	dead  bool
-	lru   uint8
-}
-
 // Sampler is the paper's sampling dead block predictor: a small,
 // decoupled, LRU-managed partial-tag array sampling a fixed subset of
 // LLC sets, feeding a skewed bank of saturating-counter tables indexed
@@ -99,7 +88,7 @@ type Sampler struct {
 	// so the per-prediction loop walks one allocation.
 	table   []uint8
 	salts   []uint64
-	entries []samplerEntry // SamplerSets*SamplerAssoc, row-major
+	entries []sEntry // SamplerSets*SamplerAssoc packed ways (see arena.go)
 
 	llcSets    int
 	llcSetBits uint
@@ -165,10 +154,7 @@ func (s *Sampler) Reset(sets, ways int) {
 		}
 		s.intervalMask = uint32(s.interval - 1)
 		s.intervalShift = uint(mem.Log2(s.interval))
-		s.entries = make([]samplerEntry, s.cfg.SamplerSets*s.cfg.SamplerAssoc)
-		for i := range s.entries {
-			s.entries[i].lru = uint8(i % s.cfg.SamplerAssoc)
-		}
+		s.entries = newSamplerArena(s.cfg.SamplerSets, s.cfg.SamplerAssoc)
 		s.blockSig = nil
 	} else {
 		s.blockSig = make([]uint32, sets*ways)
@@ -269,19 +255,18 @@ func (s *Sampler) OnAccess(set uint32, a mem.Access) {
 	// Search, noting the first invalid entry so a miss does not rescan.
 	invalid := -1
 	for w := range ents {
-		e := &ents[w]
-		if !e.valid {
+		e := ents[w]
+		if !e.valid() {
 			if invalid < 0 {
 				invalid = w
 			}
 			continue
 		}
-		if e.tag == tag {
+		if e.tag() == tag {
 			// The previous signature was not the last touch.
-			s.train(e.sig, false)
-			e.sig = sig
-			e.dead = s.predict(sig)
-			s.promote(ents, w)
+			s.train(e.sig(), false)
+			ents[w].update(sig, s.predict(sig))
+			promoteEntry(ents, w)
 			return
 		}
 	}
@@ -293,33 +278,18 @@ func (s *Sampler) OnAccess(set uint32, a mem.Access) {
 	if victim < 0 {
 		lru := uint8(s.cfg.SamplerAssoc - 1)
 		for w := range ents {
-			if ents[w].lru == lru {
+			if ents[w].lru() == lru {
 				victim = w
 				break
 			}
 		}
 	}
-	e := &ents[victim]
-	if e.valid {
+	if ents[victim].valid() {
 		// The victim's signature was the last touch of its tag.
-		s.train(e.sig, true)
+		s.train(ents[victim].sig(), true)
 	}
-	e.tag = tag
-	e.sig = sig
-	e.valid = true
-	e.dead = s.predict(sig)
-	s.promote(ents, victim)
-}
-
-// promote moves sampler entry way to MRU within its set.
-func (s *Sampler) promote(ents []samplerEntry, way int) {
-	old := ents[way].lru
-	for w := range ents {
-		if ents[w].lru < old {
-			ents[w].lru++
-		}
-	}
-	ents[way].lru = 0
+	ents[victim].fill(tag, sig, s.predict(sig))
+	promoteEntry(ents, victim)
 }
 
 // PredictArriving implements Predictor: prediction is a pure function of

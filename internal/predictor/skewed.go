@@ -58,7 +58,7 @@ type Skewed struct {
 	salts   []uint64
 	tagMask uint32
 
-	entries []samplerEntry // SamplerSets*SamplerAssoc, row-major
+	entries []sEntry // SamplerSets*SamplerAssoc packed ways (see arena.go)
 
 	llcSets    int
 	llcSetBits uint
@@ -111,10 +111,7 @@ func (s *Skewed) Reset(sets, ways int) {
 	}
 	s.intervalMask = uint32(interval - 1)
 	s.intervalShift = uint(mem.Log2(interval))
-	s.entries = make([]samplerEntry, s.cfg.SamplerSets*s.cfg.SamplerAssoc)
-	for i := range s.entries {
-		s.entries[i].lru = uint8(i % s.cfg.SamplerAssoc)
-	}
+	s.entries = newSamplerArena(s.cfg.SamplerSets, s.cfg.SamplerAssoc)
 	s.accesses = 0
 	s.updates = 0
 }
@@ -208,17 +205,17 @@ func (s *Skewed) OnAccess(set uint32, a mem.Access) {
 
 	invalid := -1
 	for w := range ents {
-		e := &ents[w]
-		if !e.valid {
+		e := ents[w]
+		if !e.valid() {
 			if invalid < 0 {
 				invalid = w
 			}
 			continue
 		}
-		if e.tag == tag {
-			s.train(e.sig, false)
-			e.sig = sig
-			s.promote(ents, w)
+		if e.tag() == tag {
+			s.train(e.sig(), false)
+			ents[w].update(sig, false)
+			promoteEntry(ents, w)
 			return
 		}
 	}
@@ -227,31 +224,17 @@ func (s *Skewed) OnAccess(set uint32, a mem.Access) {
 	if victim < 0 {
 		lru := uint8(s.cfg.SamplerAssoc - 1)
 		for w := range ents {
-			if ents[w].lru == lru {
+			if ents[w].lru() == lru {
 				victim = w
 				break
 			}
 		}
 	}
-	e := &ents[victim]
-	if e.valid {
-		s.train(e.sig, true)
+	if ents[victim].valid() {
+		s.train(ents[victim].sig(), true)
 	}
-	e.tag = tag
-	e.sig = sig
-	e.valid = true
-	s.promote(ents, victim)
-}
-
-// promote moves sampler entry way to MRU within its set.
-func (s *Skewed) promote(ents []samplerEntry, way int) {
-	old := ents[way].lru
-	for w := range ents {
-		if ents[w].lru < old {
-			ents[w].lru++
-		}
-	}
-	ents[way].lru = 0
+	ents[victim].fill(tag, sig, false)
+	promoteEntry(ents, victim)
 }
 
 // PredictArriving implements Predictor.

@@ -2,11 +2,13 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"sdbp/internal/cache"
 	"sdbp/internal/cpu"
 	"sdbp/internal/hier"
+	"sdbp/internal/mem"
 	"sdbp/internal/trace"
 	"sdbp/internal/workloads"
 )
@@ -54,17 +56,154 @@ func (o *MulticoreOptions) normalize() {
 	}
 }
 
-// mcCore is one core's simulation state in a multicore run.
+// mcChunk is the pre-filter block size, in accesses: each core's
+// producer generates and private-filters this many accesses per chunk
+// handed to the merge loop.
+const mcChunk = 4096
+
+// mcBuffers is the number of chunk buffers circulating per core: one
+// being filled by the producer, one being consumed by the merge, and
+// slack in the channel between them. Because every buffer is either
+// held or in a channel of this total capacity, neither side ever blocks
+// on the free list.
+const mcBuffers = 4
+
+// mcCore is one core's merge-side state in a multicore run. Its stream
+// arrives pre-filtered through the core's private levels from a
+// producer goroutine (see prefilter); the merge loop owns only the
+// timing model and first-pass bookkeeping.
 type mcCore struct {
-	core   *hier.Core
 	timing *cpu.Core
-	gen    trace.Generator
 	id     int
+
+	recs chan []hier.Filtered // filled chunks, in stream order
+	free chan []hier.Filtered // recycled chunk buffers
+	errc chan error           // producer failure (closed recs follows)
+	cur  []hier.Filtered
+	pos  int
 
 	target    uint64 // first-pass instruction count
 	passInstr uint64
 	doneIPC   float64
 	done      bool
+}
+
+// next returns the core's next pre-filtered record in stream order,
+// pulling a fresh chunk from the producer when the current one is
+// drained.
+func (c *mcCore) next() (hier.Filtered, error) {
+	if c.pos >= len(c.cur) {
+		if c.cur != nil {
+			c.free <- c.cur // never blocks: free holds all buffers
+		}
+		chunk, ok := <-c.recs
+		if !ok {
+			return hier.Filtered{}, <-c.errc
+		}
+		c.cur, c.pos = chunk, 0
+	}
+	f := c.cur[c.pos]
+	c.pos++
+	return f, nil
+}
+
+// prefilter is a core's producer: it generates the (infinitely
+// restarting) reference stream in chunks, tags each access with the
+// core's thread ID and address-space bits — before private filtering,
+// exactly as the per-access loop did — and runs the chunk through the
+// core's private L1/L2 via hier.FilterBlock. The filter core is owned
+// by this goroutine alone; chunk buffers transfer ownership through the
+// recs/free channels, so the expensive per-core work runs in parallel
+// across cores while the merge loop serializes only the shared-LLC leg.
+func prefilter(id int, mixName string, gen trace.Generator, filter *hier.Core,
+	recs, free chan []hier.Filtered, errc chan error, stop <-chan struct{}) {
+	defer close(recs)
+	buf := make([]mem.Access, mcChunk)
+	bg, _ := gen.(trace.BatchGenerator)
+	for {
+		n := 0
+		for n < mcChunk {
+			if bg != nil {
+				k := bg.NextBatch(buf[n:])
+				if k == 0 {
+					gen.Reset()
+					if k = bg.NextBatch(buf[n:]); k == 0 {
+						errc <- fmt.Errorf("sim: mix %s: empty workload stream on core %d", mixName, id)
+						return
+					}
+				}
+				n += k
+			} else {
+				a, ok := gen.Next()
+				if !ok {
+					gen.Reset()
+					if a, ok = gen.Next(); !ok {
+						errc <- fmt.Errorf("sim: mix %s: empty workload stream on core %d", mixName, id)
+						return
+					}
+				}
+				buf[n] = a
+				n++
+			}
+		}
+		for i := range buf {
+			buf[i].Thread = uint8(id)
+			// Each core gets its own physical address space.
+			buf[i].Addr |= uint64(id+1) << 56
+		}
+		var out []hier.Filtered
+		select {
+		case out = <-free:
+		case <-stop:
+			return
+		}
+		filter.FilterBlock(buf, out[:mcChunk])
+		select {
+		case recs <- out[:mcChunk]:
+		case <-stop:
+			return
+		}
+	}
+}
+
+// accumPrivate replays one pre-filtered record's private-level counter
+// effects into the run's summed L1/L2 statistics. The flags carry
+// everything the private caches counted for a demand access (writebacks
+// are not propagated in this configuration, and private LRU caches
+// never bypass or hold prefetches), so the sums match reading the
+// caches' own statistics over the consumed prefix — which the producer
+// caches themselves cannot provide, since they run ahead of the merge.
+func accumPrivate(res *MulticoreResult, flags uint16) {
+	res.L1.Accesses++
+	if flags&hier.FWrite != 0 {
+		res.L1.Writes++
+	}
+	if flags&hier.FL1Hit != 0 {
+		res.L1.Hits++
+		return
+	}
+	res.L1.Misses++
+	if flags&hier.FL1Evict != 0 {
+		res.L1.Evictions++
+	}
+	if flags&hier.FL1Writeback != 0 {
+		res.L1.Writebacks++
+	}
+	res.L2.Accesses++
+	if flags&hier.FWrite != 0 {
+		res.L2.Writes++
+	}
+	if flags&hier.FL2Hit != 0 {
+		res.L2.Hits++
+		return
+	}
+	res.L2.Misses++
+	if flags&hier.FL2Evict != 0 {
+		res.L2.Evictions++
+	}
+	if flags&hier.FL2Writeback != 0 {
+		res.L2.Writebacks++
+	}
 }
 
 // RunMulticore simulates a quad-core mix sharing one LLC under the given
@@ -73,6 +212,12 @@ type mcCore struct {
 // each core's IPC is measured at the end of its own first pass. Cores
 // interleave by simulated time: each step advances the core whose clock
 // is furthest behind.
+//
+// Each core's generation and private L1/L2 filtering run in a producer
+// goroutine (goroutine-parallel across cores); the merge loop consumes
+// the pre-filtered streams in per-core order, so the simulated-time
+// interleaving at the shared LLC — and with it every statistic — is
+// byte-identical to the sequential per-access loop it replaces.
 //
 // Construction problems — an unknown mix member, an empty stream — are
 // returned as errors rather than panicking, so one bad mix config
@@ -84,28 +229,41 @@ func RunMulticore(mix workloads.Mix, pol cache.Policy, opts MulticoreOptions) (M
 	llc := cache.New(opts.LLC, pol)
 	res := MulticoreResult{MixName: mix.Name, Policy: pol.Name()}
 
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	shutdown := func() {
+		close(stop)
+		wg.Wait()
+	}
+
 	cores := make([]*mcCore, 4)
 	for i, name := range mix.Members {
 		w, err := workloads.ByName(name)
 		if err != nil {
+			shutdown()
 			return MulticoreResult{}, fmt.Errorf("sim: mix %s: %w", mix.Name, err)
 		}
-		cores[i] = &mcCore{
-			core:   hier.NewCore(hier.DefaultConfig(), llc),
+		c := &mcCore{
 			timing: cpu.New(cpu.DefaultConfig()),
-			gen:    w.Generator(opts.Scale),
 			id:     i,
+			recs:   make(chan []hier.Filtered, mcBuffers-2),
+			free:   make(chan []hier.Filtered, mcBuffers),
+			errc:   make(chan error, 1),
+			// First-pass length in instructions (gaps + one per access),
+			// memoized across runs so no second stream walk happens here.
+			target: w.Instructions(opts.Scale),
 		}
-		// First-pass length: count it once (deterministic streams make
-		// this exact). The instruction count is gaps + one per access.
-		g := w.Generator(opts.Scale)
-		for {
-			a, ok := g.Next()
-			if !ok {
-				break
-			}
-			cores[i].target += uint64(a.Gap) + 1
+		for b := 0; b < mcBuffers; b++ {
+			c.free <- make([]hier.Filtered, mcChunk)
 		}
+		cores[i] = c
+		filter := hier.NewCore(hier.DefaultConfig(), nil)
+		gen := w.Generator(opts.Scale)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prefilter(c.id, mix.Name, gen, filter, c.recs, c.free, c.errc, stop)
+		}()
 	}
 
 	remaining := len(cores)
@@ -117,20 +275,25 @@ func RunMulticore(mix workloads.Mix, pol cache.Policy, opts MulticoreOptions) (M
 				next = c
 			}
 		}
-		a, ok := next.gen.Next()
-		if !ok {
-			next.gen.Reset()
-			a, ok = next.gen.Next()
-			if !ok {
-				return MulticoreResult{}, fmt.Errorf("sim: mix %s: empty workload stream on core %d", mix.Name, next.id)
+		f, err := next.next()
+		if err != nil {
+			shutdown()
+			return MulticoreResult{}, err
+		}
+		level := hier.LevelMemory
+		switch {
+		case f.Flags&hier.FL1Hit != 0:
+			level = hier.LevelL1
+		case f.Flags&hier.FL2Hit != 0:
+			level = hier.LevelL2
+		default:
+			if llc.Access(f.LLC).Hit {
+				level = hier.LevelLLC
 			}
 		}
-		a.Thread = uint8(next.id)
-		// Each core gets its own physical address space.
-		a.Addr |= uint64(next.id+1) << 56
-		level := next.core.Access(a)
-		next.timing.Record(a.Gap, level.Latency(), a.DependentLoad)
-		next.passInstr += uint64(a.Gap) + 1
+		next.timing.Record(f.Gap, level.Latency(), f.Flags&hier.FDep != 0)
+		next.passInstr += uint64(f.Gap) + 1
+		accumPrivate(&res, f.Flags)
 
 		if !next.done && next.passInstr >= next.target {
 			next.done = true
@@ -139,15 +302,13 @@ func RunMulticore(mix workloads.Mix, pol cache.Policy, opts MulticoreOptions) (M
 			remaining--
 		}
 	}
+	shutdown()
 	llc.Finish()
 
 	var totalInstr uint64
 	for i, c := range cores {
 		res.IPC[i] = c.doneIPC
 		totalInstr += res.Instructions[i]
-		levels := c.core.Stats()
-		res.L1 = res.L1.Add(levels.L1)
-		res.L2 = res.L2.Add(levels.L2)
 		res.Cycles += uint64(c.timing.Cycles())
 	}
 	res.LLC = llc.Stats()

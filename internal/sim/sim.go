@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"runtime"
 	"time"
 
 	"sdbp/internal/cache"
@@ -110,14 +111,55 @@ func RunSingle(w workloads.Workload, pol cache.Policy, opts SingleOptions) Singl
 	ps := newIntervalSampler(opts.Probe, llc, timing, pol)
 
 	res := SingleResult{Benchmark: w.Name, Policy: pol.Name()}
-	if opts.CaptureStream {
+
+	gen := w.Generator(opts.Scale)
+	bg, batched := gen.(trace.BatchGenerator)
+	// Stream capture observes exactly the LLC-bound records, which the
+	// block path already materializes (Filtered.LLC): when the hierarchy
+	// is otherwise block-capable, collect them from FilterBlock's output
+	// instead of registering the observer that would force per-access
+	// dispatch. hier.Core.Access invokes the observer with the identical
+	// gap-rewritten record, so the captured stream is byte-identical.
+	blockCapture := opts.CaptureStream && batched && ps == nil && core.BlockCapable()
+	if opts.CaptureStream && !blockCapture {
 		core.CaptureLLC(func(a mem.Access) { res.Stream = append(res.Stream, a) })
 	}
 
-	gen := w.Generator(opts.Scale)
-	if bg, ok := gen.(trace.BatchGenerator); ok {
-		// Pull accesses in batches so the generator's interface dispatch
-		// is paid once per buffer instead of once per access.
+	if blockCapture {
+		res.Stream = runCapture(bg, core, llc, timing)
+	} else if batched && ps == nil && core.BlockCapable() &&
+		runtime.NumCPU() > 1 {
+		// Pipelined block-granular drive: a producer goroutine generates
+		// each block and runs it through the private levels
+		// (FilterBlock), while this goroutine consumes the filtered
+		// records — LLC leg, then timing. The split is safe because the
+		// two sides own disjoint state (producer: generator + L1/L2;
+		// consumer: LLC + timing model; handoff through the channel
+		// orders everything else), and byte-identical because each cache
+		// still sees its own access subsequence in order and timing
+		// never feeds back — pinned by the goldens.
+		runPipelined(bg, core, llc, timing)
+	} else if batched && ps == nil {
+		// Observers (stream capture) force per-access dispatch inside
+		// AccessBlock, but batched generation still amortizes the
+		// generator interface.
+		var buf [genBatch]mem.Access
+		var levels [genBatch]hier.Level
+		for {
+			n := bg.NextBatch(buf[:])
+			if n == 0 {
+				break
+			}
+			core.AccessBlock(buf[:n], levels[:n])
+			for i := 0; i < n; i++ {
+				timing.Record(buf[i].Gap, levels[i].Latency(), buf[i].DependentLoad)
+			}
+		}
+	} else if batched {
+		// Probed runs keep the per-access loop: the interval sampler
+		// reads the timing model and LLC statistics after every access,
+		// so hierarchy and timing may not be regrouped. Batched
+		// generation still amortizes the generator dispatch.
 		var buf [genBatch]mem.Access
 		for {
 			n := bg.NextBatch(buf[:])
@@ -128,9 +170,7 @@ func RunSingle(w workloads.Workload, pol cache.Policy, opts SingleOptions) Singl
 				a := buf[i]
 				level := core.Access(a)
 				timing.Record(a.Gap, level.Latency(), a.DependentLoad)
-				if ps != nil {
-					ps.maybeSample()
-				}
+				ps.maybeSample()
 			}
 		}
 	} else {
@@ -169,6 +209,117 @@ func RunSingle(w workloads.Workload, pol cache.Policy, opts SingleOptions) Singl
 	}
 	res.Duration = time.Since(start)
 	return res
+}
+
+// pipeBuffers is the pipelined drive loop's block count in flight: one
+// being filtered, one in the channel, one being consumed.
+const pipeBuffers = 3
+
+// runPipelined is RunSingle's drive loop when the hierarchy is fully
+// block-capable: generation plus private-level filtering run in a
+// producer goroutine, the LLC leg and the timing model in the caller.
+// The stream is deterministic and the private levels never read LLC or
+// timing state, so overlapping the two halves changes no observable
+// byte. The producer exits on stream exhaustion and the channel close
+// both terminates the consumer and publishes the producer-side cache
+// state (L1/L2 stats, tags) to the caller.
+func runPipelined(bg trace.BatchGenerator, core *hier.Core, llc *cache.Cache, timing *cpu.Core) {
+	recs := make(chan []hier.Filtered, pipeBuffers)
+	free := make(chan []hier.Filtered, pipeBuffers)
+	for i := 0; i < pipeBuffers; i++ {
+		free <- make([]hier.Filtered, genBatch)
+	}
+	go func() {
+		defer close(recs)
+		var buf [genBatch]mem.Access
+		for {
+			n := bg.NextBatch(buf[:])
+			if n == 0 {
+				return
+			}
+			fb := (<-free)[:n]
+			core.FilterBlock(buf[:n], fb)
+			recs <- fb
+		}
+	}()
+	llcAs := make([]mem.Access, genBatch)
+	llcRs := make([]cache.Result, genBatch)
+	for fb := range recs {
+		n := 0
+		for i := range fb {
+			if fb[i].Flags&hier.FLLCBound != 0 {
+				llcAs[n] = fb[i].LLC
+				n++
+			}
+		}
+		llc.AccessBatch(llcAs[:n], llcRs[:n])
+		j := 0
+		for i := range fb {
+			var level hier.Level
+			switch {
+			case fb[i].Flags&hier.FL1Hit != 0:
+				level = hier.LevelL1
+			case fb[i].Flags&hier.FL2Hit != 0:
+				level = hier.LevelL2
+			default:
+				level = hier.LevelMemory
+				if llcRs[j].Hit {
+					level = hier.LevelLLC
+				}
+				j++
+			}
+			timing.Record(fb[i].Gap, level.Latency(), fb[i].Flags&hier.FDep != 0)
+		}
+		free <- fb[:cap(fb)]
+	}
+}
+
+// runCapture is RunSingle's drive loop for stream-capture runs on a
+// block-capable hierarchy: the private levels run as FilterBlock, the
+// LLC-bound subsequence is both appended to the captured stream and
+// delivered to the LLC in one batch, and the timing model replays the
+// per-access levels from the filtered flags. The records appended are
+// the same gap-rewritten accesses hier.Core.Access would have handed
+// the CaptureLLC observer, in the same order.
+func runCapture(bg trace.BatchGenerator, core *hier.Core, llc *cache.Cache, timing *cpu.Core) []mem.Access {
+	var stream []mem.Access
+	var buf [genBatch]mem.Access
+	var fb [genBatch]hier.Filtered
+	var llcAs [genBatch]mem.Access
+	var llcRs [genBatch]cache.Result
+	for {
+		n := bg.NextBatch(buf[:])
+		if n == 0 {
+			return stream
+		}
+		core.FilterBlock(buf[:n], fb[:n])
+		m := 0
+		for i := 0; i < n; i++ {
+			if fb[i].Flags&hier.FLLCBound != 0 {
+				llcAs[m] = fb[i].LLC
+				m++
+			}
+		}
+		stream = append(stream, llcAs[:m]...)
+		llc.AccessBatch(llcAs[:m], llcRs[:m])
+		j := 0
+		for i := 0; i < n; i++ {
+			var level hier.Level
+			switch {
+			case fb[i].Flags&hier.FL1Hit != 0:
+				level = hier.LevelL1
+			case fb[i].Flags&hier.FL2Hit != 0:
+				level = hier.LevelL2
+			default:
+				level = hier.LevelMemory
+				if llcRs[j].Hit {
+					level = hier.LevelLLC
+				}
+				j++
+			}
+			timing.Record(fb[i].Gap, level.Latency(), fb[i].Flags&hier.FDep != 0)
+		}
+	}
 }
 
 // fillAccuracy extracts predictor-quality metrics when the policy is a

@@ -393,6 +393,11 @@ type Mix struct {
 
 	total int
 	pick  intnCache
+	// table maps a draw in [0, total) straight to its member index,
+	// replacing the per-access weight scan with one load. Built when the
+	// weight sum is small (it always is in practice); the scan remains
+	// as the fallback. The draw→member mapping is identical either way.
+	table []uint8
 }
 
 // NewMix builds an interleaving of the given members.
@@ -407,6 +412,16 @@ func NewMix(members ...Weighted) *Mix {
 	if m.total == 0 {
 		panic("trace: empty mix")
 	}
+	if m.total <= 1<<12 && len(members) <= 1<<8 {
+		m.table = make([]uint8, m.total)
+		p := 0
+		for i, w := range members {
+			for j := 0; j < w.Weight; j++ {
+				m.table[p] = uint8(i)
+				p++
+			}
+		}
+	}
 	return m
 }
 
@@ -420,6 +435,9 @@ func (m *Mix) Reset(r *mem.Rand) {
 // Step implements Kernel.
 func (m *Mix) Step(r *mem.Rand) mem.Access {
 	pick := m.pick.draw(r, m.total)
+	if m.table != nil {
+		return m.Members[m.table[pick]].Kernel.Step(r)
+	}
 	for i := range m.Members {
 		pick -= m.Members[i].Weight
 		if pick < 0 {

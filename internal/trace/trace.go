@@ -154,8 +154,57 @@ func (p *Program) NextBatch(dst []mem.Access) int {
 // Length returns the program's total access count.
 func (p *Program) Length() int { return p.length }
 
+// Replay adapts a pre-collected stream back to the Generator interface:
+// Next and NextBatch yield exactly the accesses of the slice, and Reset
+// rewinds to the start. Replaying a memoized stream costs one bulk copy
+// per batch where regenerating it costs the full kernel machinery per
+// access (see workloads' stream memo).
+type Replay struct {
+	s []mem.Access
+	n int
+}
+
+// NewReplay wraps a collected stream. The slice is shared, not copied;
+// callers must not mutate it.
+func NewReplay(s []mem.Access) *Replay { return &Replay{s: s} }
+
+// Reset implements Generator.
+func (r *Replay) Reset() { r.n = 0 }
+
+// Next implements Generator.
+func (r *Replay) Next() (mem.Access, bool) {
+	if r.n >= len(r.s) {
+		return mem.Access{}, false
+	}
+	a := r.s[r.n]
+	r.n++
+	return a, true
+}
+
+// NextBatch implements BatchGenerator.
+func (r *Replay) NextBatch(dst []mem.Access) int {
+	n := copy(dst, r.s[r.n:])
+	r.n += n
+	return n
+}
+
+// Length returns the stream's total access count.
+func (r *Replay) Length() int { return len(r.s) }
+
 // Collect drains a generator into a slice (tests and MIN capture).
+// Batch-capable generators drain in block-sized appends.
 func Collect(g Generator) []mem.Access {
+	if bg, ok := g.(BatchGenerator); ok {
+		var out []mem.Access
+		var buf [256]mem.Access
+		for {
+			n := bg.NextBatch(buf[:])
+			if n == 0 {
+				return out
+			}
+			out = append(out, buf[:n]...)
+		}
+	}
 	var out []mem.Access
 	for {
 		a, ok := g.Next()

@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
+	"sdbp/internal/mem"
 	"sdbp/internal/trace"
 )
 
@@ -42,14 +44,165 @@ type Workload struct {
 // Generator returns the workload's reference stream at the given scale
 // (1.0 reproduces the default length). Streams are deterministic: the
 // same workload and scale always produce the same accesses.
+//
+// Small streams are generated once and memoized (see streamMemo), so a
+// campaign's repeated walks of the same (workload, scale) — one per
+// policy, plus the instruction-count and capture passes — replay a
+// bulk-copied slice instead of re-running the kernel machinery per
+// access. Replayed and generated streams are identical by construction.
 func (w Workload) Generator(scale float64) trace.Generator {
-	b := &builder{bench: uint64(w.id)}
-	k := w.build(b)
 	n := int(float64(w.accesses) * scale)
 	if n < 1 {
 		n = 1
 	}
+	if n <= streamMemoMaxAccesses {
+		return trace.NewReplay(w.stream(n))
+	}
+	return w.rawGenerator(n)
+}
+
+func (w Workload) rawGenerator(n int) *trace.Program {
+	b := &builder{bench: uint64(w.id)}
+	k := w.build(b)
 	return trace.NewProgram(k, n, 0xBE2C0000+uint64(w.id))
+}
+
+// streamMemo holds generated reference streams, capped by total bytes
+// with least-recently-used eviction. Individual streams above the cap's
+// quarter (streamMemoMaxAccesses) are never cached, so full-scale
+// campaign streams (tens of MB each) keep their generate-as-you-go
+// memory profile.
+var streamMemo struct {
+	sync.Mutex
+	entries  map[streamKey][]mem.Access
+	order    []streamKey // LRU order, oldest first
+	accesses int         // cached accesses across all entries
+}
+
+type streamKey struct {
+	id int
+	n  int
+}
+
+const (
+	// streamMemoCapAccesses bounds the memo's total footprint: 2M
+	// accesses at 24 bytes each is 48MB.
+	streamMemoCapAccesses = 2 << 20
+	// streamMemoMaxAccesses is the largest single stream worth caching.
+	streamMemoMaxAccesses = streamMemoCapAccesses / 4
+)
+
+// stream returns the workload's first n accesses from the memo, filling
+// it on the first request.
+func (w Workload) stream(n int) []mem.Access {
+	key := streamKey{id: w.id, n: n}
+	streamMemo.Lock()
+	s, ok := streamMemo.entries[key]
+	if ok {
+		// Refresh LRU position.
+		for i, k := range streamMemo.order {
+			if k == key {
+				copy(streamMemo.order[i:], streamMemo.order[i+1:])
+				streamMemo.order[len(streamMemo.order)-1] = key
+				break
+			}
+		}
+		streamMemo.Unlock()
+		return s
+	}
+	streamMemo.Unlock()
+
+	s = make([]mem.Access, 0, n)
+	gen := w.rawGenerator(n)
+	var buf [256]mem.Access
+	for {
+		k := gen.NextBatch(buf[:])
+		if k == 0 {
+			break
+		}
+		s = append(s, buf[:k]...)
+	}
+
+	streamMemo.Lock()
+	if cached, ok := streamMemo.entries[key]; ok {
+		// Another goroutine generated it concurrently; keep theirs.
+		streamMemo.Unlock()
+		return cached
+	}
+	if streamMemo.entries == nil {
+		streamMemo.entries = make(map[streamKey][]mem.Access)
+	}
+	for streamMemo.accesses+len(s) > streamMemoCapAccesses && len(streamMemo.order) > 0 {
+		old := streamMemo.order[0]
+		streamMemo.order = streamMemo.order[1:]
+		streamMemo.accesses -= len(streamMemo.entries[old])
+		delete(streamMemo.entries, old)
+	}
+	streamMemo.entries[key] = s
+	streamMemo.order = append(streamMemo.order, key)
+	streamMemo.accesses += len(s)
+	streamMemo.Unlock()
+	return s
+}
+
+// instrMemo caches Instructions results. Streams are deterministic, so
+// a (workload, scale) pair always yields the same count; multicore runs
+// ask for the same counts once per mix member per policy, and walking a
+// stream costs nearly as much as simulating it.
+var instrMemo struct {
+	sync.Mutex
+	counts map[instrKey]uint64
+}
+
+type instrKey struct {
+	id    int
+	scale float64
+}
+
+// Instructions returns the instruction count of one full pass of the
+// workload's stream at the given scale (0 means 1): the sum over all
+// accesses of Gap+1. Counts are computed by one stream walk and
+// memoized per (workload, scale); the method is safe for concurrent
+// use.
+func (w Workload) Instructions(scale float64) uint64 {
+	if scale == 0 {
+		scale = 1
+	}
+	key := instrKey{id: w.id, scale: scale}
+	instrMemo.Lock()
+	n, ok := instrMemo.counts[key]
+	instrMemo.Unlock()
+	if ok {
+		return n
+	}
+	gen := w.Generator(scale)
+	if bg, ok := gen.(trace.BatchGenerator); ok {
+		var buf [256]mem.Access
+		for {
+			k := bg.NextBatch(buf[:])
+			if k == 0 {
+				break
+			}
+			for i := 0; i < k; i++ {
+				n += uint64(buf[i].Gap) + 1
+			}
+		}
+	} else {
+		for {
+			a, ok := gen.Next()
+			if !ok {
+				break
+			}
+			n += uint64(a.Gap) + 1
+		}
+	}
+	instrMemo.Lock()
+	if instrMemo.counts == nil {
+		instrMemo.counts = make(map[instrKey]uint64)
+	}
+	instrMemo.counts[key] = n
+	instrMemo.Unlock()
+	return n
 }
 
 // builder hands out disjoint address regions and code-site bases within
